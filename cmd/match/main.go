@@ -1,0 +1,173 @@
+// Command match maps a problem instance (JSON, see matchgen) onto its
+// platform with a chosen solver and reports the mapping, its application
+// execution time and the per-resource load breakdown.
+//
+// Usage:
+//
+//	matchgen -n 20 -seed 7 -out inst.json
+//	match -in inst.json -solver match
+//	match -in inst.json -solver ga -pop 500 -gens 1000
+//	match -in inst.json -solver distributed -agents 4
+//
+// Solvers: match (default, the paper's CE heuristic), ga (FastMap-GA),
+// distributed (agent-based MaTCH), random, greedy, local, anneal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"matchsim"
+	"matchsim/internal/trace"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "instance JSON file (default stdin)")
+		solver  = flag.String("solver", "match", "match | ga | distributed | random | greedy | local | anneal")
+		seed    = flag.Uint64("seed", 1, "solver seed")
+		verbose = flag.Bool("v", false, "print per-iteration progress")
+		// MaTCH / distributed knobs.
+		samples  = flag.Int("samples", 0, "CE sample size N (default 2n^2)")
+		rho      = flag.Float64("rho", 0, "CE focus parameter (default 0.05)")
+		zeta     = flag.Float64("zeta", 0, "CE smoothing factor (default 0.3)")
+		maxIters = flag.Int("max-iters", 0, "CE iteration cap (default 1000)")
+		agentsN  = flag.Int("agents", 0, "distributed agent count (default GOMAXPROCS)")
+		// GA knobs.
+		pop  = flag.Int("pop", 0, "GA population size (default 500)")
+		gens = flag.Int("gens", 0, "GA generations (default 1000)")
+		// Baseline knobs.
+		budget   = flag.Int("budget", 10000, "random-search samples")
+		restarts = flag.Int("restarts", 5, "local-search restarts")
+		// Validation / observability.
+		simulate  = flag.Int("simulate", 0, "after mapping, execute this many supersteps on the discrete-event simulator")
+		traceFile = flag.String("trace", "", "write a JSONL run trace to this file")
+	)
+	flag.Parse()
+
+	if err := run(*in, *solver, *seed, *verbose, *samples, *rho, *zeta, *maxIters,
+		*agentsN, *pop, *gens, *budget, *restarts, *simulate, *traceFile); err != nil {
+		fmt.Fprintf(os.Stderr, "match: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, solver string, seed uint64, verbose bool,
+	samples int, rho, zeta float64, maxIters, agentsN, pop, gens, budget, restarts, simulate int,
+	traceFile string) error {
+
+	var rd io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rd = f
+	}
+	problem, err := matchsim.ReadProblem(rd)
+	if err != nil {
+		return fmt.Errorf("reading instance: %w", err)
+	}
+
+	var tw *trace.Writer
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw = trace.NewWriter(f)
+		if err := tw.Start(solver, problem.NumTasks(), seed); err != nil {
+			return err
+		}
+		defer tw.Flush()
+	}
+
+	var progress func(matchsim.IterationTrace)
+	if verbose || tw != nil {
+		progress = func(tr matchsim.IterationTrace) {
+			if verbose {
+				fmt.Fprintf(os.Stderr, "iter %4d  best=%.0f  gamma=%.0f  best-so-far=%.0f\n",
+					tr.Iteration, tr.Best, tr.Gamma, tr.BestSoFar)
+			}
+			if tw != nil {
+				tw.Iteration(tr.Iteration, tr.Gamma, tr.Best, tr.Mean, tr.BestSoFar)
+			}
+		}
+	}
+
+	var sol *matchsim.Solution
+	switch solver {
+	case "match":
+		sol, err = matchsim.SolveMaTCH(problem, matchsim.MaTCHOptions{
+			SampleSize: samples, Rho: rho, Zeta: zeta,
+			MaxIterations: maxIters, Seed: seed, OnIteration: progress,
+		})
+	case "ga":
+		sol, err = matchsim.SolveGA(problem, matchsim.GAOptions{
+			PopulationSize: pop, Generations: gens, Seed: seed, OnGeneration: progress,
+		})
+	case "distributed":
+		sol, err = matchsim.SolveDistributed(problem, matchsim.DistributedOptions{
+			NumAgents: agentsN, SampleSize: samples, Rho: rho, Zeta: zeta,
+			MaxIterations: maxIters, Seed: seed,
+		})
+	case "random":
+		sol, err = matchsim.SolveRandom(problem, budget, seed)
+	case "greedy":
+		sol, err = matchsim.SolveGreedy(problem)
+	case "local":
+		sol, err = matchsim.SolveLocalSearch(problem, restarts, seed)
+	case "anneal":
+		sol, err = matchsim.SolveAnnealing(problem, matchsim.AnnealingOptions{Seed: seed})
+	default:
+		return fmt.Errorf("unknown solver %q", solver)
+	}
+	if err != nil {
+		return err
+	}
+
+	if tw != nil {
+		if err := tw.End(sol.Exec, sol.Iterations, sol.Evaluations, sol.MappingTime, "completed"); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("solver:       %s\n", sol.Solver)
+	fmt.Printf("exec (ET):    %.2f units\n", sol.Exec)
+	fmt.Printf("mapping time: %v\n", sol.MappingTime.Round(time.Microsecond))
+	if sol.Iterations > 0 {
+		fmt.Printf("iterations:   %d\n", sol.Iterations)
+	}
+	fmt.Printf("evaluations:  %d\n", sol.Evaluations)
+	fmt.Printf("mapping (task -> resource):\n")
+	for task, res := range sol.Mapping {
+		fmt.Printf("  task %-3d -> resource %d\n", task, res)
+	}
+
+	b, err := problem.Explain(sol.Mapping)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("per-resource loads (busiest = resource %d, imbalance %.3f):\n", b.Busiest, b.Imbalance)
+	for s, load := range b.Loads {
+		fmt.Printf("  resource %-3d  load %10.2f  (compute %.2f + comm %.2f)\n",
+			s, load, b.Compute[s], b.Comm[s])
+	}
+
+	if simulate > 0 {
+		rep, err := matchsim.Simulate(problem, sol.Mapping, simulate)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("simulated %d supersteps:\n", simulate)
+		fmt.Printf("  analytic ET/step: %10.2f units\n", rep.AnalyticExec)
+		fmt.Printf("  simulated step:   %10.2f units (model ratio %.3f)\n", rep.PerStep[0], rep.ModelRatio)
+		fmt.Printf("  total makespan:   %10.2f units (%d events)\n", rep.Makespan, rep.Events)
+	}
+	return nil
+}

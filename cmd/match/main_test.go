@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"matchsim"
+	"matchsim/internal/trace"
+)
+
+// writeInstance produces a small instance file for the CLI to consume.
+func writeInstance(t *testing.T) string {
+	t.Helper()
+	p, err := matchsim.GeneratePaper(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := p.WriteInstance(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllSolvers(t *testing.T) {
+	path := writeInstance(t)
+	for _, solver := range []string{"match", "ga", "distributed", "random", "greedy", "local", "anneal"} {
+		// Small budgets keep the test fast.
+		err := run(path, solver, 1, false, 128, 0.1, 0.5, 30, 2, 20, 20, 200, 2, 2, "")
+		if err != nil {
+			t.Fatalf("solver %s: %v", solver, err)
+		}
+	}
+}
+
+func TestRunUnknownSolver(t *testing.T) {
+	path := writeInstance(t)
+	if err := run(path, "bogus", 1, false, 0, 0, 0, 0, 0, 0, 0, 100, 1, 0, ""); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("/nonexistent/instance.json", "match", 1, false, 0, 0, 0, 0, 0, 0, 0, 100, 1, 0, ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunCorruptInstance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "match", 1, false, 0, 0, 0, 0, 0, 0, 0, 100, 1, 0, ""); err == nil {
+		t.Fatal("corrupt instance accepted")
+	}
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	path := writeInstance(t)
+	traceOut := filepath.Join(t.TempDir(), "run.trace")
+	if err := run(path, "match", 1, false, 128, 0.1, 0.5, 10, 0, 0, 0, 100, 1, 0, traceOut); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runs, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("trace runs %d", len(runs))
+	}
+	if runs[0].Start.Solver != "match" || runs[0].End == nil {
+		t.Fatalf("trace malformed: %+v", runs[0].Start)
+	}
+	if len(runs[0].Iterations) == 0 {
+		t.Fatal("no iteration events recorded")
+	}
+}

@@ -1,0 +1,275 @@
+// Command matchbench regenerates every table and figure of the paper's
+// experimental study (Section 5) plus the ablation studies documented in
+// DESIGN.md.
+//
+// Usage:
+//
+//	matchbench -exp table1        # Table 1 (and the shared sweep for Table 2)
+//	matchbench -exp table3        # ANOVA study
+//	matchbench -exp fig3          # stochastic matrix evolution
+//	matchbench -exp fig7          # ET bar chart (same sweep as Table 1)
+//	matchbench -exp all           # everything
+//	matchbench -exp table1 -quick # reduced budgets for smoke runs
+//	matchbench -exp table1 -csv   # machine-readable output
+//
+// Experiments: table1, table2, table3 (with post-hoc Welch tests; -size
+// overrides the instance size), fig3, fig7, fig8, fig9, convergence,
+// scaling, simcheck, overset, ablation-rho, ablation-zeta,
+// ablation-samples, ablation-workers, ablation-selection,
+// ablation-warmstart, baselines, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"matchsim/internal/core"
+	"matchsim/internal/exp"
+	"matchsim/internal/ga"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "all", "experiment to run")
+		seed    = flag.Uint64("seed", 2005, "master seed")
+		size    = flag.Int("size", 0, "instance size override for table3 (paper: 10)")
+		quick   = flag.Bool("quick", false, "reduced budgets (seconds instead of minutes)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if err := run(*expName, *seed, *size, *quick, *csv, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "matchbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// sweepConfig builds the Table 1/2 configuration. The paper's full
+// protocol (sizes 10..50, 5 repeats, GA 500x1000) takes minutes; -quick
+// shrinks it to a smoke test.
+func sweepConfig(seed uint64, quick, quiet bool) exp.SweepConfig {
+	cfg := exp.SweepConfig{Seed: seed}
+	if quick {
+		cfg.Sizes = []int{10, 20, 30}
+		cfg.Repeats = 2
+		cfg.GA = ga.Options{PopulationSize: 100, Generations: 150}
+		cfg.MaTCH = core.Options{MaxIterations: 60}
+	}
+	if !quiet {
+		cfg.Progress = os.Stderr
+	}
+	return cfg
+}
+
+func run(expName string, seed uint64, size int, quick, csv, quiet bool) error {
+	show := func(t *exp.Table) {
+		if csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+
+	needsSweep := map[string]bool{"table1": true, "table2": true, "fig7": true, "fig8": true, "fig9": true, "all": true}
+	var sweep *exp.SweepResult
+	if needsSweep[expName] {
+		var err error
+		sweep, err = exp.RunSweep(sweepConfig(seed, quick, quiet))
+		if err != nil {
+			return err
+		}
+	}
+
+	match := func(names ...string) bool {
+		if expName == "all" {
+			return true
+		}
+		for _, n := range names {
+			if expName == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	ran := false
+	if match("table1") {
+		show(exp.RenderTable1(sweep))
+		ran = true
+	}
+	if match("table2") {
+		show(exp.RenderTable2(sweep))
+		ran = true
+	}
+	if match("fig7") {
+		fmt.Println(exp.RenderFig7(sweep))
+		ran = true
+	}
+	if match("fig8") {
+		fmt.Println(exp.RenderFig8(sweep))
+		ran = true
+	}
+	if match("fig9") {
+		fmt.Println(exp.RenderFig9(sweep))
+		ran = true
+	}
+	if match("table3") {
+		cfg := exp.ANOVAConfig{Seed: seed, Size: size}
+		if quick {
+			cfg.Runs = 8
+			cfg.GASmallPop = ga.Options{PopulationSize: 50, Generations: 400}
+			cfg.GALargePop = ga.Options{PopulationSize: 200, Generations: 100}
+			cfg.MaTCH = core.Options{MaxIterations: 80}
+		}
+		if !quiet {
+			cfg.Progress = os.Stderr
+		}
+		res, err := exp.RunANOVA(cfg)
+		if err != nil {
+			return err
+		}
+		desc, an := exp.RenderTable3(res)
+		show(desc)
+		show(an)
+		show(exp.RenderPostHoc(res))
+		ran = true
+	}
+	if match("convergence") {
+		cfg := exp.Fig3Config{Seed: seed}
+		if quick {
+			cfg.MaTCH = core.Options{MaxIterations: 60}
+		}
+		res, err := exp.RunFig3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderConvergence("MaTCH convergence trace (n=10)", res.Run.History))
+		if csv {
+			fmt.Print(exp.HistoryCSV(res.Run.History))
+		}
+		ran = true
+	}
+	if match("fig3") {
+		cfg := exp.Fig3Config{Seed: seed}
+		if quick {
+			cfg.MaTCH = core.Options{MaxIterations: 80}
+		}
+		res, err := exp.RunFig3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.RenderFig3(res))
+		ran = true
+	}
+
+	abl := exp.AblationConfig{Seed: seed}
+	if quick {
+		abl.Size = 12
+		abl.Repeats = 2
+		abl.MaxIterations = 50
+	}
+	if match("ablation-rho") {
+		t, err := exp.AblateRho(abl, nil)
+		if err != nil {
+			return err
+		}
+		show(t)
+		ran = true
+	}
+	if match("ablation-zeta") {
+		t, err := exp.AblateZeta(abl, nil)
+		if err != nil {
+			return err
+		}
+		show(t)
+		ran = true
+	}
+	if match("ablation-samples") {
+		t, err := exp.AblateSampleSize(abl, nil)
+		if err != nil {
+			return err
+		}
+		show(t)
+		ran = true
+	}
+	if match("ablation-workers") {
+		t, err := exp.AblateWorkers(abl, nil)
+		if err != nil {
+			return err
+		}
+		show(t)
+		ran = true
+	}
+	if match("ablation-selection") {
+		t, err := exp.AblateSelection(abl)
+		if err != nil {
+			return err
+		}
+		show(t)
+		ran = true
+	}
+	if match("ablation-warmstart") {
+		t, err := exp.AblateWarmStart(abl)
+		if err != nil {
+			return err
+		}
+		show(t)
+		ran = true
+	}
+	if match("overset") {
+		sizes := []int{10, 20, 30}
+		repeats := 3
+		if quick {
+			sizes = []int{8, 12}
+			repeats = 1
+		}
+		res, err := exp.OversetSweep(seed, sizes, repeats)
+		if err != nil {
+			return err
+		}
+		show(exp.RenderOversetSweep(res))
+		ran = true
+	}
+	if match("simcheck") {
+		sizes := []int{10, 20, 30}
+		if quick {
+			sizes = []int{8, 12}
+		}
+		res, err := exp.RunSimCheck(seed, sizes)
+		if err != nil {
+			return err
+		}
+		show(exp.RenderSimCheck(res))
+		ran = true
+	}
+	if match("scaling") {
+		sizes := []int{10, 20, 30, 40}
+		repeats := 3
+		if quick {
+			sizes = []int{8, 12, 16}
+			repeats = 1
+		}
+		res, err := exp.RunScaling(seed, sizes, repeats)
+		if err != nil {
+			return err
+		}
+		show(exp.RenderScaling(res))
+		ran = true
+	}
+	if match("baselines") {
+		t, err := exp.CompareBaselines(abl)
+		if err != nil {
+			return err
+		}
+		show(t)
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want one of table1 table2 table3 fig3 fig7 fig8 fig9 %s baselines overset simcheck scaling convergence all)",
+			expName, strings.Join([]string{"ablation-rho", "ablation-zeta", "ablation-samples", "ablation-workers", "ablation-selection", "ablation-warmstart"}, " "))
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("bogus", 1, 0, true, false, true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunQuickFig3(t *testing.T) {
+	if err := run("fig3", 1, 0, true, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQuickAblationRho(t *testing.T) {
+	if err := run("ablation-rho", 1, 0, true, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQuickTable3CSV(t *testing.T) {
+	if err := run("table3", 1, 8, true, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQuickSweepTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep tables take several seconds")
+	}
+	if err := run("table1", 1, 0, true, false, true); err != nil {
+		t.Fatal(err)
+	}
+}

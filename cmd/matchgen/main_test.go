@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"matchsim"
+)
+
+func TestRunGeneratesLoadableInstances(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"paper", "overset", "clustered"} {
+		out := filepath.Join(dir, kind+".json")
+		if err := run(kind, 10, 2, 5, 3, out); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := matchsim.ReadProblem(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: reading back: %v", kind, err)
+		}
+		if p.NumTasks() != 10 {
+			t.Fatalf("%s: %d tasks, want 10", kind, p.NumTasks())
+		}
+	}
+}
+
+func TestRunRejectsUnknownKind(t *testing.T) {
+	if err := run("bogus", 5, 1, 1, 1, ""); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRunRejectsBadSize(t *testing.T) {
+	if err := run("paper", 0, 1, 1, 1, ""); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestRunClusteredShape(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "c.json")
+	if err := run("clustered", 0, 3, 4, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := matchsim.ReadProblem(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumResources() != 12 {
+		t.Fatalf("clustered resources %d, want 3*4", p.NumResources())
+	}
+}

@@ -1,0 +1,80 @@
+// Max-cut via the generic Cross-Entropy framework: evidence that the CE
+// engine underneath MaTCH is problem-agnostic, on the very problem
+// Rubinstein used to introduce CE for combinatorial optimisation (cited
+// by the paper as prior CE work).
+//
+// A random weighted graph with a planted heavy bipartition is generated;
+// the CE method with a Bernoulli parameter vector must recover a cut at
+// least as heavy as the planted one.
+//
+// Run with:
+//
+//	go run ./examples/maxcut
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"matchsim/internal/ce"
+	"matchsim/internal/xrand"
+)
+
+func main() {
+	const n = 40
+	rng := xrand.New(11)
+
+	// Planted cut: vertices [0, n/2) vs [n/2, n). Cross edges heavy,
+	// intra edges light.
+	planted := make([]bool, n)
+	for i := n / 2; i < n; i++ {
+		planted[i] = true
+	}
+	var edges []ce.CutEdge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			switch {
+			case planted[u] != planted[v] && rng.Bool(0.7):
+				edges = append(edges, ce.CutEdge{U: u, V: v, Weight: 5 + 5*rng.Float64()})
+			case planted[u] == planted[v] && rng.Bool(0.3):
+				edges = append(edges, ce.CutEdge{U: u, V: v, Weight: rng.Float64()})
+			}
+		}
+	}
+	score := ce.MaxCutScore(edges)
+	fmt.Printf("graph: %d vertices, %d edges; planted cut value %.1f\n",
+		n, len(edges), score(planted))
+
+	problem, err := ce.NewBernoulliProblem(n, score)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ce.Run[[]bool](problem, ce.Config{
+		SampleSize: 1200,
+		Rho:        0.1,
+		Zeta:       0.7,
+		Seed:       3,
+		OnIteration: func(st ce.IterStats) {
+			fmt.Printf("  iter %2d: gamma=%7.1f best=%7.1f best-so-far=%7.1f\n",
+				st.Iter, st.Gamma, st.Best, st.BestSoFar)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nCE best cut: %.1f after %d iterations (%d evaluations, stop: %s)\n",
+		res.BestScore, res.Iterations, res.Evaluations, res.StopReason)
+	left, right := 0, 0
+	for _, side := range res.Best {
+		if side {
+			right++
+		} else {
+			left++
+		}
+	}
+	fmt.Printf("partition sizes: %d / %d\n", left, right)
+	if res.BestScore >= score(planted) {
+		fmt.Println("CE recovered a cut at least as heavy as the planted optimum.")
+	}
+}

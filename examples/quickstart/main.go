@@ -1,0 +1,105 @@
+// Quickstart: build a small mapping problem by hand, solve it with MaTCH
+// and with the FastMap-GA baseline, and compare the mappings.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"matchsim"
+)
+
+func main() {
+	// The application: six interacting tasks. Weights are computational
+	// volumes (think grid points in an overset CFD grid); interactions
+	// carry the data volume exchanged per step.
+	tasks := matchsim.NewTaskGraph([]float64{8, 3, 5, 9, 2, 6})
+	tasks.SetName("quickstart-app")
+	interactions := []struct {
+		a, b   int
+		volume float64
+	}{
+		{0, 1, 90}, {0, 2, 60}, {1, 2, 75},
+		{2, 3, 95}, {3, 4, 55}, {4, 5, 80}, {3, 5, 70},
+	}
+	for _, e := range interactions {
+		if err := tasks.AddInteraction(e.a, e.b, e.volume); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The platform: six heterogeneous resources. Processing cost is per
+	// unit of computation (bigger = slower machine); link cost is per
+	// unit of data (bigger = slower connection). Missing links are
+	// closed over cheapest routes automatically.
+	platform := matchsim.NewPlatform([]float64{1, 1, 2, 3, 2, 5})
+	platform.SetName("quickstart-platform")
+	links := []struct {
+		a, b int
+		cost float64
+	}{
+		{0, 1, 10}, {1, 2, 12}, {2, 3, 18},
+		{3, 4, 11}, {4, 5, 15}, {0, 5, 20}, {1, 4, 13},
+	}
+	for _, l := range links {
+		if err := platform.AddLink(l.a, l.b, l.cost); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	problem, err := matchsim.NewProblem(tasks, platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A naive mapping to anchor expectations: task i on resource i.
+	identity := []int{0, 1, 2, 3, 4, 5}
+	naiveExec, err := problem.Exec(identity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("identity mapping:  ET = %8.0f units\n", naiveExec)
+
+	// MaTCH — the paper's cross-entropy heuristic.
+	match, err := matchsim.SolveMaTCH(problem, matchsim.MaTCHOptions{
+		Seed:       1,
+		SampleSize: 500, // generous for a 6-task toy; defaults to 2n^2
+		Rho:        0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MaTCH:             ET = %8.0f units  (%d iterations, %v)\n",
+		match.Exec, match.Iterations, match.MappingTime.Round(time.Millisecond))
+
+	// FastMap-GA — the paper's baseline.
+	gaSol, err := matchsim.SolveGA(problem, matchsim.GAOptions{
+		PopulationSize: 100,
+		Generations:    200,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FastMap-GA:        ET = %8.0f units  (%d generations, %v)\n",
+		gaSol.Exec, gaSol.Iterations, gaSol.MappingTime.Round(time.Millisecond))
+
+	fmt.Printf("\nMaTCH mapping (task -> resource): %v\n", match.Mapping)
+	breakdown, err := problem.Explain(match.Mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("busiest resource: %d (imbalance %.2f)\n", breakdown.Busiest, breakdown.Imbalance)
+	for s, load := range breakdown.Loads {
+		fmt.Printf("  resource %d: load %7.0f (compute %5.0f + comm %7.0f)\n",
+			s, load, breakdown.Compute[s], breakdown.Comm[s])
+	}
+	if match.Exec <= gaSol.Exec && match.Exec <= naiveExec {
+		fmt.Println("\nMaTCH found the best mapping of the three — as the paper predicts.")
+	}
+}

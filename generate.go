@@ -1,0 +1,133 @@
+package matchsim
+
+import (
+	"fmt"
+
+	"matchsim/internal/cost"
+	"matchsim/internal/gen"
+	"matchsim/internal/graph"
+	"matchsim/internal/overset"
+	"matchsim/internal/xrand"
+)
+
+// GeneratePaper creates a synthetic |Vt| = |Vr| = n problem instance per
+// the paper's Section 5.2 generator: TIG node weights uniform in [1, 10],
+// TIG edge weights uniform in [50, 100], resource weights uniform in
+// [1, 5], link weights uniform in [10, 20], density-varying TIG edges.
+// The instance is deterministic in seed.
+func GeneratePaper(seed uint64, n int) (*Problem, error) {
+	inst, err := gen.PaperInstance(seed, n, gen.DefaultPaperConfig())
+	if err != nil {
+		return nil, err
+	}
+	eval, err := cost.NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{eval: eval}, nil
+}
+
+// OversetConfig tunes the overset-grid CFD workload simulator — the
+// domain generator for the applications the paper's introduction
+// motivates (viscous-drag estimation over irregular 3-D bodies covered by
+// overlapping component grids).
+type OversetConfig struct {
+	// NumGrids is the number of component grids (= tasks).
+	NumGrids int
+	// BodyRadius, GridSizeLo/Hi, SpacingLo/Hi tune the geometry; zero
+	// values take defaults matched to the paper's weight scales.
+	BodyRadius             float64
+	GridSizeLo, GridSizeHi float64
+	SpacingLo, SpacingHi   float64
+}
+
+// GenerateOverset builds a synthetic overset-grid system, converts its
+// overlap structure into a TaskGraph (node weight = grid points, edge
+// weight = overlap points, both scaled by 1e-3 to the paper's numeric
+// range), and pairs it with a random paper-style platform of equal size.
+func GenerateOverset(seed uint64, cfg OversetConfig) (*Problem, error) {
+	if cfg.NumGrids < 1 {
+		return nil, fmt.Errorf("matchsim: overset NumGrids %d < 1", cfg.NumGrids)
+	}
+	sys, err := overset.Generate(seed, overset.Config{
+		NumGrids:   cfg.NumGrids,
+		BodyRadius: cfg.BodyRadius,
+		GridSizeLo: cfg.GridSizeLo,
+		GridSizeHi: cfg.GridSizeHi,
+		SpacingLo:  cfg.SpacingLo,
+		SpacingHi:  cfg.SpacingHi,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tig, err := sys.TIG(1e-3)
+	if err != nil {
+		return nil, err
+	}
+	platform, err := gen.PaperPlatform(xrand.New(seed^0x5eed), cfg.NumGrids, gen.DefaultPaperConfig())
+	if err != nil {
+		return nil, err
+	}
+	eval, err := cost.NewEvaluator(tig, platform)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{eval: eval}, nil
+}
+
+// ClusteredPlatformConfig tunes GenerateClustered.
+type ClusteredPlatformConfig struct {
+	// Clusters and PerCluster define the site structure.
+	Clusters, PerCluster int
+	// IntraLo/Hi and InterLo/Hi bound intra-site and wide-area link
+	// costs; zero values default to [1, 2] and [50, 60].
+	IntraLo, IntraHi float64
+	InterLo, InterHi float64
+}
+
+// GenerateClustered builds the computational-grid scenario the paper's
+// introduction motivates: a paper-style TIG of size clusters*perCluster
+// mapped onto a federation of homogeneous clusters joined by expensive
+// wide-area links.
+func GenerateClustered(seed uint64, cfg ClusteredPlatformConfig) (*Problem, error) {
+	if cfg.Clusters < 1 || cfg.PerCluster < 1 {
+		return nil, fmt.Errorf("matchsim: clustered shape %dx%d invalid", cfg.Clusters, cfg.PerCluster)
+	}
+	if cfg.IntraHi == 0 {
+		cfg.IntraLo, cfg.IntraHi = 1, 2
+	}
+	if cfg.InterHi == 0 {
+		cfg.InterLo, cfg.InterHi = 50, 60
+	}
+	n := cfg.Clusters * cfg.PerCluster
+	rng := xrand.New(seed)
+	tig, err := gen.PaperTIG(rng, n, gen.DefaultPaperConfig())
+	if err != nil {
+		return nil, err
+	}
+	prof := gen.DefaultProfile()
+	prof.Clustered = true
+	platform, err := gen.ClusteredPlatform(rng, cfg.Clusters, cfg.PerCluster,
+		cfg.IntraLo, cfg.IntraHi, cfg.InterLo, cfg.InterHi, prof)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := cost.NewEvaluator(tig, platform)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{eval: eval}, nil
+}
+
+// TaskGraphDOT renders the problem's TIG in Graphviz DOT syntax for
+// visual inspection.
+func (p *Problem) TaskGraphDOT() string {
+	tig := p.eval.TIG()
+	return graph.DOT(tig.Undirected, "tig", tig.Weights)
+}
+
+// PlatformDOT renders the problem's platform topology in DOT syntax.
+func (p *Problem) PlatformDOT() string {
+	rg := p.eval.Platform()
+	return graph.DOT(rg.Undirected, "platform", rg.Costs)
+}

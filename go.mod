@@ -1,0 +1,3 @@
+module matchsim
+
+go 1.22

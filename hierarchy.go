@@ -1,0 +1,92 @@
+package matchsim
+
+import (
+	"matchsim/internal/core"
+	"matchsim/internal/partition"
+	"matchsim/internal/sim"
+)
+
+// HierarchicalSolution extends Solution with the clustering stage of the
+// FastMap-style hierarchical workflow.
+type HierarchicalSolution struct {
+	Solution
+	// Cluster[t] is the cluster original task t was merged into.
+	Cluster []int
+	// ClusterExec is the coarse (cluster-graph) execution time MaTCH
+	// optimised; Exec is the true full-graph cost of the expanded
+	// mapping.
+	ClusterExec float64
+}
+
+// SolveHierarchical handles applications with more tasks than resources
+// the way the authors' FastMap scheme does: the task graph is coarsened
+// to |Vr| clusters by heavy-edge contraction (co-locating the heaviest
+// communicators), the cluster graph is mapped with MaTCH, and the
+// mapping is expanded back to the original tasks. Requires
+// |Vt| >= |Vr|.
+func SolveHierarchical(p *Problem, opts MaTCHOptions) (*HierarchicalSolution, error) {
+	res, err := partition.MapHierarchical(p.eval.TIG(), p.eval.Platform(), core.Options{
+		SampleSize:    opts.SampleSize,
+		Rho:           opts.Rho,
+		Zeta:          opts.Zeta,
+		StallC:        opts.StallC,
+		MaxIterations: opts.MaxIterations,
+		Workers:       opts.Workers,
+		Seed:          opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &HierarchicalSolution{
+		Solution: Solution{
+			Mapping:     res.Mapping,
+			Exec:        res.Exec,
+			MappingTime: res.CoarseRun.MappingTime,
+			Iterations:  res.CoarseRun.Iterations,
+			Evaluations: res.CoarseRun.Evaluations,
+			Solver:      "MaTCH-hierarchical",
+		},
+		Cluster:     res.Coarsening.Assign,
+		ClusterExec: res.CoarseRun.Exec,
+	}, nil
+}
+
+// SimulationReport is the outcome of executing a mapping on the
+// discrete-event simulator instead of the analytic cost model.
+type SimulationReport struct {
+	// Makespan is the simulated finish time over all supersteps.
+	Makespan float64
+	// PerStep is each superstep's duration.
+	PerStep []float64
+	// BusyTime and IdleTime are per-resource totals.
+	BusyTime, IdleTime []float64
+	// AnalyticExec is the eq. (2) prediction for one superstep.
+	AnalyticExec float64
+	// ModelRatio is mean simulated step time / AnalyticExec; 1.0 means
+	// the analytic model predicted the execution exactly, larger values
+	// measure dependency stalls the model ignores.
+	ModelRatio float64
+	// Events counts simulated job completions.
+	Events int
+}
+
+// Simulate executes the mapped application for `supersteps` bulk-
+// synchronous iterations on the discrete-event simulator: each resource
+// serially runs its tasks' compute work, then the per-edge send and
+// receive work for interactions that cross resources. Use it to validate
+// that the analytic ET of a Solution predicts an actual execution.
+func Simulate(p *Problem, mapping []int, supersteps int) (*SimulationReport, error) {
+	rep, err := sim.Run(p.eval, mapping, supersteps)
+	if err != nil {
+		return nil, err
+	}
+	return &SimulationReport{
+		Makespan:     rep.Makespan,
+		PerStep:      rep.PerStep,
+		BusyTime:     rep.BusyTime,
+		IdleTime:     rep.IdleTime,
+		AnalyticExec: rep.AnalyticExec,
+		ModelRatio:   rep.ModelRatio,
+		Events:       rep.Events,
+	}, nil
+}

@@ -1,0 +1,165 @@
+package matchsim
+
+import (
+	"math"
+	"testing"
+)
+
+// bigOnSmall builds a 36-task application on a 6-resource platform.
+func bigOnSmall(t *testing.T) *Problem {
+	t.Helper()
+	weights := make([]float64, 36)
+	for i := range weights {
+		weights[i] = 1 + float64(i%5)
+	}
+	tg := NewTaskGraph(weights)
+	// Six 6-task cliques with heavy internal chatter, light bridges.
+	for c := 0; c < 6; c++ {
+		base := c * 6
+		for a := 0; a < 6; a++ {
+			for b := a + 1; b < 6; b++ {
+				if err := tg.AddInteraction(base+a, base+b, 90); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for c := 0; c < 5; c++ {
+		if err := tg.AddInteraction(c*6, (c+1)*6, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pf := NewPlatform([]float64{1, 1, 2, 2, 3, 3})
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			if err := pf.AddLink(a, b, 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p, err := NewProblem(tg, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSolveHierarchicalClustersChatter(t *testing.T) {
+	p := bigOnSmall(t)
+	sol, err := SolveHierarchical(p, MaTCHOptions{Seed: 1, MaxIterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Mapping) != 36 || len(sol.Cluster) != 36 {
+		t.Fatalf("result shape: %d/%d", len(sol.Mapping), len(sol.Cluster))
+	}
+	// The heavy cliques must be co-located: every clique one resource.
+	for c := 0; c < 6; c++ {
+		base := c * 6
+		for k := 1; k < 6; k++ {
+			if sol.Mapping[base+k] != sol.Mapping[base] {
+				t.Fatalf("clique %d split across resources: %v", c, sol.Mapping[base:base+6])
+			}
+		}
+	}
+	// Exec consistency.
+	recomputed, err := p.Exec(sol.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(recomputed-sol.Exec) > 1e-9 {
+		t.Fatalf("exec %v vs recomputed %v", sol.Exec, recomputed)
+	}
+	if sol.Solver != "MaTCH-hierarchical" {
+		t.Fatalf("solver label %q", sol.Solver)
+	}
+	// Many-to-one direct CE on 36x6 should not beat it dramatically,
+	// and hierarchical must beat random scatter.
+	rnd := math.Inf(1)
+	for trial := 0; trial < 20; trial++ {
+		m := make([]int, 36)
+		for i := range m {
+			m[i] = (i*7 + trial) % 6
+		}
+		if exec, err := p.Exec(m); err == nil && exec < rnd {
+			rnd = exec
+		}
+	}
+	if sol.Exec >= rnd {
+		t.Fatalf("hierarchical %v worse than scatter %v", sol.Exec, rnd)
+	}
+}
+
+func TestSolveHierarchicalRejectsSmallApp(t *testing.T) {
+	tg := NewTaskGraph([]float64{1, 1})
+	pf := NewPlatform([]float64{1, 1, 1})
+	pf.AddLink(0, 1, 1)
+	pf.AddLink(1, 2, 1)
+	p, err := NewProblem(tg, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveHierarchical(p, MaTCHOptions{}); err == nil {
+		t.Fatal("|Vt| < |Vr| accepted")
+	}
+}
+
+func TestSimulateValidatesAnalyticModel(t *testing.T) {
+	p, err := GeneratePaper(13, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveMaTCH(p, MaTCHOptions{Seed: 1, MaxIterations: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Simulate(p, sol.Mapping, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerStep) != 4 {
+		t.Fatalf("per-step count %d", len(rep.PerStep))
+	}
+	if math.Abs(rep.AnalyticExec-sol.Exec) > 1e-9 {
+		t.Fatalf("analytic %v != solution exec %v", rep.AnalyticExec, sol.Exec)
+	}
+	if rep.ModelRatio < 1-1e-9 || rep.ModelRatio > 2.5 {
+		t.Fatalf("model ratio %v outside sane band", rep.ModelRatio)
+	}
+	if rep.Events == 0 || rep.Makespan <= 0 {
+		t.Fatal("empty simulation")
+	}
+	if _, err := Simulate(p, []int{0}, 1); err == nil {
+		t.Fatal("bad mapping accepted")
+	}
+}
+
+func TestSimulateAgreesWithModelOrdering(t *testing.T) {
+	p, err := GeneratePaper(14, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := SolveMaTCH(p, MaTCHOptions{Seed: 2, MaxIterations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := SolveRandom(p, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Exec >= bad.Exec {
+		t.Skip("random draw happened to match the optimised mapping")
+	}
+	simGood, err := Simulate(p, good.Mapping, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simBad, err := Simulate(p, bad.Mapping, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simGood.Makespan >= simBad.Makespan {
+		t.Fatalf("simulator ranks mappings opposite to the model: %v vs %v",
+			simGood.Makespan, simBad.Makespan)
+	}
+}

@@ -1,0 +1,196 @@
+package agents
+
+import (
+	"math"
+	"testing"
+
+	"matchsim/internal/core"
+	"matchsim/internal/cost"
+	"matchsim/internal/gen"
+	"matchsim/internal/graph"
+)
+
+func paperEval(t testing.TB, seed uint64, n int) *cost.Evaluator {
+	t.Helper()
+	inst, err := gen.PaperInstance(seed, n, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := cost.NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestDistributedSolveBasic(t *testing.T) {
+	e := paperEval(t, 1, 10)
+	res, err := Solve(e, Options{NumAgents: 4, Seed: 1, MaxIterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapping.IsPermutation() {
+		t.Fatalf("mapping %v not a permutation", res.Mapping)
+	}
+	if math.Abs(e.Exec(res.Mapping)-res.Exec) > 1e-9 {
+		t.Fatalf("exec %v inconsistent with mapping", res.Exec)
+	}
+	if res.NumAgents != 4 {
+		t.Fatalf("agent count %d", res.NumAgents)
+	}
+	if res.Rounds != 4*res.Iterations {
+		t.Fatalf("rounds %d for %d iterations", res.Rounds, res.Iterations)
+	}
+	if res.Evaluations == 0 || res.MappingTime <= 0 {
+		t.Fatal("missing accounting")
+	}
+}
+
+func TestDistributedMatchesSequentialQuality(t *testing.T) {
+	e := paperEval(t, 2, 12)
+	seq, err := core.Solve(e, core.Options{Seed: 3, Workers: 1, MaxIterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Solve(e, Options{NumAgents: 3, Seed: 3, MaxIterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different sampling schedules: demand comparable quality (within 15%).
+	if dist.Exec > 1.15*seq.Exec {
+		t.Fatalf("distributed %v much worse than sequential %v", dist.Exec, seq.Exec)
+	}
+}
+
+func TestDistributedDeterministicPerSeed(t *testing.T) {
+	e := paperEval(t, 3, 8)
+	run := func() *Result {
+		res, err := Solve(e, Options{NumAgents: 2, Seed: 11, MaxIterations: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Exec != b.Exec || a.Iterations != b.Iterations {
+		t.Fatalf("non-deterministic: %v/%d vs %v/%d", a.Exec, a.Iterations, b.Exec, b.Iterations)
+	}
+}
+
+func TestDistributedSingleAgentDegeneratesToSequential(t *testing.T) {
+	e := paperEval(t, 4, 8)
+	res, err := Solve(e, Options{NumAgents: 1, Seed: 5, MaxIterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumAgents != 1 || !res.Mapping.IsPermutation() {
+		t.Fatalf("single-agent run broken: %+v", res)
+	}
+}
+
+func TestDistributedMoreAgentsThanTasksClamps(t *testing.T) {
+	e := paperEval(t, 5, 4)
+	res, err := Solve(e, Options{NumAgents: 16, Seed: 6, MaxIterations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumAgents > 4 {
+		t.Fatalf("agent count %d not clamped to task count", res.NumAgents)
+	}
+}
+
+func TestDistributedFindsOptimumTiny(t *testing.T) {
+	e := paperEval(t, 6, 5)
+	// Brute force.
+	best := math.Inf(1)
+	perm := make([]int, 5)
+	var rec func(int, []bool)
+	rec = func(depth int, used []bool) {
+		if depth == 5 {
+			if v := e.Exec(perm); v < best {
+				best = v
+			}
+			return
+		}
+		for r := 0; r < 5; r++ {
+			if !used[r] {
+				used[r] = true
+				perm[depth] = r
+				rec(depth+1, used)
+				used[r] = false
+			}
+		}
+	}
+	rec(0, make([]bool, 5))
+	res, err := Solve(e, Options{NumAgents: 2, Seed: 7, SampleSize: 500, Rho: 0.1, MaxIterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Exec-best) > 1e-9 {
+		t.Fatalf("distributed %v vs brute force %v", res.Exec, best)
+	}
+}
+
+func TestDistributedRejectsBadInputs(t *testing.T) {
+	tig := graph.NewTIGWithWeights([]float64{1, 1, 1})
+	r := graph.NewResourceGraphWithCosts([]float64{1, 1})
+	r.MustAddLink(0, 1, 1)
+	e, err := cost.NewEvaluator(tig, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(e, Options{}); err == nil {
+		t.Fatal("non-square instance accepted")
+	}
+	good := paperEval(t, 8, 6)
+	if _, err := Solve(good, Options{Rho: 0.9}); err == nil {
+		t.Fatal("rho > 0.5 accepted")
+	}
+	if _, err := Solve(good, Options{Zeta: 2}); err == nil {
+		t.Fatal("zeta > 1 accepted")
+	}
+}
+
+func TestSortByScore(t *testing.T) {
+	scores := []float64{3, 1, 2, 1}
+	idx := []int{0, 1, 2, 3}
+	sortByScore(idx, scores)
+	want := []int{1, 3, 2, 0} // ties broken by index
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("sorted %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestDistributedTinySampleSize(t *testing.T) {
+	// SampleSize smaller than the agent count: some agents get zero
+	// quota; the protocol must still complete with a valid result.
+	e := paperEval(t, 9, 6)
+	res, err := Solve(e, Options{NumAgents: 4, SampleSize: 3, Seed: 1, MaxIterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapping.IsPermutation() {
+		t.Fatalf("mapping %v invalid", res.Mapping)
+	}
+	if res.Evaluations != int64(3*res.Iterations) {
+		t.Fatalf("evaluations %d for %d iterations of 3 samples", res.Evaluations, res.Iterations)
+	}
+}
+
+func TestDistributedSingleTask(t *testing.T) {
+	tig := graph.NewTIGWithWeights([]float64{4})
+	r := graph.NewResourceGraphWithCosts([]float64{2})
+	e, err := cost.NewEvaluator(tig, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(e, Options{Seed: 1, MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exec != 8 || res.Mapping[0] != 0 {
+		t.Fatalf("trivial distributed run: %+v", res)
+	}
+}

@@ -1,0 +1,336 @@
+// Package ce implements the generic Cross-Entropy method for combinatorial
+// optimisation — the algorithmic skeleton of the paper's Figure 2 that
+// MaTCH instantiates for the mapping problem.
+//
+// The CE method iterates two steps:
+//
+//  1. Generate N random solutions from the current parameterised
+//     distribution f(.; v_k).
+//  2. Score them, keep the elite (the best rho-fraction, thresholded by
+//     the sample quantile gamma_k), and re-estimate the distribution
+//     parameters from the elite, smoothing the update with factor zeta
+//     (P_{k+1} = zeta*Q + (1-zeta)*P_k).
+//
+// The loop stops when the quantile sequence gamma_k stalls for a window of
+// iterations (Fig. 2 step 4), when the problem reports its distribution
+// has degenerated (MaTCH's eq. 12 row-maximum criterion), or at an
+// iteration cap.
+//
+// A note on the elite direction: the paper's Figure 5 orders scores
+// descending and thresholds at index floor(rho*N), which for minimisation
+// would select the *worst* samples. Following the CE tutorial the paper
+// cites ([8], de Boer et al.) and the visible intent of eq. (11)
+// (I{S(X) <= gamma}), this implementation takes the elite to be the best
+// floor(rho*N) samples: gamma_k is the rho-quantile of scores in the
+// improving direction. EXPERIMENTS.md records the discrepancy.
+//
+// Sampling and scoring fan out across a worker pool; each worker owns a
+// split RNG stream and reusable solution buffers, so results are
+// deterministic for a fixed (seed, worker count) pair and the hot loop
+// does not allocate.
+package ce
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+import "matchsim/internal/xrand"
+
+// Problem is one combinatorial optimisation problem expressed in CE form.
+// The type parameter S is the solution representation (e.g. []int for
+// mappings, []bool for cuts). Sample and Score are called concurrently
+// from multiple workers and must not mutate shared problem state; Update
+// is called from a single goroutine between iterations.
+type Problem[S any] interface {
+	// NewSolution allocates one blank solution buffer. The framework
+	// allocates N of them once and reuses them every iteration.
+	NewSolution() S
+	// Sample overwrites dst with one draw from the current distribution,
+	// using the provided per-worker RNG.
+	Sample(rng *xrand.RNG, dst S) error
+	// Score returns the performance S(x) of a solution.
+	Score(s S) float64
+	// Update re-estimates the sampling distribution from the elite
+	// solutions, applying smoothing factor zeta per eq. (13).
+	Update(elite []S, zeta float64) error
+	// Converged reports whether the sampling distribution has degenerated
+	// (problem-specific; return false to rely on the gamma stall alone).
+	Converged() bool
+	// Copy copies src into dst (both allocated by NewSolution); the
+	// framework uses it to keep the best-so-far solution.
+	Copy(dst, src S)
+}
+
+// Config tunes one CE run. Zero-valued fields take the documented
+// defaults via (*Config).withDefaults.
+type Config struct {
+	// SampleSize is N, the draws per iteration (MaTCH uses 2*n^2).
+	SampleSize int
+	// Rho is the focus parameter: the elite is the best floor(Rho*N)
+	// samples. The paper recommends 0.01 <= rho <= 0.1; default 0.05.
+	Rho float64
+	// Zeta is the smoothing factor of eq. (13); default 0.3 (the paper's
+	// experimental setting). Zeta = 1 disables smoothing.
+	Zeta float64
+	// DynamicSmoothing, when true, replaces the constant Zeta with the
+	// iteration-dependent schedule zeta_k = Zeta * (1 - (1 - 1/k)^q)
+	// recommended by Rubinstein for avoiding premature convergence: early
+	// iterations smooth aggressively, later ones let the distribution
+	// settle. q is DynamicSmoothingQ.
+	DynamicSmoothing bool
+	// DynamicSmoothingQ is the schedule exponent (typical 5..10);
+	// default 7.
+	DynamicSmoothingQ float64
+	// StallWindow stops the run when gamma_k is unchanged for this many
+	// consecutive iterations; default 5 (the paper's c).
+	StallWindow int
+	// MaxIterations caps the loop regardless of convergence; default 1000.
+	MaxIterations int
+	// Workers sets the sampling/scoring parallelism; default GOMAXPROCS.
+	// Workers = 1 gives a fully sequential run.
+	Workers int
+	// Seed makes the run deterministic together with Workers.
+	Seed uint64
+	// Minimize selects the optimisation direction; MaTCH minimises.
+	Minimize bool
+	// OnIteration, when non-nil, receives telemetry after each iteration.
+	OnIteration func(IterStats)
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleSize == 0 {
+		c.SampleSize = 1000
+	}
+	if c.Rho == 0 {
+		c.Rho = 0.05
+	}
+	if c.Zeta == 0 {
+		c.Zeta = 0.3
+	}
+	if c.StallWindow == 0 {
+		c.StallWindow = 5
+	}
+	if c.DynamicSmoothingQ == 0 {
+		c.DynamicSmoothingQ = 7
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 1000
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.SampleSize < 1:
+		return fmt.Errorf("ce: sample size %d < 1", c.SampleSize)
+	case c.Rho <= 0 || c.Rho > 0.5:
+		return fmt.Errorf("ce: focus parameter rho=%v outside (0, 0.5]", c.Rho)
+	case c.Zeta <= 0 || c.Zeta > 1:
+		return fmt.Errorf("ce: smoothing factor zeta=%v outside (0, 1]", c.Zeta)
+	case c.StallWindow < 1:
+		return fmt.Errorf("ce: stall window %d < 1", c.StallWindow)
+	case c.MaxIterations < 1:
+		return fmt.Errorf("ce: iteration cap %d < 1", c.MaxIterations)
+	case c.Workers < 1:
+		return fmt.Errorf("ce: worker count %d < 1", c.Workers)
+	}
+	return nil
+}
+
+// IterStats is per-iteration telemetry.
+type IterStats struct {
+	Iter       int
+	Gamma      float64 // elite threshold gamma_k
+	Best       float64 // best score this iteration
+	Worst      float64 // worst score this iteration
+	Mean       float64 // mean score this iteration
+	BestSoFar  float64
+	EliteCount int
+}
+
+// StopReason explains why a run ended.
+type StopReason string
+
+const (
+	// StopGammaStall: gamma_k unchanged for StallWindow iterations (Fig. 2).
+	StopGammaStall StopReason = "gamma-stall"
+	// StopConverged: the problem reported a degenerate distribution (eq. 12).
+	StopConverged StopReason = "distribution-converged"
+	// StopMaxIterations: the iteration cap fired first.
+	StopMaxIterations StopReason = "max-iterations"
+)
+
+// Result carries the outcome of one CE run.
+type Result[S any] struct {
+	Best        S
+	BestScore   float64
+	Iterations  int
+	Evaluations int64
+	StopReason  StopReason
+	// History holds per-iteration telemetry (always recorded; it is small).
+	History []IterStats
+}
+
+// ErrNoProgress reports a run whose sampler failed on every draw.
+var ErrNoProgress = errors.New("ce: sampler failed to produce any valid solution")
+
+// Run executes the CE loop on p under cfg and returns the best solution
+// found across all iterations (not merely the final distribution's mode).
+func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
+	cfg = cfg.withDefaults()
+	var zero Result[S]
+	if err := cfg.validate(); err != nil {
+		return zero, err
+	}
+
+	n := cfg.SampleSize
+	solutions := make([]S, n)
+	for i := range solutions {
+		solutions[i] = p.NewSolution()
+	}
+	scores := make([]float64, n)
+	order := make([]int, n)
+	elite := make([]S, 0, n)
+
+	eliteCount := int(math.Floor(cfg.Rho * float64(n)))
+	if eliteCount < 1 {
+		eliteCount = 1
+	}
+
+	root := xrand.New(cfg.Seed)
+	workerRNGs := make([]*xrand.RNG, cfg.Workers)
+	for w := range workerRNGs {
+		workerRNGs[w] = root.Split()
+	}
+
+	res := Result[S]{Best: p.NewSolution()}
+	if cfg.Minimize {
+		res.BestScore = math.Inf(1)
+	} else {
+		res.BestScore = math.Inf(-1)
+	}
+
+	better := func(a, b float64) bool {
+		if cfg.Minimize {
+			return a < b
+		}
+		return a > b
+	}
+
+	var (
+		prevGamma  float64
+		stallRuns  int
+		haveGamma  bool
+		sampleErrs = make([]error, cfg.Workers)
+	)
+
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		// Fan out: each worker samples and scores a contiguous chunk.
+		var wg sync.WaitGroup
+		chunk := (n + cfg.Workers - 1) / cfg.Workers
+		for w := 0; w < cfg.Workers; w++ {
+			lo := w * chunk
+			if lo >= n {
+				break
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				rng := workerRNGs[w]
+				for i := lo; i < hi; i++ {
+					if err := p.Sample(rng, solutions[i]); err != nil {
+						sampleErrs[w] = err
+						return
+					}
+					scores[i] = p.Score(solutions[i])
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range sampleErrs {
+			if err != nil {
+				return zero, fmt.Errorf("ce: sampling failed at iteration %d: %w", iter, err)
+			}
+		}
+		res.Evaluations += int64(n)
+
+		// Rank solutions in the improving direction.
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return better(scores[order[a]], scores[order[b]])
+		})
+
+		gamma := scores[order[eliteCount-1]]
+		stats := IterStats{
+			Iter:       iter,
+			Gamma:      gamma,
+			Best:       scores[order[0]],
+			Worst:      scores[order[n-1]],
+			EliteCount: eliteCount,
+		}
+		total := 0.0
+		for _, s := range scores {
+			total += s
+		}
+		stats.Mean = total / float64(n)
+
+		if better(scores[order[0]], res.BestScore) {
+			res.BestScore = scores[order[0]]
+			p.Copy(res.Best, solutions[order[0]])
+		}
+		stats.BestSoFar = res.BestScore
+		res.History = append(res.History, stats)
+		res.Iterations = iter
+
+		// Elite set: every sample at least as good as gamma, capped at the
+		// quantile count (eq. 11 counts indicator hits S(X) <= gamma).
+		elite = elite[:0]
+		for _, idx := range order[:eliteCount] {
+			elite = append(elite, solutions[idx])
+		}
+		zeta := cfg.Zeta
+		if cfg.DynamicSmoothing {
+			zeta = cfg.Zeta * (1 - math.Pow(1-1/float64(iter), cfg.DynamicSmoothingQ))
+			if zeta <= 0 {
+				zeta = cfg.Zeta // iter == 1 gives full Zeta; guard tiny tails
+			}
+		}
+		if err := p.Update(elite, zeta); err != nil {
+			return zero, fmt.Errorf("ce: parameter update failed at iteration %d: %w", iter, err)
+		}
+
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(stats)
+		}
+
+		if p.Converged() {
+			res.StopReason = StopConverged
+			return res, nil
+		}
+		if haveGamma && gamma == prevGamma {
+			stallRuns++
+			if stallRuns >= cfg.StallWindow {
+				res.StopReason = StopGammaStall
+				return res, nil
+			}
+		} else {
+			stallRuns = 0
+		}
+		prevGamma, haveGamma = gamma, true
+	}
+	res.StopReason = StopMaxIterations
+	return res, nil
+}

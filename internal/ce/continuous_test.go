@@ -1,0 +1,130 @@
+package ce
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussianSolvesSphere(t *testing.T) {
+	p, err := NewGaussianProblem(8, -5, 5, Sphere)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run[[]float64](p, Config{
+		SampleSize: 400,
+		Rho:        0.1,
+		Zeta:       0.7,
+		Seed:       1,
+		Workers:    2,
+		Minimize:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore > 1e-3 {
+		t.Fatalf("sphere minimum %v, want ~0", res.BestScore)
+	}
+	for i, v := range res.Best {
+		if math.Abs(v) > 0.1 {
+			t.Fatalf("coordinate %d = %v, want ~0", i, v)
+		}
+	}
+}
+
+func TestGaussianSolvesRastrigin(t *testing.T) {
+	// Rastrigin in 5 dimensions: CE must escape the local-minimum
+	// lattice and land near the global optimum at the origin.
+	p, err := NewGaussianProblem(5, -5.12, 5.12, Rastrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run[[]float64](p, Config{
+		SampleSize: 1000,
+		Rho:        0.1,
+		Zeta:       0.7,
+		Seed:       2,
+		Workers:    2,
+		Minimize:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single local minimum away from the origin costs >= ~1; demand
+	// the global basin.
+	if res.BestScore > 0.5 {
+		t.Fatalf("Rastrigin minimum %v, want < 0.5 (global basin)", res.BestScore)
+	}
+}
+
+func TestGaussianMaximize(t *testing.T) {
+	// Maximise a concave bump centred at 3.
+	bump := func(x []float64) float64 {
+		d := 0.0
+		for _, v := range x {
+			d += (v - 3) * (v - 3)
+		}
+		return -d
+	}
+	p, err := NewGaussianProblem(3, -10, 10, bump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run[[]float64](p, Config{SampleSize: 300, Rho: 0.1, Zeta: 0.7, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Best {
+		if math.Abs(v-3) > 0.1 {
+			t.Fatalf("coordinate %d = %v, want ~3", i, v)
+		}
+	}
+}
+
+func TestGaussianSamplesStayInBox(t *testing.T) {
+	p, err := NewGaussianProblem(4, -1, 2, Sphere)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run[[]float64](p, Config{SampleSize: 100, MaxIterations: 5, StallWindow: 100, Seed: 4, Workers: 1, Minimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Best {
+		if v < -1 || v > 2 {
+			t.Fatalf("solution %v escaped the box", res.Best)
+		}
+	}
+}
+
+func TestGaussianRejections(t *testing.T) {
+	if _, err := NewGaussianProblem(0, -1, 1, Sphere); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewGaussianProblem(3, 2, 2, Sphere); err == nil {
+		t.Fatal("empty box accepted")
+	}
+	if _, err := NewGaussianProblem(3, -1, 1, nil); err == nil {
+		t.Fatal("nil score accepted")
+	}
+	p, err := NewGaussianProblem(2, -1, 1, Sphere)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Update(nil, 0.5); err == nil {
+		t.Fatal("empty elite accepted")
+	}
+}
+
+func TestRastriginFixtures(t *testing.T) {
+	if got := Rastrigin([]float64{0, 0, 0}); got != 0 {
+		t.Fatalf("Rastrigin(0) = %v", got)
+	}
+	// Rastrigin(1,...) = n*(1 + 10 - 10*cos(2pi)) - 10n + 10n = n for
+	// integer coordinates: 1^2 - 10cos(2pi) + 10 = 1.
+	if got := Rastrigin([]float64{1}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Rastrigin(1) = %v, want 1", got)
+	}
+	if got := Sphere([]float64{3, 4}); got != 25 {
+		t.Fatalf("Sphere(3,4) = %v", got)
+	}
+}

@@ -1,0 +1,109 @@
+package ce
+
+import (
+	"fmt"
+	"sync"
+
+	"matchsim/internal/stochmat"
+	"matchsim/internal/xrand"
+)
+
+// PermutationProblem is the CE parameterisation MaTCH is built on,
+// exposed generically: solutions are permutations of [0, n), drawn by
+// GenPerm from an n x n row-stochastic matrix, with the eq. (11)/(13)
+// elite-frequency update. Any score function over permutations plugs in —
+// the travelling-salesman tour length below, assignment problems, or the
+// mapping makespan (which internal/core wires in with its own stopping
+// telemetry).
+type PermutationProblem struct {
+	n        int
+	p        *stochmat.Matrix
+	q        *stochmat.Matrix
+	score    func([]int) float64
+	samplers sync.Pool
+	// DegenerateThresh: converged when every row's maximum exceeds it.
+	DegenerateThresh float64
+}
+
+// NewPermutationProblem builds an n-element permutation problem scored
+// by score, starting from the uniform stochastic matrix.
+func NewPermutationProblem(n int, score func([]int) float64) (*PermutationProblem, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ce: permutation problem size %d < 1", n)
+	}
+	if score == nil {
+		return nil, fmt.Errorf("ce: nil score function")
+	}
+	pp := &PermutationProblem{
+		n:                n,
+		p:                stochmat.NewUniform(n, n),
+		q:                stochmat.NewUniform(n, n),
+		score:            score,
+		DegenerateThresh: 0.95,
+	}
+	pp.samplers.New = func() any { return stochmat.NewSampler(n) }
+	return pp, nil
+}
+
+// Matrix exposes the current stochastic matrix (read-only).
+func (pp *PermutationProblem) Matrix() *stochmat.Matrix { return pp.p }
+
+// NewSolution implements Problem.
+func (pp *PermutationProblem) NewSolution() []int { return make([]int, pp.n) }
+
+// Copy implements Problem.
+func (pp *PermutationProblem) Copy(dst, src []int) { copy(dst, src) }
+
+// Sample implements Problem via GenPerm.
+func (pp *PermutationProblem) Sample(rng *xrand.RNG, dst []int) error {
+	s := pp.samplers.Get().(*stochmat.Sampler)
+	err := s.SamplePermutation(pp.p, rng, dst)
+	pp.samplers.Put(s)
+	return err
+}
+
+// Score implements Problem.
+func (pp *PermutationProblem) Score(s []int) float64 { return pp.score(s) }
+
+// Update implements Problem: eq. (11) elite frequencies + eq. (13)
+// smoothing.
+func (pp *PermutationProblem) Update(elite [][]int, zeta float64) error {
+	if len(elite) == 0 {
+		return fmt.Errorf("ce: empty elite set")
+	}
+	counts := make([]float64, pp.n*pp.n)
+	inv := 1 / float64(len(elite))
+	for _, perm := range elite {
+		for i, j := range perm {
+			counts[i*pp.n+j] += inv
+		}
+	}
+	for i := 0; i < pp.n; i++ {
+		if err := pp.q.SetRow(i, counts[i*pp.n:(i+1)*pp.n]); err != nil {
+			return err
+		}
+	}
+	return pp.p.Smooth(pp.q, zeta)
+}
+
+// Converged implements Problem.
+func (pp *PermutationProblem) Converged() bool {
+	return pp.p.IsDegenerate(pp.DegenerateThresh)
+}
+
+// TourLength returns a score function for the (symmetric) travelling-
+// salesman problem over an n x n distance matrix in row-major order: the
+// length of the closed tour visiting cities in the permutation's order.
+func TourLength(n int, dist []float64) (func([]int) float64, error) {
+	if len(dist) != n*n {
+		return nil, fmt.Errorf("ce: distance matrix has %d entries for n=%d", len(dist), n)
+	}
+	return func(perm []int) float64 {
+		total := 0.0
+		for i := 0; i < len(perm); i++ {
+			from, to := perm[i], perm[(i+1)%len(perm)]
+			total += dist[from*n+to]
+		}
+		return total
+	}, nil
+}

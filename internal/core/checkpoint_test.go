@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	e := paperEval(t, 30, 10)
+	res, err := Solve(e, Options{Seed: 1, Workers: 2, MaxIterations: 8, GammaStallWindow: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := CheckpointFrom(res)
+	data, err := cp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Iterations != res.Iterations || back.BestExec != res.Exec {
+		t.Fatalf("round trip changed counters: %+v", back)
+	}
+	for i := range back.Best {
+		if back.Best[i] != res.Mapping[i] {
+			t.Fatal("incumbent changed in round trip")
+		}
+	}
+	if back.Matrix.Rows() != 10 {
+		t.Fatalf("matrix shape %d", back.Matrix.Rows())
+	}
+}
+
+func TestResumeContinuesRun(t *testing.T) {
+	e := paperEval(t, 31, 12)
+	// Interrupted short run.
+	first, err := Solve(e, Options{Seed: 2, Workers: 2, MaxIterations: 5, GammaStallWindow: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := CheckpointFrom(first)
+
+	resumed, err := Resume(e, cp, Options{Seed: 3, Workers: 2, MaxIterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resumption cannot lose the incumbent.
+	if resumed.Exec > first.Exec {
+		t.Fatalf("resume regressed: %v after %v", resumed.Exec, first.Exec)
+	}
+	if !resumed.Mapping.IsPermutation() {
+		t.Fatal("resumed mapping invalid")
+	}
+	if math.Abs(e.Exec(resumed.Mapping)-resumed.Exec) > 1e-9 {
+		t.Fatal("resumed exec inconsistent")
+	}
+	// A resumed long run should match the quality of an uninterrupted
+	// long run (both near-converged).
+	full, err := Solve(e, Options{Seed: 2, Workers: 2, MaxIterations: 105})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Exec > 1.1*full.Exec {
+		t.Fatalf("resumed quality %v far from uninterrupted %v", resumed.Exec, full.Exec)
+	}
+}
+
+func TestResumeStartsFromCheckpointMatrix(t *testing.T) {
+	e := paperEval(t, 32, 8)
+	first, err := Solve(e, Options{Seed: 4, Workers: 1, MaxIterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := CheckpointFrom(first)
+	// Resuming a converged run with snapshots must begin from the
+	// checkpointed (concentrated) matrix, not uniform.
+	resumed, err := Resume(e, cp, Options{Seed: 5, Workers: 1, MaxIterations: 3, GammaStallWindow: 100, SnapshotEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := resumed.Snapshots[0].Matrix
+	// Entropy should match the checkpoint's concentrated matrix, far
+	// below the uniform ln(8).
+	if math.Abs(initial.MeanEntropy()-cp.Matrix.MeanEntropy()) > 1e-9 {
+		t.Fatalf("resume initial entropy %v != checkpoint %v", initial.MeanEntropy(), cp.Matrix.MeanEntropy())
+	}
+	if initial.MeanEntropy() > 0.5*math.Log(8) {
+		t.Fatalf("resume started from a diffuse matrix (entropy %v)", initial.MeanEntropy())
+	}
+}
+
+func TestDecodeCheckpointRejectsCorrupt(t *testing.T) {
+	if _, err := DecodeCheckpoint([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeCheckpoint([]byte(`{"iterations":1}`)); err == nil {
+		t.Fatal("missing matrix accepted")
+	}
+	// Valid checkpoint with corrupted incumbent.
+	e := paperEval(t, 33, 6)
+	res, err := Solve(e, Options{Seed: 1, Workers: 1, MaxIterations: 5, GammaStallWindow: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := CheckpointFrom(res)
+	cp.Best[0] = cp.Best[1] // break the permutation
+	if _, err := Resume(e, cp, Options{}); err == nil {
+		t.Fatal("broken incumbent accepted")
+	}
+}
+
+func TestResumeShapeMismatch(t *testing.T) {
+	e6 := paperEval(t, 34, 6)
+	e8 := paperEval(t, 34, 8)
+	res, err := Solve(e6, Options{Seed: 1, Workers: 1, MaxIterations: 5, GammaStallWindow: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(e8, CheckpointFrom(res), Options{}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestCheckpointIsDeepCopy(t *testing.T) {
+	e := paperEval(t, 35, 6)
+	res, err := Solve(e, Options{Seed: 1, Workers: 1, MaxIterations: 5, GammaStallWindow: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := CheckpointFrom(res)
+	cp.Best[0] = 99
+	if res.Mapping[0] == 99 {
+		t.Fatal("checkpoint aliases the result mapping")
+	}
+	if err := cp.Matrix.SetRow(0, []float64{1, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalMatrix.At(0, 0) == 1 && res.FinalMatrix.At(0, 1) == 0 {
+		t.Fatal("checkpoint aliases the result matrix")
+	}
+}

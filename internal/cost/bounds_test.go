@@ -1,0 +1,105 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"matchsim/internal/gen"
+	"matchsim/internal/graph"
+	"matchsim/internal/xrand"
+)
+
+func TestLowerBoundHandInstance(t *testing.T) {
+	e := handInstance(t)
+	// minCompute: task0 = 2*1 = 2, task1 = 3*1 = 3, task2 = 4*1 = 4.
+	// LB1 = (2+3+4)/3 = 3. LB2 = 4.
+	// cMin = 1 (link 0-1). Edges: (0,1) C=10 -> 10*1 + max(2,3) = 13;
+	// (1,2) C=20 -> 20*1 + max(3,4) = 24. LB3 = 24.
+	if got := LowerBound(e); got != 24 {
+		t.Fatalf("LowerBound = %v, want 24", got)
+	}
+	// Many-to-one drops the edge bound: max(3, 4) = 4.
+	if got := ManyToOneLowerBound(e); got != 4 {
+		t.Fatalf("ManyToOneLowerBound = %v, want 4", got)
+	}
+}
+
+func TestLowerBoundNeverExceedsAnyMapping(t *testing.T) {
+	e := randomEvaluator(t, 31, 15)
+	lb := LowerBound(e)
+	rng := xrand.New(4)
+	for trial := 0; trial < 300; trial++ {
+		m := Mapping(rng.Perm(15))
+		if exec := e.Exec(m); exec < lb-1e-9 {
+			t.Fatalf("mapping beats the lower bound: %v < %v", exec, lb)
+		}
+	}
+}
+
+func TestLowerBoundTightOnDecoupledInstance(t *testing.T) {
+	// No communication, homogeneous platform: every mapping costs
+	// max W^t * w and the bound must be exact.
+	tig := graph.NewTIGWithWeights([]float64{2, 5, 3})
+	r := graph.NewResourceGraphWithCosts([]float64{2, 2, 2})
+	r.MustAddLink(0, 1, 1)
+	r.MustAddLink(1, 2, 1)
+	r.MustAddLink(0, 2, 1)
+	e, err := NewEvaluator(tig, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := LowerBound(e)
+	if exec := e.Exec(Mapping{0, 1, 2}); math.Abs(exec-lb) > 1e-12 {
+		t.Fatalf("bound %v not tight: exec %v", lb, exec)
+	}
+}
+
+func TestLowerBoundProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 3 + int(seed%12)
+		inst, err := gen.PaperInstance(seed, n, gen.DefaultPaperConfig())
+		if err != nil {
+			return false
+		}
+		e, err := NewEvaluator(inst.TIG, inst.Platform)
+		if err != nil {
+			return false
+		}
+		lb := LowerBound(e)
+		m2oLB := ManyToOneLowerBound(e)
+		if m2oLB > lb+1e-9 {
+			return false // the bijective bound dominates the relaxed one
+		}
+		rng := xrand.New(seed ^ 0xbeef)
+		for i := 0; i < 30; i++ {
+			m := Mapping(rng.Perm(n))
+			if e.Exec(m) < lb-1e-9 {
+				return false
+			}
+		}
+		return lb > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerBoundEmptyAndSingle(t *testing.T) {
+	tig := graph.NewTIGWithWeights([]float64{5})
+	r := graph.NewResourceGraphWithCosts([]float64{3})
+	e, err := NewEvaluator(tig, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LowerBound(e); got != 15 {
+		t.Fatalf("single-task bound %v, want 15", got)
+	}
+	empty, err := NewEvaluator(graph.NewTIG(0), graph.NewResourceGraphWithCosts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LowerBound(empty); got != 0 {
+		t.Fatalf("empty bound %v", got)
+	}
+}

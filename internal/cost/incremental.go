@@ -1,0 +1,127 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is a mutable mapping with incrementally maintained per-resource
+// loads. Local-search style solvers (2-swap hill climbing, simulated
+// annealing, the GA's post-pass) use it to score neighbourhood moves in
+// O(deg) instead of re-walking the whole TIG.
+//
+// Only swap moves are exposed because the experiments use bijective
+// mappings; SetTask supports general moves for many-to-one mappings.
+// State is not safe for concurrent use.
+type State struct {
+	eval    *Evaluator
+	mapping Mapping
+	loads   []float64
+}
+
+// NewState initialises incremental state for mapping m (copied).
+func NewState(e *Evaluator, m Mapping) (*State, error) {
+	if len(m) != e.n {
+		return nil, fmt.Errorf("cost: mapping length %d for %d tasks", len(m), e.n)
+	}
+	if err := m.Validate(e.r); err != nil {
+		return nil, err
+	}
+	s := &State{eval: e, mapping: m.Clone()}
+	s.loads = e.Loads(s.mapping, nil)
+	return s, nil
+}
+
+// Mapping returns the current mapping. Callers must not mutate it.
+func (s *State) Mapping() Mapping { return s.mapping }
+
+// Loads returns the current per-resource loads. Callers must not mutate.
+func (s *State) Loads() []float64 { return s.loads }
+
+// Exec returns the current makespan.
+func (s *State) Exec() float64 {
+	maxLoad := math.Inf(-1)
+	for _, l := range s.loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	return maxLoad
+}
+
+// removeTask subtracts task t's contributions from the load vector,
+// assuming the mapping still records t's current resource.
+func (s *State) removeTask(t int) {
+	e := s.eval
+	rs := s.mapping[t]
+	s.loads[rs] -= e.tcp[t*e.r+rs]
+	for _, nb := range e.tig.Neighbors(t) {
+		b := s.mapping[nb.To]
+		if b == rs {
+			continue
+		}
+		c := nb.Weight * e.link[rs*e.r+b]
+		s.loads[rs] -= c
+		s.loads[b] -= c
+	}
+}
+
+// addTask adds task t's contributions for its current mapping entry.
+func (s *State) addTask(t int) {
+	e := s.eval
+	rs := s.mapping[t]
+	s.loads[rs] += e.tcp[t*e.r+rs]
+	for _, nb := range e.tig.Neighbors(t) {
+		b := s.mapping[nb.To]
+		if b == rs {
+			continue
+		}
+		c := nb.Weight * e.link[rs*e.r+b]
+		s.loads[rs] += c
+		s.loads[b] += c
+	}
+}
+
+// SetTask moves task t to resource rs, updating loads incrementally.
+func (s *State) SetTask(t, rs int) {
+	if rs == s.mapping[t] {
+		return
+	}
+	s.removeTask(t)
+	s.mapping[t] = rs
+	s.addTask(t)
+}
+
+// Swap exchanges the resources of tasks t1 and t2, preserving
+// permutation-ness, in O(deg(t1) + deg(t2)).
+func (s *State) Swap(t1, t2 int) {
+	if t1 == t2 {
+		return
+	}
+	r1, r2 := s.mapping[t1], s.mapping[t2]
+	if r1 == r2 {
+		return
+	}
+	s.removeTask(t1)
+	s.removeTask(t2)
+	s.mapping[t1], s.mapping[t2] = r2, r1
+	s.addTask(t1)
+	s.addTask(t2)
+}
+
+// ExecAfterSwap returns the makespan that Swap(t1, t2) would produce,
+// without committing the move. It performs the swap, reads the makespan
+// and swaps back; both directions are O(deg).
+func (s *State) ExecAfterSwap(t1, t2 int) float64 {
+	s.Swap(t1, t2)
+	exec := s.Exec()
+	s.Swap(t1, t2)
+	return exec
+}
+
+// Recompute rebuilds the load vector from scratch. Exposed for tests and
+// for long-running searches that want to shed accumulated floating-point
+// drift.
+func (s *State) Recompute() {
+	s.loads = s.eval.Loads(s.mapping, s.loads)
+}

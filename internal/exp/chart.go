@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"matchsim/internal/ce"
+)
+
+// LineChart renders one or more numeric series as an ASCII line chart of
+// the given height, sharing a y-scale. Series are drawn with distinct
+// glyphs; x positions are series indices compressed to the chart width.
+// Used for convergence traces (gamma_k / best-so-far per iteration).
+func LineChart(title string, seriesNames []string, series [][]float64, width, height int) string {
+	if width <= 0 {
+		width = 70
+	}
+	if height <= 0 {
+		height = 16
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#'}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	if maxLen == 0 || math.IsInf(minV, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := glyphs[si%len(glyphs)]
+		for i, v := range s {
+			x := 0
+			if maxLen > 1 {
+				x = i * (width - 1) / (maxLen - 1)
+			}
+			yFrac := (v - minV) / (maxV - minV)
+			y := height - 1 - int(math.Round(yFrac*float64(height-1)))
+			grid[y][x] = glyph
+		}
+	}
+	fmt.Fprintf(&b, "%12.4g ┤%s\n", maxV, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&b, "%12s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%12.4g ┤%s\n", minV, string(grid[height-1]))
+	fmt.Fprintf(&b, "%12s └%s\n", "", strings.Repeat("─", width))
+	legend := make([]string, 0, len(seriesNames))
+	for si, name := range seriesNames {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], name))
+	}
+	fmt.Fprintf(&b, "%14s%s   (x: 1..%d iterations)\n", "", strings.Join(legend, "   "), maxLen)
+	return b.String()
+}
+
+// RenderConvergence draws a MaTCH (or generic CE) run's convergence
+// trace: the elite threshold gamma_k and the best-so-far score per
+// iteration.
+func RenderConvergence(title string, history []ce.IterStats) string {
+	gammas := make([]float64, len(history))
+	bests := make([]float64, len(history))
+	for i, st := range history {
+		gammas[i] = st.Gamma
+		bests[i] = st.BestSoFar
+	}
+	return LineChart(title, []string{"gamma_k", "best-so-far"}, [][]float64{gammas, bests}, 70, 14)
+}
+
+// HistoryCSV emits a CE run's per-iteration telemetry as CSV for
+// external plotting.
+func HistoryCSV(history []ce.IterStats) string {
+	var b strings.Builder
+	b.WriteString("iter,gamma,best,mean,worst,best_so_far,elite\n")
+	for _, st := range history {
+		fmt.Fprintf(&b, "%d,%g,%g,%g,%g,%g,%d\n",
+			st.Iter, st.Gamma, st.Best, st.Mean, st.Worst, st.BestSoFar, st.EliteCount)
+	}
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"fmt"
+
+	"matchsim/internal/core"
+	"matchsim/internal/cost"
+	"matchsim/internal/ga"
+	"matchsim/internal/gen"
+	"matchsim/internal/heuristics"
+	"matchsim/internal/overset"
+	"matchsim/internal/xrand"
+)
+
+// AblateSelection compares the paper's roulette-wheel GA selection with
+// tournament selection at equal budgets — quantifying how much of the
+// GA baseline's behaviour is due to roulette's weak, scale-dependent
+// selection pressure (the leading suspect for the paper's GA collapsing
+// on large instances; see EXPERIMENTS.md).
+func AblateSelection(cfg AblationConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	eval, master, err := cfg.evaluator()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation: GA selection scheme (n=%d, %d repeats, pop 200 x 300 gens)", cfg.Size, cfg.Repeats),
+		Header: []string{"selection", "mean ET", "mean MT (ms)"},
+	}
+	for _, arm := range []struct {
+		name   string
+		scheme ga.SelectionScheme
+	}{
+		{"roulette (paper)", ga.SelectRoulette},
+		{"tournament k=3", ga.SelectTournament},
+	} {
+		var et, mt float64
+		for r := 0; r < cfg.Repeats; r++ {
+			res, err := ga.Solve(eval, ga.Options{
+				PopulationSize: 200, Generations: 300,
+				Selection: arm.scheme, Seed: master.Uint64(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			et += res.Exec
+			mt += float64(res.MappingTime.Milliseconds())
+		}
+		inv := 1 / float64(cfg.Repeats)
+		t.AddRow(arm.name, fmt.Sprintf("%.0f", et*inv), fmt.Sprintf("%.1f", mt*inv))
+	}
+	return t, nil
+}
+
+// AblateWarmStart measures the value of seeding MaTCH's initial matrix
+// with a greedy construction versus the paper's uniform P_0, at a tight
+// iteration budget where initialisation matters most.
+func AblateWarmStart(cfg AblationConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	eval, master, err := cfg.evaluator()
+	if err != nil {
+		return nil, err
+	}
+	budget := cfg.MaxIterations
+	if budget == 0 {
+		budget = 10 // tight on purpose
+	}
+	greedy, err := heuristics.Greedy(eval)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation: MaTCH warm start (n=%d, %d repeats, %d-iteration budget; greedy seed ET %.0f)", cfg.Size, cfg.Repeats, budget, greedy.Exec),
+		Header: []string{"initialisation", "mean ET", "mean iters"},
+	}
+	for _, arm := range []struct {
+		name string
+		warm cost.Mapping
+	}{
+		{"uniform P0 (paper)", nil},
+		{"greedy-seeded P0", greedy.Mapping},
+	} {
+		var et, iters float64
+		for r := 0; r < cfg.Repeats; r++ {
+			res, err := core.Solve(eval, core.Options{
+				Seed: master.Uint64(), MaxIterations: budget,
+				GammaStallWindow: budget + 1, WarmStart: arm.warm,
+			})
+			if err != nil {
+				return nil, err
+			}
+			et += res.Exec
+			iters += float64(res.Iterations)
+		}
+		inv := 1 / float64(cfg.Repeats)
+		t.AddRow(arm.name, fmt.Sprintf("%.0f", et*inv), fmt.Sprintf("%.1f", iters*inv))
+	}
+	return t, nil
+}
+
+// OversetSweep runs the Table 1 comparison on overset-grid CFD workloads
+// instead of the Section 5.2 synthetic graphs — checking that MaTCH's
+// advantage generalises to the domain the paper's introduction motivates.
+func OversetSweep(seed uint64, sizes []int, repeats int) (*SweepResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{10, 20, 30}
+	}
+	if repeats == 0 {
+		repeats = 3
+	}
+	master := xrand.New(seed)
+	res := &SweepResult{Sizes: sizes}
+	for _, n := range sizes {
+		sys, err := overset.Generate(master.Uint64(), overset.Config{NumGrids: n})
+		if err != nil {
+			return nil, err
+		}
+		tig, err := sys.TIG(1e-3)
+		if err != nil {
+			return nil, err
+		}
+		platform, err := gen.PaperPlatform(xrand.New(master.Uint64()), n, gen.DefaultPaperConfig())
+		if err != nil {
+			return nil, err
+		}
+		eval, err := cost.NewEvaluator(tig, platform)
+		if err != nil {
+			return nil, err
+		}
+		var gaCell, matchCell SweepCell
+		for rep := 0; rep < repeats; rep++ {
+			runSeed := master.Uint64()
+			gaRes, err := ga.Solve(eval, ga.Options{PopulationSize: 200, Generations: 300, Seed: runSeed})
+			if err != nil {
+				return nil, err
+			}
+			gaCell.ET += gaRes.Exec
+			gaCell.MT += gaRes.MappingTime
+			gaCell.PerRunET = append(gaCell.PerRunET, gaRes.Exec)
+			mRes, err := core.Solve(eval, core.Options{Seed: runSeed})
+			if err != nil {
+				return nil, err
+			}
+			matchCell.ET += mRes.Exec
+			matchCell.MT += mRes.MappingTime
+			matchCell.PerRunET = append(matchCell.PerRunET, mRes.Exec)
+		}
+		inv := 1 / float64(repeats)
+		gaCell.ET *= inv
+		matchCell.ET *= inv
+		res.GA = append(res.GA, gaCell)
+		res.MaTCH = append(res.MaTCH, matchCell)
+	}
+	return res, nil
+}
+
+// RenderOversetSweep formats the overset generalisation experiment.
+func RenderOversetSweep(r *SweepResult) *Table {
+	t := &Table{
+		Title:  "Generalisation: ET on overset-grid CFD workloads (FastMap-GA vs MaTCH)",
+		Header: []string{"grids"},
+	}
+	etGA := []string{"ET_GA"}
+	etM := []string{"ET_MaTCH"}
+	ratio := []string{"ET_GA / ET_MaTCH"}
+	for i, n := range r.Sizes {
+		t.Header = append(t.Header, fmt.Sprintf("%d", n))
+		etGA = append(etGA, fmt.Sprintf("%.1f", r.GA[i].ET))
+		etM = append(etM, fmt.Sprintf("%.1f", r.MaTCH[i].ET))
+		ratio = append(ratio, fmt.Sprintf("%.3f", r.ETRatio(i)))
+	}
+	t.AddRow(etGA...)
+	t.AddRow(etM...)
+	t.AddRow(ratio...)
+	return t
+}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+
+	"matchsim/internal/core"
+	"matchsim/internal/cost"
+	"matchsim/internal/gen"
+	"matchsim/internal/sim"
+	"matchsim/internal/xrand"
+)
+
+// SimCheckResult validates the analytic cost model (eqs. 1-2) against
+// the discrete-event execution simulator: for each size, both a random
+// mapping and a MaTCH-optimised mapping are executed, and the ratio of
+// simulated step time to the analytic prediction is reported. Ratios of
+// 1.0 mean the model predicts execution exactly; the gap above 1 is
+// scheduling (dependency) overhead outside the model.
+type SimCheckResult struct {
+	Sizes []int
+	// RandomRatio and MatchRatio are per-size model ratios.
+	RandomRatio, MatchRatio []float64
+	// RandomIdle and MatchIdle are mean per-resource idle fractions.
+	RandomIdle, MatchIdle []float64
+}
+
+// RunSimCheck executes the validation.
+func RunSimCheck(seed uint64, sizes []int) (*SimCheckResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{10, 20, 30}
+	}
+	master := xrand.New(seed)
+	res := &SimCheckResult{Sizes: sizes}
+	for _, n := range sizes {
+		inst, err := gen.PaperInstance(master.Uint64(), n, gen.DefaultPaperConfig())
+		if err != nil {
+			return nil, err
+		}
+		eval, err := cost.NewEvaluator(inst.TIG, inst.Platform)
+		if err != nil {
+			return nil, err
+		}
+		randomMapping := cost.Mapping(master.Perm(n))
+		randRep, err := sim.Run(eval, randomMapping, 3)
+		if err != nil {
+			return nil, err
+		}
+		matchRun, err := core.Solve(eval, core.Options{Seed: master.Uint64(), MaxIterations: 60})
+		if err != nil {
+			return nil, err
+		}
+		matchRep, err := sim.Run(eval, matchRun.Mapping, 3)
+		if err != nil {
+			return nil, err
+		}
+		res.RandomRatio = append(res.RandomRatio, randRep.ModelRatio)
+		res.MatchRatio = append(res.MatchRatio, matchRep.ModelRatio)
+		res.RandomIdle = append(res.RandomIdle, meanIdleFraction(randRep))
+		res.MatchIdle = append(res.MatchIdle, meanIdleFraction(matchRep))
+	}
+	return res, nil
+}
+
+func meanIdleFraction(rep *sim.Report) float64 {
+	if rep.Makespan == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, idle := range rep.IdleTime {
+		total += idle
+	}
+	return total / (rep.Makespan * float64(len(rep.IdleTime)))
+}
+
+// RenderSimCheck formats the validation table.
+func RenderSimCheck(r *SimCheckResult) *Table {
+	t := &Table{
+		Title:  "Model validation: simulated execution vs analytic Exec (ratio 1.0 = exact prediction)",
+		Header: []string{"n", "ratio (random map)", "ratio (MaTCH map)", "idle frac (random)", "idle frac (MaTCH)"},
+	}
+	for i, n := range r.Sizes {
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.3f", r.RandomRatio[i]),
+			fmt.Sprintf("%.3f", r.MatchRatio[i]),
+			fmt.Sprintf("%.3f", r.RandomIdle[i]),
+			fmt.Sprintf("%.3f", r.MatchIdle[i]),
+		)
+	}
+	return t
+}

@@ -1,0 +1,239 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"matchsim/internal/core"
+	"matchsim/internal/cost"
+	"matchsim/internal/ga"
+	"matchsim/internal/gen"
+	"matchsim/internal/xrand"
+)
+
+// SweepConfig parameterises the Table 1 / Table 2 size sweep.
+type SweepConfig struct {
+	// Sizes is the |Vt| = |Vr| sweep; the paper uses 10..50 step 10.
+	Sizes []int
+	// Repeats averages each cell over this many independent runs; the
+	// paper uses 5.
+	Repeats int
+	// Seed derives the instance and the per-run solver seeds.
+	Seed uint64
+	// GA is the FastMap-GA configuration (paper: pop 500, 1000 gens).
+	GA ga.Options
+	// MaTCH is the MaTCH configuration (paper defaults when zero).
+	MaTCH core.Options
+	// Graph tunes the synthetic generator.
+	Graph gen.PaperConfig
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = gen.PaperSizes()
+	}
+	if c.Repeats == 0 {
+		c.Repeats = 5
+	}
+	if c.Graph == (gen.PaperConfig{}) {
+		c.Graph = gen.DefaultPaperConfig()
+	}
+	return c
+}
+
+// SweepCell is the averaged measurement for one algorithm at one size.
+type SweepCell struct {
+	// ET is the mean application execution time (abstract units).
+	ET float64
+	// MT is the mean mapping (solver wall-clock) time.
+	MT time.Duration
+	// PerRunET records the individual runs for variance inspection.
+	PerRunET []float64
+}
+
+// SweepResult carries the full Table 1 + Table 2 data.
+type SweepResult struct {
+	Sizes []int
+	GA    []SweepCell
+	MaTCH []SweepCell
+}
+
+// ETRatio returns ET_GA / ET_MaTCH at sweep index i (Table 1's last row).
+func (r *SweepResult) ETRatio(i int) float64 {
+	if r.MaTCH[i].ET == 0 {
+		return 0
+	}
+	return r.GA[i].ET / r.MaTCH[i].ET
+}
+
+// MTRatio returns MT_MaTCH / MT_GA at sweep index i (Table 2's last row).
+func (r *SweepResult) MTRatio(i int) float64 {
+	if r.GA[i].MT == 0 {
+		return 0
+	}
+	return float64(r.MaTCH[i].MT) / float64(r.GA[i].MT)
+}
+
+// ATN returns the application turnaround time ET + MT (Figure 9) for the
+// given algorithm cells. MT (wall-clock seconds) is converted to ET's
+// abstract units at unitsPerSecond. The paper plots both on a shared axis
+// without stating the conversion but argues the ET units correspond to
+// hours-to-days of real execution, making MT negligible; interpreting one
+// ET unit as one second (unitsPerSecond = 1) preserves exactly that
+// structure. The constant is recorded in EXPERIMENTS.md.
+func ATN(cell SweepCell, unitsPerSecond float64) float64 {
+	return cell.ET + cell.MT.Seconds()*unitsPerSecond
+}
+
+// RunSweep executes the size sweep: for every size it generates one
+// synthetic instance (as the paper generated one graph pair per size) and
+// runs both solvers Repeats times with distinct seeds, averaging ET and
+// MT.
+func RunSweep(cfg SweepConfig) (*SweepResult, error) {
+	cfg = cfg.withDefaults()
+	res := &SweepResult{Sizes: cfg.Sizes}
+	master := xrand.New(cfg.Seed)
+	for _, n := range cfg.Sizes {
+		instSeed := master.Uint64()
+		inst, err := gen.PaperInstance(instSeed, n, cfg.Graph)
+		if err != nil {
+			return nil, fmt.Errorf("exp: generating n=%d: %w", n, err)
+		}
+		eval, err := cost.NewEvaluator(inst.TIG, inst.Platform)
+		if err != nil {
+			return nil, fmt.Errorf("exp: evaluator n=%d: %w", n, err)
+		}
+
+		var gaCell, matchCell SweepCell
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			runSeed := master.Uint64()
+
+			gaOpts := cfg.GA
+			gaOpts.Seed = runSeed
+			gaRes, err := ga.Solve(eval, gaOpts)
+			if err != nil {
+				return nil, fmt.Errorf("exp: GA n=%d rep=%d: %w", n, rep, err)
+			}
+			gaCell.ET += gaRes.Exec
+			gaCell.MT += gaRes.MappingTime
+			gaCell.PerRunET = append(gaCell.PerRunET, gaRes.Exec)
+
+			mOpts := cfg.MaTCH
+			mOpts.Seed = runSeed
+			mRes, err := core.Solve(eval, mOpts)
+			if err != nil {
+				return nil, fmt.Errorf("exp: MaTCH n=%d rep=%d: %w", n, rep, err)
+			}
+			matchCell.ET += mRes.Exec
+			matchCell.MT += mRes.MappingTime
+			matchCell.PerRunET = append(matchCell.PerRunET, mRes.Exec)
+		}
+		inv := 1 / float64(cfg.Repeats)
+		gaCell.ET *= inv
+		gaCell.MT = time.Duration(float64(gaCell.MT) * inv)
+		matchCell.ET *= inv
+		matchCell.MT = time.Duration(float64(matchCell.MT) * inv)
+		res.GA = append(res.GA, gaCell)
+		res.MaTCH = append(res.MaTCH, matchCell)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "n=%-3d  ET(GA)=%.0f ET(MaTCH)=%.0f ratio=%.2f  MT(GA)=%v MT(MaTCH)=%v\n",
+				n, gaCell.ET, matchCell.ET, gaCell.ET/matchCell.ET, gaCell.MT.Round(time.Millisecond), matchCell.MT.Round(time.Millisecond))
+		}
+	}
+	return res, nil
+}
+
+// RenderTable1 formats the sweep as the paper's Table 1 (execution
+// times and improvement factor).
+func RenderTable1(r *SweepResult) *Table {
+	t := &Table{
+		Title:  "Table 1: Comparison of the Execution times between FastMap-GA and MaTCH",
+		Header: []string{"|Vr| = |Vt|"},
+	}
+	etGA := []string{"ET_GA in units"}
+	etM := []string{"ET_MaTCH in units"}
+	ratio := []string{"ET_GA / ET_MaTCH"}
+	for i, n := range r.Sizes {
+		t.Header = append(t.Header, fmt.Sprintf("%d", n))
+		etGA = append(etGA, fmt.Sprintf("%.0f", r.GA[i].ET))
+		etM = append(etM, fmt.Sprintf("%.0f", r.MaTCH[i].ET))
+		ratio = append(ratio, fmt.Sprintf("%.3f", r.ETRatio(i)))
+	}
+	t.AddRow(etGA...)
+	t.AddRow(etM...)
+	t.AddRow(ratio...)
+	return t
+}
+
+// RenderTable2 formats the sweep as the paper's Table 2 (mapping times
+// and slowdown factor).
+func RenderTable2(r *SweepResult) *Table {
+	t := &Table{
+		Title:  "Table 2: Comparison of the Mapping times between FastMap-GA and MaTCH",
+		Header: []string{"|Vr| = |Vt|"},
+	}
+	mtGA := []string{"MT_GA in seconds"}
+	mtM := []string{"MT_MaTCH in seconds"}
+	ratio := []string{"MT_MaTCH / MT_GA"}
+	for i, n := range r.Sizes {
+		t.Header = append(t.Header, fmt.Sprintf("%d", n))
+		mtGA = append(mtGA, fmt.Sprintf("%.3f", r.GA[i].MT.Seconds()))
+		mtM = append(mtM, fmt.Sprintf("%.3f", r.MaTCH[i].MT.Seconds()))
+		ratio = append(ratio, fmt.Sprintf("%.3f", r.MTRatio(i)))
+	}
+	t.AddRow(mtGA...)
+	t.AddRow(mtM...)
+	t.AddRow(ratio...)
+	return t
+}
+
+// RenderFig7 renders the paper's Figure 7: ET bar chart over sizes.
+func RenderFig7(r *SweepResult) string {
+	labels := make([]string, len(r.Sizes))
+	gaVals := make([]float64, len(r.Sizes))
+	mVals := make([]float64, len(r.Sizes))
+	for i, n := range r.Sizes {
+		labels[i] = fmt.Sprintf("n=%d", n)
+		gaVals[i] = r.GA[i].ET
+		mVals[i] = r.MaTCH[i].ET
+	}
+	return BarChart("Figure 7: Execution Time in Units for FastMap-GA and MaTCH",
+		labels, []string{"FastMap-GA", "MaTCH"}, [][]float64{gaVals, mVals}, 50)
+}
+
+// RenderFig8 renders the paper's Figure 8: MT bar chart over sizes.
+func RenderFig8(r *SweepResult) string {
+	labels := make([]string, len(r.Sizes))
+	gaVals := make([]float64, len(r.Sizes))
+	mVals := make([]float64, len(r.Sizes))
+	for i, n := range r.Sizes {
+		labels[i] = fmt.Sprintf("n=%d", n)
+		gaVals[i] = r.GA[i].MT.Seconds()
+		mVals[i] = r.MaTCH[i].MT.Seconds()
+	}
+	return BarChart("Figure 8: Mapping Time in seconds for FastMap-GA and MaTCH",
+		labels, []string{"FastMap-GA", "MaTCH"}, [][]float64{gaVals, mVals}, 50)
+}
+
+// ATNUnitsPerSecond is the ET-units-per-second conversion used when
+// combining ET and MT into the turnaround time of Figure 9 (see ATN):
+// one abstract ET unit = one second of real application execution.
+const ATNUnitsPerSecond = 1
+
+// RenderFig9 renders the paper's Figure 9: application turnaround time
+// ATN = ET + MT over sizes.
+func RenderFig9(r *SweepResult) string {
+	labels := make([]string, len(r.Sizes))
+	gaVals := make([]float64, len(r.Sizes))
+	mVals := make([]float64, len(r.Sizes))
+	for i, n := range r.Sizes {
+		labels[i] = fmt.Sprintf("n=%d", n)
+		gaVals[i] = ATN(r.GA[i], ATNUnitsPerSecond)
+		mVals[i] = ATN(r.MaTCH[i], ATNUnitsPerSecond)
+	}
+	return BarChart("Figure 9: Application Turnaround time (ATN = ET + MT) for FastMap-GA and MaTCH",
+		labels, []string{"FastMap-GA", "MaTCH"}, [][]float64{gaVals, mVals}, 50)
+}

@@ -1,0 +1,149 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's Section 5 from the reproduced system, and runs
+// the ablation studies DESIGN.md calls out.
+//
+// The package separates measurement (Run* functions returning typed
+// results) from presentation (Render* functions producing aligned ASCII
+// tables, bar charts and CSV) so the same data feeds the CLI, the test
+// suite and EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render produces an aligned, boxed ASCII rendering.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV produces a comma-separated rendering (cells containing commas or
+// quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// BarChart renders a grouped horizontal ASCII bar chart: one block per
+// label (x-axis category), one bar per series. All bars share one scale.
+// It replaces the paper's Figures 7-9 bar plots in terminal output.
+func BarChart(title string, labels []string, seriesNames []string, series [][]float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := 0.0
+	for _, s := range series {
+		for _, v := range s {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	nameW := 0
+	for _, n := range seriesNames {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for li, label := range labels {
+		fmt.Fprintf(&b, "%s\n", label)
+		for si, name := range seriesNames {
+			v := 0.0
+			if li < len(series[si]) {
+				v = series[si][li]
+			}
+			bars := 0
+			if maxVal > 0 {
+				bars = int(math.Round(v / maxVal * float64(width)))
+			}
+			if v > 0 && bars == 0 {
+				bars = 1
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %s\n", nameW, name, strings.Repeat("#", bars), formatFloat(v))
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders measurement values compactly: integers without a
+// decimal point, large values without spurious precision.
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

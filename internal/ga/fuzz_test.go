@@ -1,0 +1,43 @@
+package ga
+
+import (
+	"testing"
+
+	"matchsim/internal/xrand"
+)
+
+// permFromBytes deterministically derives an n-permutation from fuzz
+// bytes by seeding a PRNG shuffle.
+func permFromBytes(n int, seed uint64) chromosome {
+	return chromosome(xrand.New(seed).Perm(n))
+}
+
+// FuzzCrossoverOperators asserts both crossover operators always emit
+// permutations, whatever the parents and sizes.
+func FuzzCrossoverOperators(f *testing.F) {
+	f.Add(uint8(5), uint64(1), uint64(2), uint64(3))
+	f.Add(uint8(1), uint64(0), uint64(0), uint64(0))
+	f.Add(uint8(40), uint64(9), uint64(8), uint64(7))
+	f.Fuzz(func(t *testing.T, nRaw uint8, s1, s2, s3 uint64) {
+		n := 1 + int(nRaw%64)
+		p1 := permFromBytes(n, s1)
+		p2 := permFromBytes(n, s2)
+		child := make(chromosome, n)
+
+		crossover(p1, p2, child)
+		if !isPermutation(child) {
+			t.Fatalf("midpoint crossover broke permutation: %v", child)
+		}
+
+		rng := xrand.New(s3)
+		orderCrossover(rng, p1, p2, child)
+		if !isPermutation(child) {
+			t.Fatalf("order crossover broke permutation: %v", child)
+		}
+
+		mutate(rng, child, 0.3)
+		if !isPermutation(child) {
+			t.Fatalf("mutation broke permutation: %v", child)
+		}
+	})
+}

@@ -1,0 +1,415 @@
+// Package ga implements FastMap-GA, the genetic-algorithm baseline of the
+// paper's Section 5.1 (the GA component of the authors' earlier FastMap
+// scheme), reproduced from its complete description:
+//
+//   - Permutation encoding: a chromosome is a string of length |Vr| whose
+//     value at index s is the TIG node placed on resource s.
+//   - Fitness Psi(M) = K / Exec(M) — the reciprocal of the application
+//     execution time scaled by a constant.
+//   - Roulette-wheel parent selection: selection probability proportional
+//     to fitness.
+//   - Single-point crossover at the midpoint with duplicate repair: the
+//     child takes the first half of parent 1; each second-half gene comes
+//     from parent 2 unless it would duplicate, in which case the next (in
+//     order) not-yet-used gene from parent 2's first half is taken
+//     (Fig. 6a). Crossover probability 0.85.
+//   - Per-gene swap mutation with probability 0.07 (Fig. 6b).
+//   - Elitism: the best individual survives unchanged into the next
+//     generation.
+//   - Termination after a fixed, predefined number of generations.
+//
+// The paper's experimental configuration — population 500, 1000
+// generations — is the default. Fitness evaluation fans out across a
+// worker pool; the genetic operators themselves are sequential, matching
+// the original algorithm.
+package ga
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"matchsim/internal/cost"
+	"matchsim/internal/xrand"
+)
+
+// Options tunes one FastMap-GA run. Zero values take the paper's
+// experimental configuration.
+type Options struct {
+	// PopulationSize is the number of chromosomes; default 500.
+	PopulationSize int
+	// Generations is the fixed termination point; default 1000.
+	Generations int
+	// CrossoverProb is the per-pair crossover probability; default 0.85.
+	CrossoverProb float64
+	// MutationProb is the per-gene swap probability; default 0.07 — the
+	// paper keeps it low "to allow the GA to converge gracefully".
+	MutationProb float64
+	// FitnessK is the constant K in Psi = K/Exec. Roulette selection is
+	// invariant to the scale, so K matters only for reporting; default 1.
+	FitnessK float64
+	// Elitism keeps the best individual each generation; the paper
+	// employs it. Disabled only by ablation benches via NoElitism.
+	NoElitism bool
+	// Workers parallelises fitness evaluation; default GOMAXPROCS.
+	Workers int
+	// Seed fixes the run.
+	Seed uint64
+	// Selection picks the parent-selection operator. The paper uses
+	// roulette-wheel selection (the default); tournament selection is
+	// provided for the selection-pressure ablation bench.
+	Selection SelectionScheme
+	// TournamentSize is the arity of tournament selection; default 3.
+	TournamentSize int
+	// Crossover picks the recombination operator. The paper's midpoint
+	// crossover with duplicate repair (Fig. 6a) is the default; order
+	// crossover (OX1) is the classic alternative for permutation
+	// encodings, provided for the crossover ablation.
+	Crossover CrossoverScheme
+	// OnGeneration, when non-nil, receives telemetry every generation.
+	OnGeneration func(GenStats)
+}
+
+// SelectionScheme enumerates parent-selection operators.
+type SelectionScheme int
+
+const (
+	// SelectRoulette is fitness-proportional selection — the paper's
+	// choice ("the probability of a parent being selected depends
+	// directly on its fitness").
+	SelectRoulette SelectionScheme = iota
+	// SelectTournament picks the best of TournamentSize uniform draws:
+	// scale-invariant selection pressure, the standard fix for roulette's
+	// weakness when fitness values cluster.
+	SelectTournament
+)
+
+// CrossoverScheme enumerates recombination operators.
+type CrossoverScheme int
+
+const (
+	// CrossMidpointRepair is the paper's Fig. 6a operator: child takes
+	// parent 1's first half, fills the rest from parent 2 with in-order
+	// duplicate repair.
+	CrossMidpointRepair CrossoverScheme = iota
+	// CrossOrder is OX1: the child keeps a random slice of parent 1 and
+	// fills the remaining positions with parent 2's genes in parent 2's
+	// order, skipping duplicates.
+	CrossOrder
+)
+
+func (o Options) withDefaults() Options {
+	if o.PopulationSize == 0 {
+		o.PopulationSize = 500
+	}
+	if o.Generations == 0 {
+		o.Generations = 1000
+	}
+	if o.CrossoverProb == 0 {
+		o.CrossoverProb = 0.85
+	}
+	if o.MutationProb == 0 {
+		o.MutationProb = 0.07
+	}
+	if o.FitnessK == 0 {
+		o.FitnessK = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.TournamentSize == 0 {
+		o.TournamentSize = 3
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	switch {
+	case o.PopulationSize < 2:
+		return fmt.Errorf("ga: population size %d < 2", o.PopulationSize)
+	case o.Generations < 1:
+		return fmt.Errorf("ga: generation count %d < 1", o.Generations)
+	case o.CrossoverProb < 0 || o.CrossoverProb > 1:
+		return fmt.Errorf("ga: crossover probability %v outside [0,1]", o.CrossoverProb)
+	case o.MutationProb < 0 || o.MutationProb > 1:
+		return fmt.Errorf("ga: mutation probability %v outside [0,1]", o.MutationProb)
+	case o.FitnessK <= 0:
+		return fmt.Errorf("ga: fitness constant %v <= 0", o.FitnessK)
+	case o.Workers < 1:
+		return fmt.Errorf("ga: worker count %d < 1", o.Workers)
+	case o.Selection != SelectRoulette && o.Selection != SelectTournament:
+		return fmt.Errorf("ga: unknown selection scheme %d", o.Selection)
+	case o.TournamentSize < 2:
+		return fmt.Errorf("ga: tournament size %d < 2", o.TournamentSize)
+	case o.Crossover != CrossMidpointRepair && o.Crossover != CrossOrder:
+		return fmt.Errorf("ga: unknown crossover scheme %d", o.Crossover)
+	}
+	return nil
+}
+
+// GenStats is per-generation telemetry.
+type GenStats struct {
+	Gen       int
+	BestExec  float64
+	MeanExec  float64
+	WorstExec float64
+	BestSoFar float64
+}
+
+// Result is the outcome of one GA run.
+type Result struct {
+	// Mapping is the best task-to-resource assignment found (converted
+	// from the resource-indexed chromosome).
+	Mapping cost.Mapping
+	// Exec is its application execution time — the paper's ET.
+	Exec float64
+	// Generations and Evaluations account for the search effort.
+	Generations int
+	Evaluations int64
+	// MappingTime is solver wall-clock — the paper's MT.
+	MappingTime time.Duration
+	// History holds per-generation telemetry.
+	History []GenStats
+}
+
+// chromosome is resource-indexed: chrom[s] = task hosted by resource s.
+type chromosome []int
+
+// toMapping converts the resource-indexed chromosome into the
+// task-indexed cost.Mapping (its inverse permutation).
+func (c chromosome) toMapping(dst cost.Mapping) cost.Mapping {
+	if cap(dst) < len(c) {
+		dst = make(cost.Mapping, len(c))
+	}
+	dst = dst[:len(c)]
+	for s, task := range c {
+		dst[task] = s
+	}
+	return dst
+}
+
+// Solve runs FastMap-GA on the problem described by eval.
+func Solve(eval *cost.Evaluator, opts Options) (*Result, error) {
+	n := eval.NumTasks()
+	if n < 1 {
+		return nil, fmt.Errorf("ga: empty task set")
+	}
+	if eval.NumResources() != n {
+		return nil, fmt.Errorf("ga: FastMap-GA's permutation encoding requires |Vt| = |Vr| (got %d tasks, %d resources)",
+			n, eval.NumResources())
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	rng := xrand.New(opts.Seed)
+	pop := make([]chromosome, opts.PopulationSize)
+	next := make([]chromosome, opts.PopulationSize)
+	for i := range pop {
+		pop[i] = chromosome(rng.Perm(n))
+		next[i] = make(chromosome, n)
+	}
+
+	execs := make([]float64, opts.PopulationSize)
+	fitness := make([]float64, opts.PopulationSize)
+	res := &Result{Exec: math.Inf(1)}
+	bestChrom := make(chromosome, n)
+
+	evaluate := func() {
+		workers := opts.Workers
+		if workers > opts.PopulationSize {
+			workers = opts.PopulationSize
+		}
+		var wg sync.WaitGroup
+		chunk := (opts.PopulationSize + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= opts.PopulationSize {
+				break
+			}
+			hi := lo + chunk
+			if hi > opts.PopulationSize {
+				hi = opts.PopulationSize
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				scratch := make([]float64, n)
+				var m cost.Mapping
+				for i := lo; i < hi; i++ {
+					m = pop[i].toMapping(m)
+					execs[i] = eval.ExecInto(m, scratch)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		res.Evaluations += int64(opts.PopulationSize)
+	}
+
+	var mapBuf cost.Mapping
+	for gen := 1; gen <= opts.Generations; gen++ {
+		evaluate()
+
+		stats := GenStats{Gen: gen, BestExec: math.Inf(1), WorstExec: math.Inf(-1)}
+		bestIdx, total := 0, 0.0
+		for i, exec := range execs {
+			fitness[i] = opts.FitnessK / exec
+			total += exec
+			if exec < stats.BestExec {
+				stats.BestExec = exec
+				bestIdx = i
+			}
+			if exec > stats.WorstExec {
+				stats.WorstExec = exec
+			}
+		}
+		stats.MeanExec = total / float64(opts.PopulationSize)
+		if execs[bestIdx] < res.Exec {
+			res.Exec = execs[bestIdx]
+			copy(bestChrom, pop[bestIdx])
+		}
+		stats.BestSoFar = res.Exec
+		res.History = append(res.History, stats)
+		res.Generations = gen
+		if opts.OnGeneration != nil {
+			opts.OnGeneration(stats)
+		}
+		if gen == opts.Generations {
+			break
+		}
+
+		// Build the next generation: roulette-wheel parents, single-point
+		// crossover with repair, per-gene swap mutation, elitism.
+		childIdx := 0
+		if !opts.NoElitism {
+			copy(next[0], pop[bestIdx])
+			childIdx = 1
+		}
+		fitnessTotal := 0.0
+		for _, f := range fitness {
+			fitnessTotal += f
+		}
+		selectParent := func() chromosome {
+			if opts.Selection == SelectTournament {
+				best := rng.Intn(opts.PopulationSize)
+				for k := 1; k < opts.TournamentSize; k++ {
+					if c := rng.Intn(opts.PopulationSize); execs[c] < execs[best] {
+						best = c
+					}
+				}
+				return pop[best]
+			}
+			return pop[rng.CategoricalTotal(fitness, fitnessTotal)]
+		}
+		for childIdx < opts.PopulationSize {
+			p1 := selectParent()
+			p2 := selectParent()
+			child := next[childIdx]
+			if rng.Bool(opts.CrossoverProb) {
+				if opts.Crossover == CrossOrder {
+					orderCrossover(rng, p1, p2, child)
+				} else {
+					crossover(p1, p2, child)
+				}
+			} else {
+				copy(child, p1)
+			}
+			mutate(rng, child, opts.MutationProb)
+			childIdx++
+		}
+		pop, next = next, pop
+	}
+
+	res.Mapping = bestChrom.toMapping(mapBuf).Clone()
+	res.MappingTime = time.Since(start)
+	if !res.Mapping.IsPermutation() {
+		return nil, fmt.Errorf("ga: internal error — best mapping is not a permutation: %v", res.Mapping)
+	}
+	return res, nil
+}
+
+// crossover implements the paper's single-point midpoint crossover with
+// duplicate repair (Fig. 6a). p1 and p2 must be permutations; the child
+// is always a permutation:
+//
+//	child[:h] = p1[:h]
+//	child[i] (i >= h) = p2[i] if unused, else the next in-order unused
+//	                    gene from p2[:h].
+//
+// Supply equals demand exactly (every duplicate in p2's second half is
+// matched by an unused gene in p2's first half), so the repair pointer
+// cannot run out.
+func crossover(p1, p2, child chromosome) {
+	n := len(p1)
+	h := n / 2
+	used := make([]bool, n)
+	copy(child[:h], p1[:h])
+	for _, g := range child[:h] {
+		used[g] = true
+	}
+	repair := 0
+	for i := h; i < n; i++ {
+		g := p2[i]
+		if used[g] {
+			for repair < h && used[p2[repair]] {
+				repair++
+			}
+			if repair >= h {
+				panic("ga: crossover repair exhausted — parents were not permutations")
+			}
+			g = p2[repair]
+			repair++
+		}
+		child[i] = g
+		used[g] = true
+	}
+}
+
+// orderCrossover implements OX1: copy a random slice [lo, hi) of parent 1
+// into the child, then fill the remaining positions (cyclically from hi)
+// with parent 2's genes in parent 2's order, skipping genes already
+// present. The child is always a permutation.
+func orderCrossover(rng *xrand.RNG, p1, p2, child chromosome) {
+	n := len(p1)
+	if n == 1 {
+		child[0] = p1[0]
+		return
+	}
+	lo := rng.Intn(n)
+	hi := lo + 1 + rng.Intn(n-1) // non-empty, shorter than n
+	used := make([]bool, n)
+	for i := lo; i < hi; i++ {
+		g := p1[i%n]
+		child[i%n] = g
+		used[g] = true
+	}
+	pos := hi % n
+	for _, g := range p2 {
+		if used[g] {
+			continue
+		}
+		child[pos] = g
+		used[g] = true
+		pos = (pos + 1) % n
+	}
+}
+
+// mutate applies the paper's swap mutation (Fig. 6b): each gene position
+// is, with probability pm, swapped with a uniformly random position.
+// Swapping preserves permutation validity.
+func mutate(rng *xrand.RNG, c chromosome, pm float64) {
+	n := len(c)
+	if n < 2 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		if rng.Bool(pm) {
+			j := rng.Intn(n)
+			c[i], c[j] = c[j], c[i]
+		}
+	}
+}

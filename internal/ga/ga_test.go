@@ -1,0 +1,431 @@
+package ga
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"matchsim/internal/cost"
+	"matchsim/internal/gen"
+	"matchsim/internal/graph"
+	"matchsim/internal/xrand"
+)
+
+func paperEval(t testing.TB, seed uint64, n int) *cost.Evaluator {
+	t.Helper()
+	inst, err := gen.PaperInstance(seed, n, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := cost.NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func isPermutation(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestCrossoverProducesPermutations(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(30)
+		p1 := chromosome(rng.Perm(n))
+		p2 := chromosome(rng.Perm(n))
+		child := make(chromosome, n)
+		crossover(p1, p2, child)
+		if !isPermutation(child) {
+			t.Fatalf("trial %d: child %v not a permutation (p1=%v p2=%v)", trial, child, p1, p2)
+		}
+		// First half must equal parent 1's first half.
+		for i := 0; i < n/2; i++ {
+			if child[i] != p1[i] {
+				t.Fatalf("first half not inherited from p1: %v vs %v", child, p1)
+			}
+		}
+	}
+}
+
+func TestCrossoverPaperExample(t *testing.T) {
+	// Hand-checkable case: conflicting second halves force repairs.
+	p1 := chromosome{0, 1, 2, 3}
+	p2 := chromosome{2, 3, 0, 1}
+	child := make(chromosome, 4)
+	crossover(p1, p2, child)
+	// child[:2] = [0,1]; i=2: p2[2]=0 used -> repair from p2[:2] in order:
+	// p2[0]=2 unused -> 2; i=3: p2[3]=1 used -> p2[1]=3 -> 3.
+	want := chromosome{0, 1, 2, 3}
+	for i := range want {
+		if child[i] != want[i] {
+			t.Fatalf("child %v, want %v", child, want)
+		}
+	}
+	// Second case: p2's second half entirely usable.
+	p3 := chromosome{1, 0, 3, 2}
+	crossover(p1, p3, child)
+	if child[0] != 0 || child[1] != 1 || child[2] != 3 || child[3] != 2 {
+		t.Fatalf("child %v, want [0 1 3 2]", child)
+	}
+}
+
+func TestCrossoverProperty(t *testing.T) {
+	rng := xrand.New(2)
+	f := func(nRaw uint8) bool {
+		n := 2 + int(nRaw%40)
+		p1 := chromosome(rng.Perm(n))
+		p2 := chromosome(rng.Perm(n))
+		child := make(chromosome, n)
+		crossover(p1, p2, child)
+		return isPermutation(child)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutatePreservesPermutation(t *testing.T) {
+	rng := xrand.New(3)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(30)
+		c := chromosome(rng.Perm(n))
+		mutate(rng, c, 0.5)
+		if !isPermutation(c) {
+			t.Fatalf("mutated chromosome %v not a permutation", c)
+		}
+	}
+}
+
+func TestMutateZeroProbabilityIsIdentity(t *testing.T) {
+	rng := xrand.New(4)
+	c := chromosome(rng.Perm(10))
+	orig := append(chromosome(nil), c...)
+	mutate(rng, c, 0)
+	for i := range c {
+		if c[i] != orig[i] {
+			t.Fatal("pm=0 changed the chromosome")
+		}
+	}
+}
+
+func TestToMappingInverts(t *testing.T) {
+	c := chromosome{2, 0, 1} // resource 0 hosts task 2, etc.
+	m := c.toMapping(nil)
+	// task 2 -> resource 0, task 0 -> resource 1, task 1 -> resource 2.
+	if m[2] != 0 || m[0] != 1 || m[1] != 2 {
+		t.Fatalf("toMapping %v", m)
+	}
+}
+
+func TestSolveReturnsValidResult(t *testing.T) {
+	e := paperEval(t, 1, 12)
+	res, err := Solve(e, Options{PopulationSize: 60, Generations: 80, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapping.IsPermutation() {
+		t.Fatalf("mapping %v not a permutation", res.Mapping)
+	}
+	if math.Abs(e.Exec(res.Mapping)-res.Exec) > 1e-9 {
+		t.Fatalf("reported exec %v != recomputed %v", res.Exec, e.Exec(res.Mapping))
+	}
+	if res.Generations != 80 || len(res.History) != 80 {
+		t.Fatalf("generations %d history %d", res.Generations, len(res.History))
+	}
+	if res.Evaluations != int64(60*80) {
+		t.Fatalf("evaluations %d", res.Evaluations)
+	}
+	if res.MappingTime <= 0 {
+		t.Fatal("missing mapping time")
+	}
+}
+
+func TestSolveDeterministicPerSeed(t *testing.T) {
+	e := paperEval(t, 2, 10)
+	run := func() *Result {
+		res, err := Solve(e, Options{PopulationSize: 40, Generations: 50, Seed: 5, Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Exec != b.Exec {
+		t.Fatalf("non-deterministic: %v vs %v", a.Exec, b.Exec)
+	}
+	for i := range a.Mapping {
+		if a.Mapping[i] != b.Mapping[i] {
+			t.Fatal("mappings differ between identical runs")
+		}
+	}
+}
+
+func TestSolveImprovesOverGenerations(t *testing.T) {
+	e := paperEval(t, 3, 15)
+	res, err := Solve(e, Options{PopulationSize: 80, Generations: 120, Seed: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.History[0].BestSoFar
+	last := res.History[len(res.History)-1].BestSoFar
+	if last >= first {
+		t.Fatalf("no improvement: first best %v, final best %v", first, last)
+	}
+	prev := math.Inf(1)
+	for _, g := range res.History {
+		if g.BestSoFar > prev {
+			t.Fatalf("BestSoFar regressed at generation %d", g.Gen)
+		}
+		if g.BestExec > g.WorstExec {
+			t.Fatalf("best worse than worst at generation %d", g.Gen)
+		}
+		prev = g.BestSoFar
+	}
+}
+
+func TestElitismMonotoneBestInPopulation(t *testing.T) {
+	// With elitism the per-generation best must never regress.
+	e := paperEval(t, 4, 10)
+	res, err := Solve(e, Options{PopulationSize: 50, Generations: 60, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevBest := math.Inf(1)
+	for _, g := range res.History {
+		if g.BestExec > prevBest+1e-9 {
+			t.Fatalf("elitism violated: generation %d best %v after %v", g.Gen, g.BestExec, prevBest)
+		}
+		if g.BestExec < prevBest {
+			prevBest = g.BestExec
+		}
+	}
+}
+
+func TestNoElitismStillValid(t *testing.T) {
+	e := paperEval(t, 5, 8)
+	res, err := Solve(e, Options{PopulationSize: 30, Generations: 40, Seed: 4, Workers: 1, NoElitism: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapping.IsPermutation() {
+		t.Fatal("non-permutation result without elitism")
+	}
+}
+
+func TestSolveFindsOptimumOnTinyInstance(t *testing.T) {
+	e := paperEval(t, 6, 5)
+	// Brute force 5! = 120 mappings.
+	best := math.Inf(1)
+	perm := make([]int, 5)
+	var rec func(int, []bool)
+	rec = func(depth int, used []bool) {
+		if depth == 5 {
+			if exec := e.Exec(perm); exec < best {
+				best = exec
+			}
+			return
+		}
+		for r := 0; r < 5; r++ {
+			if !used[r] {
+				used[r] = true
+				perm[depth] = r
+				rec(depth+1, used)
+				used[r] = false
+			}
+		}
+	}
+	rec(0, make([]bool, 5))
+	res, err := Solve(e, Options{PopulationSize: 100, Generations: 100, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Exec-best) > 1e-9 {
+		t.Fatalf("GA %v vs brute force %v", res.Exec, best)
+	}
+}
+
+func TestSolveRejectsBadOptions(t *testing.T) {
+	e := paperEval(t, 7, 6)
+	bad := []Options{
+		{PopulationSize: 1},
+		{Generations: -1},
+		{CrossoverProb: 1.5},
+		{MutationProb: -0.1},
+		{FitnessK: -2},
+		{Workers: -1},
+	}
+	for i, o := range bad {
+		if _, err := Solve(e, o); err == nil {
+			t.Fatalf("bad options %d accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestSolveRejectsMismatchedSizes(t *testing.T) {
+	tig := graph.NewTIGWithWeights([]float64{1, 1, 1})
+	r := graph.NewResourceGraphWithCosts([]float64{1, 1})
+	r.MustAddLink(0, 1, 1)
+	e, err := cost.NewEvaluator(tig, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(e, Options{}); err == nil {
+		t.Fatal("|Vt| != |Vr| accepted")
+	}
+}
+
+func TestOnGenerationCallback(t *testing.T) {
+	e := paperEval(t, 8, 8)
+	calls := 0
+	_, err := Solve(e, Options{
+		PopulationSize: 20, Generations: 25, Seed: 1, Workers: 1,
+		OnGeneration: func(g GenStats) {
+			calls++
+			if g.Gen != calls {
+				t.Fatalf("generation %d on call %d", g.Gen, calls)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 25 {
+		t.Fatalf("callback fired %d times", calls)
+	}
+}
+
+func TestSolveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 3 + int(seed%10)
+		inst, err := gen.PaperInstance(seed, n, gen.DefaultPaperConfig())
+		if err != nil {
+			return false
+		}
+		e, err := cost.NewEvaluator(inst.TIG, inst.Platform)
+		if err != nil {
+			return false
+		}
+		res, err := Solve(e, Options{PopulationSize: 20, Generations: 15, Seed: seed, Workers: 2})
+		if err != nil {
+			return false
+		}
+		return res.Mapping.IsPermutation() && math.Abs(e.Exec(res.Mapping)-res.Exec) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGAGeneration50(b *testing.B) {
+	e := paperEval(b, 1, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := Solve(e, Options{PopulationSize: 500, Generations: 1, Seed: uint64(i), Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTournamentSelectionValidAndCompetitive(t *testing.T) {
+	e := paperEval(t, 9, 12)
+	roulette, err := Solve(e, Options{PopulationSize: 60, Generations: 80, Seed: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tournament, err := Solve(e, Options{
+		PopulationSize: 60, Generations: 80, Seed: 4, Workers: 1,
+		Selection: SelectTournament, TournamentSize: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tournament.Mapping.IsPermutation() {
+		t.Fatal("tournament produced non-permutation")
+	}
+	// Tournament's scale-invariant pressure should not be dramatically
+	// worse than roulette; typically it is better.
+	if tournament.Exec > 1.3*roulette.Exec {
+		t.Fatalf("tournament %v far worse than roulette %v", tournament.Exec, roulette.Exec)
+	}
+}
+
+func TestTournamentOptionsValidation(t *testing.T) {
+	e := paperEval(t, 10, 6)
+	if _, err := Solve(e, Options{Selection: SelectionScheme(9)}); err == nil {
+		t.Fatal("unknown selection scheme accepted")
+	}
+	if _, err := Solve(e, Options{Selection: SelectTournament, TournamentSize: 1}); err == nil {
+		t.Fatal("tournament size 1 accepted")
+	}
+}
+
+func TestOrderCrossoverProducesPermutations(t *testing.T) {
+	rng := xrand.New(20)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(30)
+		p1 := chromosome(rng.Perm(n))
+		p2 := chromosome(rng.Perm(n))
+		child := make(chromosome, n)
+		orderCrossover(rng, p1, p2, child)
+		if !isPermutation(child) {
+			t.Fatalf("trial %d: OX child %v not a permutation (p1=%v p2=%v)", trial, child, p1, p2)
+		}
+	}
+}
+
+func TestOrderCrossoverInheritsFromBothParents(t *testing.T) {
+	// With distinct parents, some child genes must come from p1's slice
+	// positions and the fill order must follow p2. Statistical check:
+	// across many trials the child equals neither parent every time.
+	rng := xrand.New(21)
+	same1, same2, trials := 0, 0, 200
+	for trial := 0; trial < trials; trial++ {
+		p1 := chromosome(rng.Perm(12))
+		p2 := chromosome(rng.Perm(12))
+		child := make(chromosome, 12)
+		orderCrossover(rng, p1, p2, child)
+		eq := func(a, b chromosome) bool {
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if eq(child, p1) {
+			same1++
+		}
+		if eq(child, p2) {
+			same2++
+		}
+	}
+	if same1 > trials/2 || same2 > trials/2 {
+		t.Fatalf("OX degenerates to cloning: %d/%d identical to p1, %d to p2", same1, trials, same2)
+	}
+}
+
+func TestSolveWithOrderCrossover(t *testing.T) {
+	e := paperEval(t, 11, 10)
+	res, err := Solve(e, Options{
+		PopulationSize: 50, Generations: 60, Seed: 6, Workers: 1,
+		Crossover: CrossOrder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapping.IsPermutation() {
+		t.Fatal("OX run produced non-permutation")
+	}
+	if _, err := Solve(e, Options{Crossover: CrossoverScheme(7)}); err == nil {
+		t.Fatal("unknown crossover scheme accepted")
+	}
+}

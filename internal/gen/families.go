@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"fmt"
+
+	"matchsim/internal/graph"
+	"matchsim/internal/xrand"
+)
+
+// StencilTIG builds a rows x cols five-point-stencil TIG — the structured
+// communication pattern of a regular CFD grid decomposed into blocks:
+// each block computes on its cells and exchanges halo regions with its
+// four neighbours. Task weights are uniform in [wLo, wHi] (block sizes
+// vary when the domain is irregular); edge weights are uniform in
+// [cLo, cHi] (halo widths vary with local resolution).
+func StencilTIG(rng *xrand.RNG, rows, cols int, wLo, wHi, cLo, cHi float64) (*graph.TIG, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("gen: stencil %dx%d too small", rows, cols)
+	}
+	if wHi < wLo || cHi < cLo {
+		return nil, fmt.Errorf("gen: inverted weight ranges")
+	}
+	n := rows * cols
+	t := graph.NewTIG(n)
+	t.Name = fmt.Sprintf("stencil-%dx%d", rows, cols)
+	for i := 0; i < n; i++ {
+		t.Weights[i] = rng.Float64Range(wLo, wHi)
+	}
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				t.MustAddEdge(id(i, j), id(i, j+1), rng.Float64Range(cLo, cHi))
+			}
+			if i+1 < rows {
+				t.MustAddEdge(id(i, j), id(i+1, j), rng.Float64Range(cLo, cHi))
+			}
+		}
+	}
+	return t, nil
+}
+
+// ScaleFreeTIG builds a Barabasi-Albert preferential-attachment TIG:
+// each new task attaches to `attach` existing tasks chosen proportionally
+// to their degree, producing the hub-dominated interaction structure of
+// master-worker or shared-boundary decompositions. Task weights are
+// uniform in [wLo, wHi]; edge weights in [cLo, cHi].
+func ScaleFreeTIG(rng *xrand.RNG, n, attach int, wLo, wHi, cLo, cHi float64) (*graph.TIG, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: scale-free TIG size %d < 2", n)
+	}
+	if attach < 1 || attach >= n {
+		return nil, fmt.Errorf("gen: attachment count %d outside [1, n)", attach)
+	}
+	if wHi < wLo || cHi < cLo {
+		return nil, fmt.Errorf("gen: inverted weight ranges")
+	}
+	t := graph.NewTIG(n)
+	t.Name = fmt.Sprintf("scalefree-%d-m%d", n, attach)
+	for i := 0; i < n; i++ {
+		t.Weights[i] = rng.Float64Range(wLo, wHi)
+	}
+	// Repeated-endpoints list: vertex v appears deg(v) times, giving
+	// degree-proportional sampling by uniform draws over the list.
+	var endpoints []int
+	// Seed clique over the first attach+1 vertices.
+	for u := 0; u <= attach; u++ {
+		for v := u + 1; v <= attach; v++ {
+			t.MustAddEdge(u, v, rng.Float64Range(cLo, cHi))
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	for v := attach + 1; v < n; v++ {
+		added := 0
+		for added < attach {
+			target := endpoints[rng.Intn(len(endpoints))]
+			if target == v || t.HasEdge(v, target) {
+				// Fallback to a uniform unused vertex when the sampled hub
+				// repeats; keeps the loop terminating on dense tails.
+				target = rng.Intn(v)
+				if t.HasEdge(v, target) {
+					continue
+				}
+			}
+			t.MustAddEdge(v, target, rng.Float64Range(cLo, cHi))
+			endpoints = append(endpoints, v, target)
+			added++
+		}
+	}
+	return t, nil
+}

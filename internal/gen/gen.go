@@ -1,0 +1,207 @@
+// Package gen builds the synthetic mapping instances used throughout the
+// experimental study.
+//
+// The paper's Section 5.2 fully specifies its workload generator: five
+// synthetic TIG/resource-graph pairs with varying computation-to-
+// communication ratio, |Vt| = |Vr| ranging from 10 to 50 in steps of 10,
+// TIG node weights uniform in [1, 10], TIG edge weights uniform in
+// [50, 100], resource node weights uniform in [1, 5], link weights uniform
+// in [10, 20], and randomised edge generation that yields regions of high
+// and low density. PaperTIG, PaperPlatform and PaperInstance reproduce
+// that generator; the remaining constructors provide the platform
+// topologies (ring, mesh, torus, star, clique, clustered) used by the
+// extended examples and ablation benches.
+package gen
+
+import (
+	"fmt"
+
+	"matchsim/internal/graph"
+	"matchsim/internal/xrand"
+)
+
+// PaperConfig collects the Section 5.2 weight ranges. The zero value is
+// not useful; start from DefaultPaperConfig and override as needed.
+type PaperConfig struct {
+	// TaskWeightLo/Hi bound the TIG node weights W^t (paper: 1..10).
+	TaskWeightLo, TaskWeightHi int
+	// CommWeightLo/Hi bound the TIG edge weights C^{i,j} (paper: 50..100).
+	CommWeightLo, CommWeightHi int
+	// ResourceCostLo/Hi bound the processing weights w_s (paper: 1..5).
+	ResourceCostLo, ResourceCostHi int
+	// LinkCostLo/Hi bound the link weights c_{s,b} (paper: 10..20).
+	LinkCostLo, LinkCostHi int
+	// TIGDensity is the target edge density of the TIG in (0, 1]. The
+	// paper does not quote a number; 0.3 yields the connected,
+	// moderate-degree graphs its Figure 1 sketches.
+	TIGDensity float64
+	// DensityContrast skews edges towards a randomly chosen "hot" half of
+	// the vertices, producing the paper's "regions of high density and
+	// regions of lower density". 0 gives uniform Erdos-Renyi placement; 1
+	// places as many edges as possible inside the hot region first.
+	DensityContrast float64
+}
+
+// DefaultPaperConfig returns the Section 5.2 parameterisation.
+func DefaultPaperConfig() PaperConfig {
+	return PaperConfig{
+		TaskWeightLo: 1, TaskWeightHi: 10,
+		CommWeightLo: 50, CommWeightHi: 100,
+		ResourceCostLo: 1, ResourceCostHi: 5,
+		LinkCostLo: 10, LinkCostHi: 20,
+		TIGDensity:      0.3,
+		DensityContrast: 0.6,
+	}
+}
+
+// validate rejects nonsensical configurations early with a clear message.
+func (c PaperConfig) validate() error {
+	switch {
+	case c.TaskWeightLo < 0 || c.TaskWeightHi < c.TaskWeightLo:
+		return fmt.Errorf("gen: bad task weight range [%d,%d]", c.TaskWeightLo, c.TaskWeightHi)
+	case c.CommWeightLo < 0 || c.CommWeightHi < c.CommWeightLo:
+		return fmt.Errorf("gen: bad comm weight range [%d,%d]", c.CommWeightLo, c.CommWeightHi)
+	case c.ResourceCostLo < 0 || c.ResourceCostHi < c.ResourceCostLo:
+		return fmt.Errorf("gen: bad resource cost range [%d,%d]", c.ResourceCostLo, c.ResourceCostHi)
+	case c.LinkCostLo < 0 || c.LinkCostHi < c.LinkCostLo:
+		return fmt.Errorf("gen: bad link cost range [%d,%d]", c.LinkCostLo, c.LinkCostHi)
+	case c.TIGDensity <= 0 || c.TIGDensity > 1:
+		return fmt.Errorf("gen: TIG density %v outside (0,1]", c.TIGDensity)
+	case c.DensityContrast < 0 || c.DensityContrast > 1:
+		return fmt.Errorf("gen: density contrast %v outside [0,1]", c.DensityContrast)
+	}
+	return nil
+}
+
+// PaperTIG generates an n-task TIG per Section 5.2: node weights uniform
+// in the configured range, a random spanning tree for connectivity, and
+// additional edges placed with a density bias towards a random "hot"
+// vertex subset so the graph has denser and sparser regions.
+func PaperTIG(rng *xrand.RNG, n int, cfg PaperConfig) (*graph.TIG, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: TIG size %d < 1", n)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := graph.NewTIG(n)
+	t.Name = fmt.Sprintf("paper-tig-%d", n)
+	for i := 0; i < n; i++ {
+		t.Weights[i] = float64(rng.IntRange(cfg.TaskWeightLo, cfg.TaskWeightHi))
+	}
+	commW := func() float64 {
+		return float64(rng.IntRange(cfg.CommWeightLo, cfg.CommWeightHi))
+	}
+	// Random spanning tree keeps the application connected: every grid
+	// overlaps at least one neighbour in the overset-grid model.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		t.MustAddEdge(perm[i], perm[rng.Intn(i)], commW())
+	}
+	// Hot region: a random half of the vertices attracts extra edges.
+	hot := make([]bool, n)
+	for _, v := range rng.SampleWithoutReplacement(n, n/2) {
+		hot[v] = true
+	}
+	targetEdges := int(cfg.TIGDensity * float64(n) * float64(n-1) / 2)
+	if targetEdges < n-1 {
+		targetEdges = n - 1
+	}
+	maxEdges := n * (n - 1) / 2
+	if targetEdges > maxEdges {
+		targetEdges = maxEdges
+	}
+	attempts := 0
+	maxAttempts := 50 * maxEdges
+	for t.M() < targetEdges && attempts < maxAttempts {
+		attempts++
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || t.HasEdge(u, v) {
+			continue
+		}
+		// Bias towards the hot region: edges with both endpoints cold are
+		// accepted with reduced probability.
+		if !hot[u] && !hot[v] && rng.Bool(cfg.DensityContrast) {
+			continue
+		}
+		t.MustAddEdge(u, v, commW())
+	}
+	return t, nil
+}
+
+// PaperPlatform generates an n-resource platform per Section 5.2: node
+// weights uniform in [1, 5] and link weights uniform in [10, 20]. The
+// topology is a random connected graph closed into a full link-cost matrix
+// (see ResourceGraph.CloseLinks) so any mapping can be charged.
+func PaperPlatform(rng *xrand.RNG, n int, cfg PaperConfig) (*graph.ResourceGraph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: platform size %d < 1", n)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := graph.NewResourceGraph(n)
+	r.Name = fmt.Sprintf("paper-platform-%d", n)
+	for i := 0; i < n; i++ {
+		r.Costs[i] = float64(rng.IntRange(cfg.ResourceCostLo, cfg.ResourceCostHi))
+	}
+	linkW := func() float64 {
+		return float64(rng.IntRange(cfg.LinkCostLo, cfg.LinkCostHi))
+	}
+	// Random spanning tree for connectivity, then extra random links up to
+	// moderate density (half of all pairs), mirroring a wide-area grid
+	// where most but not all sites are directly peered.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		r.MustAddLink(perm[i], perm[rng.Intn(i)], linkW())
+	}
+	extra := n * (n - 1) / 4
+	attempts := 0
+	for added := 0; added < extra && attempts < 50*n*n; attempts++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || r.HasEdge(u, v) {
+			continue
+		}
+		r.MustAddLink(u, v, linkW())
+		added++
+	}
+	if err := r.CloseLinks(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// PaperInstance generates one complete Section 5.2 problem instance with
+// |Vt| = |Vr| = n, deterministically from seed.
+func PaperInstance(seed uint64, n int, cfg PaperConfig) (*graph.Instance, error) {
+	rng := xrand.New(seed)
+	tig, err := PaperTIG(rng, n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	platform, err := PaperPlatform(rng, n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &graph.Instance{TIG: tig, Platform: platform, Seed: seed}, nil
+}
+
+// PaperSuite generates the paper's experimental suite: one instance per
+// size in sizes (the paper uses 10, 20, 30, 40, 50), each from its own
+// sub-seed so that adding sizes does not perturb earlier instances.
+func PaperSuite(seed uint64, sizes []int, cfg PaperConfig) ([]*graph.Instance, error) {
+	master := xrand.New(seed)
+	out := make([]*graph.Instance, 0, len(sizes))
+	for _, n := range sizes {
+		sub := master.Uint64()
+		inst, err := PaperInstance(sub, n, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("gen: size %d: %w", n, err)
+		}
+		out = append(out, inst)
+	}
+	return out, nil
+}
+
+// PaperSizes returns the paper's size sweep 10..50 step 10.
+func PaperSizes() []int { return []int{10, 20, 30, 40, 50} }

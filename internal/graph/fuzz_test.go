@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzTIGUnmarshal asserts the JSON decoder never panics and never
+// accepts a structurally invalid TIG, for arbitrary inputs.
+func FuzzTIGUnmarshal(f *testing.F) {
+	f.Add([]byte(`{"kind":"tig","n":2,"weights":[1,2],"edges":[{"u":0,"v":1,"w":5}]}`))
+	f.Add([]byte(`{"kind":"tig","n":0,"weights":[],"edges":[]}`))
+	f.Add([]byte(`{"kind":"tig","n":2,"weights":[1],"edges":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tig TIG
+		if err := json.Unmarshal(data, &tig); err != nil {
+			return // rejected input is fine
+		}
+		// Accepted input must be fully valid.
+		if err := tig.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid TIG: %v", err)
+		}
+		// And must round-trip.
+		out, err := json.Marshal(&tig)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var back TIG
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != tig.N() || back.M() != tig.M() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzResourceUnmarshal is the platform counterpart.
+func FuzzResourceUnmarshal(f *testing.F) {
+	f.Add([]byte(`{"kind":"resource","n":2,"costs":[1,2],"links":[{"u":0,"v":1,"w":5}]}`))
+	f.Add([]byte(`{"kind":"resource","n":3,"costs":[1,2,3],"links":[{"u":0,"v":1,"w":5}],"closed":true}`))
+	f.Add([]byte(`{"kind":"resource","n":1,"costs":[-1],"links":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r ResourceGraph
+		if err := json.Unmarshal(data, &r); err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid platform: %v", err)
+		}
+	})
+}

@@ -1,0 +1,267 @@
+// Package graph provides the weighted undirected graph substrate underneath
+// the mapping problem: the Task Interaction Graph (TIG) that models the
+// application and the resource graph that models the heterogeneous platform.
+//
+// Both graph kinds share the same adjacency core (Undirected), which stores
+// an edge list plus per-vertex neighbour slices in CSR style so the cost
+// model can iterate a vertex's incident edges without allocation. The
+// package also carries validation, connectivity queries, all-pairs shortest
+// paths (used to close sparse platform topologies into full link-cost
+// matrices), JSON serialisation for experiment artefacts and DOT export for
+// visual inspection.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one undirected weighted edge between vertices U and V (U < V is
+// canonical but not required at construction time).
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+// Neighbor is one incident edge as seen from a fixed vertex.
+type Neighbor struct {
+	To     int
+	Weight float64
+}
+
+// Undirected is a weighted undirected graph with a fixed vertex count.
+// Vertices are dense integers [0, N). The zero value is an empty graph
+// with zero vertices; construct with NewUndirected.
+type Undirected struct {
+	n     int
+	edges []Edge
+	// CSR adjacency: neighbours of v are adj[offsets[v]:offsets[v+1]].
+	offsets []int
+	adj     []Neighbor
+	dirty   bool
+}
+
+// NewUndirected returns an empty graph on n vertices.
+func NewUndirected(n int) *Undirected {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Undirected{n: n}
+}
+
+// N returns the number of vertices.
+func (g *Undirected) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Undirected) M() int { return len(g.edges) }
+
+// AddEdge inserts the undirected edge (u, v) with the given weight.
+// Self-loops and duplicate edges are rejected with an error: the TIG model
+// has no self-communication and a pair of grids overlaps at most once.
+func (g *Undirected) AddEdge(u, v int, weight float64) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at vertex %d", u)
+	}
+	if weight < 0 {
+		return fmt.Errorf("graph: negative edge weight %v on (%d,%d)", weight, u, v)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	g.edges = append(g.edges, Edge{U: u, V: v, Weight: weight})
+	g.dirty = true
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; for generators whose inputs
+// are constructed to be valid.
+func (g *Undirected) MustAddEdge(u, v int, weight float64) {
+	if err := g.AddEdge(u, v, weight); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Undirected) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	if !g.dirty && g.offsets != nil {
+		for _, nb := range g.Neighbors(u) {
+			if nb.To == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range g.edges {
+		if (e.U == u && e.V == v) || (e.U == v && e.V == u) {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeWeight returns the weight of edge (u, v) and whether it exists.
+func (g *Undirected) EdgeWeight(u, v int) (float64, bool) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return 0, false
+	}
+	g.ensureAdjacency()
+	for _, nb := range g.Neighbors(u) {
+		if nb.To == v {
+			return nb.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// Edges returns the edge list in canonical (U < V) order. The returned
+// slice is owned by the graph; callers must not mutate it.
+func (g *Undirected) Edges() []Edge { return g.edges }
+
+// Neighbors returns the incident edges of v. The returned slice aliases
+// internal storage and is invalidated by the next AddEdge.
+func (g *Undirected) Neighbors(v int) []Neighbor {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: Neighbors(%d) out of range [0,%d)", v, g.n))
+	}
+	g.ensureAdjacency()
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Degree returns the number of edges incident to v.
+func (g *Undirected) Degree(v int) int {
+	return len(g.Neighbors(v))
+}
+
+// WeightedDegree returns the sum of weights of edges incident to v.
+func (g *Undirected) WeightedDegree(v int) float64 {
+	total := 0.0
+	for _, nb := range g.Neighbors(v) {
+		total += nb.Weight
+	}
+	return total
+}
+
+// TotalEdgeWeight returns the sum of all edge weights.
+func (g *Undirected) TotalEdgeWeight() float64 {
+	total := 0.0
+	for _, e := range g.edges {
+		total += e.Weight
+	}
+	return total
+}
+
+// ensureAdjacency rebuilds the CSR arrays after edge insertions.
+func (g *Undirected) ensureAdjacency() {
+	if !g.dirty && g.offsets != nil {
+		return
+	}
+	counts := make([]int, g.n+1)
+	for _, e := range g.edges {
+		counts[e.U+1]++
+		counts[e.V+1]++
+	}
+	for i := 1; i <= g.n; i++ {
+		counts[i] += counts[i-1]
+	}
+	g.offsets = counts
+	g.adj = make([]Neighbor, 2*len(g.edges))
+	cursor := make([]int, g.n)
+	copy(cursor, g.offsets[:g.n])
+	for _, e := range g.edges {
+		g.adj[cursor[e.U]] = Neighbor{To: e.V, Weight: e.Weight}
+		cursor[e.U]++
+		g.adj[cursor[e.V]] = Neighbor{To: e.U, Weight: e.Weight}
+		cursor[e.V]++
+	}
+	// Keep neighbour lists sorted for deterministic iteration order across
+	// runs and platforms.
+	for v := 0; v < g.n; v++ {
+		nbs := g.adj[g.offsets[v]:g.offsets[v+1]]
+		sort.Slice(nbs, func(i, j int) bool { return nbs[i].To < nbs[j].To })
+	}
+	g.dirty = false
+}
+
+// Clone returns a deep copy of g.
+func (g *Undirected) Clone() *Undirected {
+	c := NewUndirected(g.n)
+	c.edges = append([]Edge(nil), g.edges...)
+	c.dirty = true
+	return c
+}
+
+// ConnectedComponents returns the component id of every vertex and the
+// component count. Component ids are dense in [0, count) and assigned in
+// order of the lowest-numbered vertex in the component.
+func (g *Undirected) ConnectedComponents() (ids []int, count int) {
+	ids = make([]int, g.n)
+	for i := range ids {
+		ids[i] = -1
+	}
+	queue := make([]int, 0, g.n)
+	for start := 0; start < g.n; start++ {
+		if ids[start] != -1 {
+			continue
+		}
+		ids[start] = count
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, nb := range g.Neighbors(v) {
+				if ids[nb.To] == -1 {
+					ids[nb.To] = count
+					queue = append(queue, nb.To)
+				}
+			}
+		}
+		count++
+	}
+	return ids, count
+}
+
+// IsConnected reports whether every vertex is reachable from vertex 0
+// (true for the empty and single-vertex graphs).
+func (g *Undirected) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	_, count := g.ConnectedComponents()
+	return count == 1
+}
+
+// Validate checks structural invariants: edge endpoints in range, no
+// self-loops, no duplicates, non-negative weights. A graph built only
+// through AddEdge always validates; the check guards deserialised inputs.
+func (g *Undirected) Validate() error {
+	seen := make(map[[2]int]bool, len(g.edges))
+	for _, e := range g.edges {
+		if e.U < 0 || e.U >= g.n || e.V < 0 || e.V >= g.n {
+			return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, g.n)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("graph: self-loop at %d", e.U)
+		}
+		if e.Weight < 0 {
+			return fmt.Errorf("graph: negative weight %v on (%d,%d)", e.Weight, e.U, e.V)
+		}
+		key := [2]int{e.U, e.V}
+		if e.U > e.V {
+			key = [2]int{e.V, e.U}
+		}
+		if seen[key] {
+			return fmt.Errorf("graph: duplicate edge (%d,%d)", e.U, e.V)
+		}
+		seen[key] = true
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// edgeJSON is the wire form of one weighted edge.
+type edgeJSON struct {
+	U      int     `json:"u"`
+	V      int     `json:"v"`
+	Weight float64 `json:"w"`
+}
+
+// tigJSON is the wire form of a TIG.
+type tigJSON struct {
+	Kind    string     `json:"kind"`
+	Name    string     `json:"name,omitempty"`
+	N       int        `json:"n"`
+	Weights []float64  `json:"weights"`
+	Edges   []edgeJSON `json:"edges"`
+}
+
+// resourceJSON is the wire form of a ResourceGraph. Only direct links are
+// serialised; CloseLinks state is recomputed on load when closed is true.
+type resourceJSON struct {
+	Kind   string     `json:"kind"`
+	Name   string     `json:"name,omitempty"`
+	N      int        `json:"n"`
+	Costs  []float64  `json:"costs"`
+	Links  []edgeJSON `json:"links"`
+	Closed bool       `json:"closed"`
+}
+
+// MarshalJSON implements json.Marshaler for TIG.
+func (t *TIG) MarshalJSON() ([]byte, error) {
+	out := tigJSON{Kind: "tig", Name: t.Name, N: t.N(), Weights: t.Weights}
+	for _, e := range t.Edges() {
+		out.Edges = append(out.Edges, edgeJSON{U: e.U, V: e.V, Weight: e.Weight})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for TIG and validates the
+// decoded instance.
+func (t *TIG) UnmarshalJSON(data []byte) error {
+	var in tigJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Kind != "" && in.Kind != "tig" {
+		return fmt.Errorf("graph: expected kind \"tig\", got %q", in.Kind)
+	}
+	if len(in.Weights) != in.N {
+		return fmt.Errorf("graph: TIG JSON has %d weights for n=%d", len(in.Weights), in.N)
+	}
+	decoded := NewTIGWithWeights(in.Weights)
+	decoded.Name = in.Name
+	for _, e := range in.Edges {
+		if err := decoded.AddEdge(e.U, e.V, e.Weight); err != nil {
+			return err
+		}
+	}
+	if err := decoded.Validate(); err != nil {
+		return err
+	}
+	*t = *decoded
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler for ResourceGraph.
+func (r *ResourceGraph) MarshalJSON() ([]byte, error) {
+	out := resourceJSON{Kind: "resource", Name: r.Name, N: r.N(), Costs: r.Costs}
+	for _, e := range r.Edges() {
+		out.Links = append(out.Links, edgeJSON{U: e.U, V: e.V, Weight: e.Weight})
+	}
+	// The graph is "closed" when some pair's matrix cost differs from its
+	// direct-link cost, or when every pair is finite despite a sparse
+	// topology. Detect by comparing edge count to finite-pair count.
+	out.Closed = r.FullyLinked() && len(r.Edges()) < r.N()*(r.N()-1)/2
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for ResourceGraph.
+func (r *ResourceGraph) UnmarshalJSON(data []byte) error {
+	var in resourceJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Kind != "" && in.Kind != "resource" {
+		return fmt.Errorf("graph: expected kind \"resource\", got %q", in.Kind)
+	}
+	if len(in.Costs) != in.N {
+		return fmt.Errorf("graph: resource JSON has %d costs for n=%d", len(in.Costs), in.N)
+	}
+	decoded := NewResourceGraphWithCosts(in.Costs)
+	decoded.Name = in.Name
+	for _, e := range in.Links {
+		if err := decoded.AddLink(e.U, e.V, e.Weight); err != nil {
+			return err
+		}
+	}
+	if in.Closed {
+		if err := decoded.CloseLinks(); err != nil {
+			return err
+		}
+	}
+	if err := decoded.Validate(); err != nil {
+		return err
+	}
+	*r = *decoded
+	return nil
+}
+
+// Instance bundles one mapping problem: a TIG and the platform to map it
+// onto. It is the unit the generators emit and the CLIs exchange on disk.
+type Instance struct {
+	TIG      *TIG           `json:"tig"`
+	Platform *ResourceGraph `json:"platform"`
+	// Seed records the generator seed for provenance.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Validate checks both graphs and the paper's |Vt| = |Vr| assumption used
+// throughout the experiments.
+func (in *Instance) Validate() error {
+	if in.TIG == nil || in.Platform == nil {
+		return fmt.Errorf("graph: instance missing TIG or platform")
+	}
+	if err := in.TIG.Validate(); err != nil {
+		return fmt.Errorf("graph: invalid TIG: %w", err)
+	}
+	if err := in.Platform.Validate(); err != nil {
+		return fmt.Errorf("graph: invalid platform: %w", err)
+	}
+	return nil
+}
+
+// WriteInstance serialises an instance as indented JSON.
+func WriteInstance(w io.Writer, in *Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}
+
+// ReadInstance parses and validates an instance from JSON.
+func ReadInstance(rd io.Reader) (*Instance, error) {
+	var in Instance
+	if err := json.NewDecoder(rd).Decode(&in); err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}
+
+// DOT renders the graph in Graphviz DOT syntax. Vertex labels carry the
+// per-vertex weights when provided (weights may be nil).
+func DOT(g *Undirected, name string, weights []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", name)
+	for v := 0; v < g.N(); v++ {
+		if weights != nil {
+			fmt.Fprintf(&b, "  %d [label=\"%d (%s)\"];\n", v, v, trimFloat(weights[v]))
+		} else {
+			fmt.Fprintf(&b, "  %d;\n", v)
+		}
+	}
+	edges := append([]Edge(nil), g.Edges()...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %d -- %d [label=\"%s\"];\n", e.U, e.V, trimFloat(e.Weight))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// trimFloat formats a float compactly: integers lose the decimal point.
+func trimFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}

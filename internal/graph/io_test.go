@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleInstance() *Instance {
+	tig := NewTIGWithWeights([]float64{3, 5, 7, 2})
+	tig.Name = "t"
+	tig.MustAddEdge(0, 1, 50)
+	tig.MustAddEdge(1, 2, 60)
+	tig.MustAddEdge(2, 3, 70)
+	r := NewResourceGraphWithCosts([]float64{1, 2, 3, 4})
+	r.Name = "r"
+	r.MustAddLink(0, 1, 10)
+	r.MustAddLink(1, 2, 11)
+	r.MustAddLink(2, 3, 12)
+	r.MustAddLink(0, 3, 13)
+	return &Instance{TIG: tig, Platform: r, Seed: 42}
+}
+
+func TestTIGJSONRoundTrip(t *testing.T) {
+	orig := sampleInstance().TIG
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TIG
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() || back.M() != orig.M() || back.Name != orig.Name {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", back.N(), back.M(), orig.N(), orig.M())
+	}
+	for i, w := range orig.Weights {
+		if back.Weights[i] != w {
+			t.Fatalf("weight %d changed", i)
+		}
+	}
+	if w, ok := back.EdgeWeight(1, 2); !ok || w != 60 {
+		t.Fatalf("edge (1,2) lost: %v %v", w, ok)
+	}
+}
+
+func TestTIGJSONRejectsCorrupt(t *testing.T) {
+	var back TIG
+	if err := json.Unmarshal([]byte(`{"kind":"tig","n":2,"weights":[1],"edges":[]}`), &back); err == nil {
+		t.Fatal("weight count mismatch accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"tig","n":2,"weights":[1,2],"edges":[{"u":0,"v":5,"w":1}]}`), &back); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"resource","n":1,"weights":[1]}`), &back); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestResourceJSONRoundTrip(t *testing.T) {
+	orig := sampleInstance().Platform
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ResourceGraph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() || back.M() != orig.M() {
+		t.Fatal("round trip changed shape")
+	}
+	if back.LinkCost(0, 3) != 13 {
+		t.Fatalf("link (0,3) = %v", back.LinkCost(0, 3))
+	}
+}
+
+func TestResourceJSONPreservesClosure(t *testing.T) {
+	r := NewResourceGraphWithCosts([]float64{1, 1, 1})
+	r.MustAddLink(0, 1, 2)
+	r.MustAddLink(1, 2, 3)
+	if err := r.CloseLinks(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ResourceGraph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.LinkCost(0, 2); got != 5 {
+		t.Fatalf("closure lost on round trip: LinkCost(0,2)=%v, want 5", got)
+	}
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	orig := sampleInstance()
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != 42 || back.TIG.N() != 4 || back.Platform.N() != 4 {
+		t.Fatal("instance round trip lost data")
+	}
+}
+
+func TestReadInstanceRejectsInvalid(t *testing.T) {
+	if _, err := ReadInstance(strings.NewReader(`{"tig":null,"platform":null}`)); err == nil {
+		t.Fatal("nil graphs accepted")
+	}
+	if _, err := ReadInstance(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := NewUndirected(3)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 3.5)
+	out := DOT(g, "demo", []float64{1, 2, 3})
+	for _, want := range []string{`graph "demo"`, "0 -- 1", "1 -- 2", `label="2"`, `label="3.5"`, `0 (1)`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	plain := DOT(g, "p", nil)
+	if !strings.Contains(plain, "  0;\n") {
+		t.Fatalf("DOT without weights malformed:\n%s", plain)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := NewUndirected(4)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(1, 2, 4)
+	s := Summarize(g)
+	if s.N != 4 || s.M != 2 {
+		t.Fatalf("N/M: %+v", s)
+	}
+	if s.MinDegree != 0 || s.MaxDegree != 2 || s.MeanDegree != 1 {
+		t.Fatalf("degrees: %+v", s)
+	}
+	if s.Components != 2 {
+		t.Fatalf("components: %+v", s)
+	}
+	if s.MinEdgeW != 2 || s.MaxEdgeW != 4 || s.MeanEdgeW != 3 || s.TotalEdgeW != 6 {
+		t.Fatalf("edge weights: %+v", s)
+	}
+	if s.Density != 2.0/6.0 {
+		t.Fatalf("density: %v", s.Density)
+	}
+	if !strings.Contains(s.String(), "n=4 m=2") {
+		t.Fatalf("String(): %s", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(NewUndirected(0))
+	if s.N != 0 || s.MinDegree != 0 || s.MinEdgeW != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := NewUndirected(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 1)
+	hist, degrees := DegreeHistogram(g)
+	if hist[0] != 1 || hist[1] != 2 || hist[2] != 1 {
+		t.Fatalf("hist: %v", hist)
+	}
+	if len(degrees) != 3 || degrees[0] != 0 || degrees[2] != 2 {
+		t.Fatalf("degrees: %v", degrees)
+	}
+	text := FormatDegreeHistogram(g)
+	if !strings.Contains(text, "degree  count") {
+		t.Fatalf("histogram text: %s", text)
+	}
+}

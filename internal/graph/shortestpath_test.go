@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"matchsim/internal/xrand"
+)
+
+func TestShortestPathsFromHandGraph(t *testing.T) {
+	// 0 -1- 1 -2- 2, plus expensive direct 0-2 (weight 10), isolated 3.
+	g := NewUndirected(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	g.MustAddEdge(0, 2, 10)
+	dist := g.ShortestPathsFrom(0)
+	want := []float64{0, 1, 3, math.Inf(1)}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist[%d] = %v, want %v", i, dist[i], want[i])
+		}
+	}
+	dist2 := g.ShortestPathsFrom(2)
+	if dist2[0] != 3 || dist2[1] != 2 {
+		t.Fatalf("dist from 2: %v", dist2)
+	}
+}
+
+func TestShortestPathsPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range source")
+		}
+	}()
+	NewUndirected(2).ShortestPathsFrom(5)
+}
+
+func TestCloseLinksDijkstraMatchesFloydWarshall(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 4 + rng.Intn(12)
+		build := func() *ResourceGraph {
+			r := NewResourceGraph(n)
+			perm := rng.Perm(n)
+			// Deterministic regeneration: rebuild the rng stream per copy
+			// is awkward, so build once and clone instead.
+			for i := 1; i < n; i++ {
+				r.MustAddLink(perm[i-1], perm[i], 1+9*rng.Float64())
+			}
+			for k := 0; k < n; k++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u != v && !r.HasEdge(u, v) {
+					r.MustAddLink(u, v, 1+9*rng.Float64())
+				}
+			}
+			return r
+		}
+		a := build()
+		b := a.Clone()
+		if err := a.CloseLinks(); err != nil {
+			return false
+		}
+		if err := b.CloseLinksDijkstra(); err != nil {
+			return false
+		}
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if math.Abs(a.LinkCost(s, d)-b.LinkCost(s, d)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseLinksDijkstraDisconnected(t *testing.T) {
+	r := NewResourceGraphWithCosts([]float64{1, 1, 1})
+	r.MustAddLink(0, 1, 1)
+	if err := r.CloseLinksDijkstra(); err == nil {
+		t.Fatal("disconnected platform closed")
+	}
+}
+
+func TestCloseLinksDijkstraKeepsDirectLinks(t *testing.T) {
+	r := NewResourceGraphWithCosts([]float64{1, 1, 1})
+	r.MustAddLink(0, 1, 2)
+	r.MustAddLink(1, 2, 2)
+	r.MustAddLink(0, 2, 3) // cheaper than the 0-1-2 route (4)
+	if err := r.CloseLinksDijkstra(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.LinkCost(0, 2); got != 3 {
+		t.Fatalf("direct link lost: %v", got)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCloseLinksFloydWarshall50(b *testing.B) {
+	rng := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := NewResourceGraph(50)
+		perm := rng.Perm(50)
+		for j := 1; j < 50; j++ {
+			r.MustAddLink(perm[j-1], perm[j], 1+rng.Float64())
+		}
+		b.StartTimer()
+		if err := r.CloseLinks(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCloseLinksDijkstra50(b *testing.B) {
+	rng := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := NewResourceGraph(50)
+		perm := rng.Perm(50)
+		for j := 1; j < 50; j++ {
+			r.MustAddLink(perm[j-1], perm[j], 1+rng.Float64())
+		}
+		b.StartTimer()
+		if err := r.CloseLinksDijkstra(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats summarises a weighted undirected graph for experiment logs.
+type Stats struct {
+	N, M           int
+	Density        float64 // M / (N choose 2)
+	MinDegree      int
+	MaxDegree      int
+	MeanDegree     float64
+	Components     int
+	TotalEdgeW     float64
+	MinEdgeW       float64
+	MaxEdgeW       float64
+	MeanEdgeW      float64
+	DegreeHistSize int
+}
+
+// Summarize computes Stats for g.
+func Summarize(g *Undirected) Stats {
+	s := Stats{N: g.N(), M: g.M()}
+	if g.N() >= 2 {
+		s.Density = float64(g.M()) / (float64(g.N()) * float64(g.N()-1) / 2)
+	}
+	s.MinDegree = math.MaxInt
+	degSeen := map[int]bool{}
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		degSeen[d] = true
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		s.MeanDegree += float64(d)
+	}
+	if g.N() > 0 {
+		s.MeanDegree /= float64(g.N())
+	} else {
+		s.MinDegree = 0
+	}
+	s.DegreeHistSize = len(degSeen)
+	_, s.Components = g.ConnectedComponents()
+	s.MinEdgeW = math.Inf(1)
+	for _, e := range g.Edges() {
+		s.TotalEdgeW += e.Weight
+		if e.Weight < s.MinEdgeW {
+			s.MinEdgeW = e.Weight
+		}
+		if e.Weight > s.MaxEdgeW {
+			s.MaxEdgeW = e.Weight
+		}
+	}
+	if g.M() > 0 {
+		s.MeanEdgeW = s.TotalEdgeW / float64(g.M())
+	} else {
+		s.MinEdgeW = 0
+	}
+	return s
+}
+
+// String renders the summary on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d density=%.3f deg[min=%d mean=%.2f max=%d] comps=%d edgeW[min=%g mean=%.2f max=%g sum=%g]",
+		s.N, s.M, s.Density, s.MinDegree, s.MeanDegree, s.MaxDegree, s.Components,
+		s.MinEdgeW, s.MeanEdgeW, s.MaxEdgeW, s.TotalEdgeW)
+}
+
+// DegreeHistogram returns degree -> vertex count, plus the sorted list of
+// distinct degrees for deterministic rendering.
+func DegreeHistogram(g *Undirected) (hist map[int]int, degrees []int) {
+	hist = map[int]int{}
+	for v := 0; v < g.N(); v++ {
+		hist[g.Degree(v)]++
+	}
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	return hist, degrees
+}
+
+// FormatDegreeHistogram renders the histogram as an aligned two-column
+// text block for experiment logs.
+func FormatDegreeHistogram(g *Undirected) string {
+	hist, degrees := DegreeHistogram(g)
+	var b strings.Builder
+	b.WriteString("degree  count\n")
+	for _, d := range degrees {
+		fmt.Fprintf(&b, "%6d  %5d\n", d, hist[d])
+	}
+	return b.String()
+}

@@ -1,0 +1,276 @@
+// Package heuristics provides the non-CE, non-GA baseline mappers used by
+// the ablation benches: random search, a greedy load-balancing
+// construction, 2-swap hill climbing, and simulated annealing.
+//
+// The paper compares MaTCH only against FastMap-GA (its Section 5 notes
+// the lack of readily available heuristics for the TIG mapping problem,
+// and cites Braun et al.'s study of eleven heuristics for the independent-
+// task variant). These baselines put MaTCH's improvement factors in a
+// wider context and double as correctness cross-checks: every solver here
+// must agree with the others on trivially optimal instances.
+//
+// All solvers work on bijective mappings (|Vt| = |Vr|), use the
+// incremental cost.State evaluator for O(deg) move scoring, and are
+// deterministic per seed.
+package heuristics
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"matchsim/internal/cost"
+	"matchsim/internal/xrand"
+)
+
+// Result is the common outcome type for all baseline solvers.
+type Result struct {
+	Mapping     cost.Mapping
+	Exec        float64
+	Evaluations int64
+	MappingTime time.Duration
+}
+
+func finish(start time.Time, m cost.Mapping, exec float64, evals int64) (*Result, error) {
+	if !m.IsPermutation() {
+		return nil, fmt.Errorf("heuristics: internal error — result %v is not a permutation", m)
+	}
+	return &Result{
+		Mapping:     m.Clone(),
+		Exec:        exec,
+		Evaluations: evals,
+		MappingTime: time.Since(start),
+	}, nil
+}
+
+func checkSquare(eval *cost.Evaluator) error {
+	if eval.NumTasks() < 1 {
+		return fmt.Errorf("heuristics: empty task set")
+	}
+	if eval.NumTasks() != eval.NumResources() {
+		return fmt.Errorf("heuristics: bijective solvers require |Vt| = |Vr| (got %d tasks, %d resources)",
+			eval.NumTasks(), eval.NumResources())
+	}
+	return nil
+}
+
+// RandomSearch draws `samples` uniform random permutations and keeps the
+// best — the weakest sensible baseline and the floor every other solver
+// must beat.
+func RandomSearch(eval *cost.Evaluator, samples int, seed uint64) (*Result, error) {
+	if err := checkSquare(eval); err != nil {
+		return nil, err
+	}
+	if samples < 1 {
+		return nil, fmt.Errorf("heuristics: sample budget %d < 1", samples)
+	}
+	start := time.Now()
+	n := eval.NumTasks()
+	rng := xrand.New(seed)
+	perm := make([]int, n)
+	scratch := make([]float64, n)
+	best := make(cost.Mapping, n)
+	bestExec := math.Inf(1)
+	for i := 0; i < samples; i++ {
+		rng.PermInto(perm)
+		if exec := eval.ExecInto(cost.Mapping(perm), scratch); exec < bestExec {
+			bestExec = exec
+			copy(best, perm)
+		}
+	}
+	return finish(start, best, bestExec, int64(samples))
+}
+
+// Greedy builds a mapping constructively: tasks in decreasing
+// computational weight each take the resource that minimises the partial
+// makespan given the assignments so far (compute plus communication to
+// already-placed neighbours). This adapts the min-min philosophy of the
+// independent-task literature to TIGs.
+func Greedy(eval *cost.Evaluator) (*Result, error) {
+	if err := checkSquare(eval); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := eval.NumTasks()
+	tig := eval.TIG()
+	link := eval.Platform().LinkMatrix()
+
+	// Order tasks by decreasing weight (heaviest first), ties by index.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort: n is small, keeps it stable
+		for j := i; j > 0 && tig.Weights[order[j]] > tig.Weights[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	mapping := make(cost.Mapping, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	loads := make([]float64, n)
+	taken := make([]bool, n)
+	var evals int64
+	for _, task := range order {
+		bestRes, bestPeak := -1, math.Inf(1)
+		for res := 0; res < n; res++ {
+			if taken[res] {
+				continue
+			}
+			evals++
+			// Load increase on res plus on placed neighbours' resources.
+			addSelf := eval.ComputeTime(task, res)
+			peak := 0.0
+			for _, nb := range tig.Neighbors(task) {
+				b := mapping[nb.To]
+				if b < 0 || b == res {
+					continue
+				}
+				c := nb.Weight * link[res*n+b]
+				addSelf += c
+				if l := loads[b] + c; l > peak {
+					peak = l
+				}
+			}
+			if l := loads[res] + addSelf; l > peak {
+				peak = l
+			}
+			// Global partial makespan: untouched resources keep their load.
+			for s := 0; s < n; s++ {
+				if s != res && loads[s] > peak {
+					peak = loads[s]
+				}
+			}
+			if peak < bestPeak {
+				bestPeak, bestRes = peak, res
+			}
+		}
+		// Commit.
+		mapping[task] = bestRes
+		taken[bestRes] = true
+		loads[bestRes] += eval.ComputeTime(task, bestRes)
+		for _, nb := range tig.Neighbors(task) {
+			b := mapping[nb.To]
+			if b < 0 || b == bestRes {
+				continue
+			}
+			c := nb.Weight * link[bestRes*n+b]
+			loads[bestRes] += c
+			loads[b] += c
+		}
+	}
+	return finish(start, mapping, eval.Exec(mapping), evals)
+}
+
+// LocalSearch runs steepest-descent 2-swap hill climbing from a random
+// start: repeatedly apply the best improving swap until none exists.
+// Restarts times from fresh random permutations; keeps the global best.
+func LocalSearch(eval *cost.Evaluator, restarts int, seed uint64) (*Result, error) {
+	if err := checkSquare(eval); err != nil {
+		return nil, err
+	}
+	if restarts < 1 {
+		return nil, fmt.Errorf("heuristics: restart budget %d < 1", restarts)
+	}
+	start := time.Now()
+	n := eval.NumTasks()
+	rng := xrand.New(seed)
+	best := make(cost.Mapping, n)
+	bestExec := math.Inf(1)
+	var evals int64
+
+	for r := 0; r < restarts; r++ {
+		st, err := cost.NewState(eval, cost.Mapping(rng.Perm(n)))
+		if err != nil {
+			return nil, err
+		}
+		current := st.Exec()
+		for {
+			bi, bj, bestMove := -1, -1, current
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					evals++
+					if exec := st.ExecAfterSwap(i, j); exec < bestMove-1e-12 {
+						bi, bj, bestMove = i, j, exec
+					}
+				}
+			}
+			if bi < 0 {
+				break
+			}
+			st.Swap(bi, bj)
+			current = bestMove
+		}
+		if current < bestExec {
+			bestExec = current
+			copy(best, st.Mapping())
+		}
+	}
+	return finish(start, best, bestExec, evals)
+}
+
+// AnnealOptions tunes SimulatedAnnealing. Zero values take defaults
+// derived from the instance.
+type AnnealOptions struct {
+	// InitialTemp sets T_0; default: 20% of the random-start makespan.
+	InitialTemp float64
+	// CoolingRate is the geometric factor per step; default 0.9995.
+	CoolingRate float64
+	// Steps is the move budget; default 200 * n^2.
+	Steps int
+	// Seed fixes the run.
+	Seed uint64
+}
+
+// SimulatedAnnealing runs classic Metropolis annealing over 2-swap moves.
+func SimulatedAnnealing(eval *cost.Evaluator, opts AnnealOptions) (*Result, error) {
+	if err := checkSquare(eval); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := eval.NumTasks()
+	rng := xrand.New(opts.Seed)
+	st, err := cost.NewState(eval, cost.Mapping(rng.Perm(n)))
+	if err != nil {
+		return nil, err
+	}
+	current := st.Exec()
+	if opts.InitialTemp == 0 {
+		opts.InitialTemp = 0.2 * current
+	}
+	if opts.CoolingRate == 0 {
+		opts.CoolingRate = 0.9995
+	}
+	if opts.Steps == 0 {
+		opts.Steps = 200 * n * n
+	}
+	if opts.InitialTemp <= 0 || opts.CoolingRate <= 0 || opts.CoolingRate >= 1 || opts.Steps < 1 {
+		return nil, fmt.Errorf("heuristics: invalid annealing options %+v", opts)
+	}
+
+	best := st.Mapping().Clone()
+	bestExec := current
+	temp := opts.InitialTemp
+	var evals int64
+	for step := 0; step < opts.Steps; step++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		evals++
+		candidate := st.ExecAfterSwap(i, j)
+		delta := candidate - current
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			st.Swap(i, j)
+			current = candidate
+			if current < bestExec {
+				bestExec = current
+				copy(best, st.Mapping())
+			}
+		}
+		temp *= opts.CoolingRate
+	}
+	return finish(start, best, bestExec, evals)
+}

@@ -1,0 +1,255 @@
+package heuristics
+
+import (
+	"math"
+	"testing"
+
+	"matchsim/internal/cost"
+	"matchsim/internal/gen"
+	"matchsim/internal/graph"
+)
+
+func paperEval(t testing.TB, seed uint64, n int) *cost.Evaluator {
+	t.Helper()
+	inst, err := gen.PaperInstance(seed, n, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := cost.NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func bruteForceBest(e *cost.Evaluator) float64 {
+	n := e.NumTasks()
+	perm := make([]int, n)
+	best := math.Inf(1)
+	var rec func(int, []bool)
+	rec = func(depth int, used []bool) {
+		if depth == n {
+			if exec := e.Exec(perm); exec < best {
+				best = exec
+			}
+			return
+		}
+		for r := 0; r < n; r++ {
+			if !used[r] {
+				used[r] = true
+				perm[depth] = r
+				rec(depth+1, used)
+				used[r] = false
+			}
+		}
+	}
+	rec(0, make([]bool, n))
+	return best
+}
+
+func TestRandomSearchValidAndMonotoneInBudget(t *testing.T) {
+	e := paperEval(t, 1, 12)
+	small, err := RandomSearch(e, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RandomSearch(e, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !small.Mapping.IsPermutation() || !big.Mapping.IsPermutation() {
+		t.Fatal("non-permutation result")
+	}
+	if big.Exec > small.Exec {
+		t.Fatalf("larger budget worse: %v vs %v", big.Exec, small.Exec)
+	}
+	if big.Evaluations != 2000 {
+		t.Fatalf("evaluations %d", big.Evaluations)
+	}
+	if math.Abs(e.Exec(big.Mapping)-big.Exec) > 1e-9 {
+		t.Fatal("exec inconsistent")
+	}
+}
+
+func TestRandomSearchRejectsBadInput(t *testing.T) {
+	e := paperEval(t, 1, 5)
+	if _, err := RandomSearch(e, 0, 1); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	tig := graph.NewTIGWithWeights([]float64{1, 1})
+	r := graph.NewResourceGraphWithCosts([]float64{1})
+	bad, err := cost.NewEvaluator(tig, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RandomSearch(bad, 10, 1); err == nil {
+		t.Fatal("non-square instance accepted")
+	}
+}
+
+func TestGreedyValidAndBeatsWorstRandom(t *testing.T) {
+	e := paperEval(t, 2, 15)
+	res, err := Greedy(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapping.IsPermutation() {
+		t.Fatal("greedy produced non-permutation")
+	}
+	if math.Abs(e.Exec(res.Mapping)-res.Exec) > 1e-9 {
+		t.Fatal("exec inconsistent")
+	}
+	// Greedy should beat a single random mapping almost always; compare
+	// against the mean of a few.
+	rnd, err := RandomSearch(e, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exec > 2*rnd.Exec {
+		t.Fatalf("greedy %v catastrophically worse than random %v", res.Exec, rnd.Exec)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	e := paperEval(t, 3, 10)
+	a, err := Greedy(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Greedy(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Exec != b.Exec {
+		t.Fatal("greedy non-deterministic")
+	}
+	for i := range a.Mapping {
+		if a.Mapping[i] != b.Mapping[i] {
+			t.Fatal("greedy mappings differ")
+		}
+	}
+}
+
+func TestLocalSearchReachesLocalOptimum(t *testing.T) {
+	e := paperEval(t, 4, 10)
+	res, err := LocalSearch(e, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapping.IsPermutation() {
+		t.Fatal("non-permutation")
+	}
+	// No single swap may improve the returned mapping.
+	st, err := cost.NewState(e, res.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			if st.ExecAfterSwap(i, j) < res.Exec-1e-9 {
+				t.Fatalf("swap (%d,%d) improves a supposed local optimum", i, j)
+			}
+		}
+	}
+}
+
+func TestLocalSearchFindsOptimumOnTiny(t *testing.T) {
+	e := paperEval(t, 5, 6)
+	want := bruteForceBest(e)
+	res, err := LocalSearch(e, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Exec-want) > 1e-9 {
+		t.Fatalf("local search %v vs optimum %v", res.Exec, want)
+	}
+}
+
+func TestSimulatedAnnealingValidAndCompetitive(t *testing.T) {
+	e := paperEval(t, 6, 12)
+	res, err := SimulatedAnnealing(e, AnnealOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapping.IsPermutation() {
+		t.Fatal("non-permutation")
+	}
+	if math.Abs(e.Exec(res.Mapping)-res.Exec) > 1e-9 {
+		t.Fatal("exec inconsistent")
+	}
+	// SA with a default budget should beat pure random sampling of the
+	// same order of evaluations.
+	rnd, err := RandomSearch(e, int(res.Evaluations), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exec > rnd.Exec*1.05 {
+		t.Fatalf("SA %v worse than random search %v", res.Exec, rnd.Exec)
+	}
+}
+
+func TestSimulatedAnnealingOptionValidation(t *testing.T) {
+	e := paperEval(t, 7, 6)
+	if _, err := SimulatedAnnealing(e, AnnealOptions{CoolingRate: 1.5}); err == nil {
+		t.Fatal("cooling rate > 1 accepted")
+	}
+	if _, err := SimulatedAnnealing(e, AnnealOptions{Steps: -5}); err == nil {
+		t.Fatal("negative steps accepted")
+	}
+	if _, err := SimulatedAnnealing(e, AnnealOptions{InitialTemp: -1}); err == nil {
+		t.Fatal("negative temperature accepted")
+	}
+}
+
+func TestAllSolversAgreeOnTrivialInstance(t *testing.T) {
+	// Homogeneous platform, no communication: any permutation has the
+	// same makespan (max W^t * w). Every solver must return it.
+	tig := graph.NewTIGWithWeights([]float64{2, 2, 2, 2})
+	r := graph.NewResourceGraphWithCosts([]float64{3, 3, 3, 3})
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			r.MustAddLink(u, v, 1)
+		}
+	}
+	e, err := cost.NewEvaluator(tig, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = 6.0
+	if res, err := RandomSearch(e, 5, 1); err != nil || res.Exec != want {
+		t.Fatalf("random: %v %v", res, err)
+	}
+	if res, err := Greedy(e); err != nil || res.Exec != want {
+		t.Fatalf("greedy: %v %v", res, err)
+	}
+	if res, err := LocalSearch(e, 1, 1); err != nil || res.Exec != want {
+		t.Fatalf("local: %v %v", res, err)
+	}
+	if res, err := SimulatedAnnealing(e, AnnealOptions{Seed: 1, Steps: 100}); err != nil || res.Exec != want {
+		t.Fatalf("sa: %v %v", res, err)
+	}
+}
+
+func TestSolverQualityOrderingOnMediumInstance(t *testing.T) {
+	// Sanity ordering: local search and SA should not lose to a tiny
+	// random-sample baseline on a 20-node instance.
+	e := paperEval(t, 8, 20)
+	rnd, err := RandomSearch(e, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := LocalSearch(e, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := SimulatedAnnealing(e, AnnealOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Exec > rnd.Exec {
+		t.Fatalf("local search %v worse than 50 random draws %v", ls.Exec, rnd.Exec)
+	}
+	if sa.Exec > rnd.Exec {
+		t.Fatalf("SA %v worse than 50 random draws %v", sa.Exec, rnd.Exec)
+	}
+}

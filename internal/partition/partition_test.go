@@ -1,0 +1,274 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"matchsim/internal/core"
+	"matchsim/internal/cost"
+	"matchsim/internal/gen"
+	"matchsim/internal/graph"
+	"matchsim/internal/xrand"
+)
+
+func chainTIG(n int, w, c float64) *graph.TIG {
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = w
+	}
+	t := graph.NewTIGWithWeights(weights)
+	for i := 0; i+1 < n; i++ {
+		t.MustAddEdge(i, i+1, c)
+	}
+	return t
+}
+
+func TestCoarsenBasicInvariants(t *testing.T) {
+	tig := chainTIG(12, 2, 10)
+	co, err := Coarsen(tig, 4, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Coarse.NumTasks() != 4 {
+		t.Fatalf("coarse size %d", co.Coarse.NumTasks())
+	}
+	if err := co.Coarse.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Total work is preserved.
+	if math.Abs(co.Coarse.TotalWork()-tig.TotalWork()) > 1e-9 {
+		t.Fatalf("work lost: %v vs %v", co.Coarse.TotalWork(), tig.TotalWork())
+	}
+	// Assignments are dense and consistent with member lists.
+	for c, members := range co.ClusterMembers {
+		if len(members) == 0 {
+			t.Fatalf("cluster %d empty", c)
+		}
+		for _, task := range members {
+			if co.Assign[task] != c {
+				t.Fatalf("member list inconsistent at task %d", task)
+			}
+		}
+	}
+	// Communication is preserved or internalised: coarse total comm +
+	// internalised comm = original total comm.
+	internal := tig.TotalCommunication() - co.Coarse.TotalCommunication()
+	if internal < 0 {
+		t.Fatalf("coarse graph has more communication than original")
+	}
+}
+
+func TestCoarsenMergesHeaviestEdges(t *testing.T) {
+	// Two heavy pairs and one light bridge: coarsening to 2 clusters
+	// must keep each heavy pair together.
+	weights := []float64{1, 1, 1, 1}
+	tig := graph.NewTIGWithWeights(weights)
+	tig.MustAddEdge(0, 1, 100)
+	tig.MustAddEdge(2, 3, 100)
+	tig.MustAddEdge(1, 2, 1)
+	co, err := Coarsen(tig, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Assign[0] != co.Assign[1] || co.Assign[2] != co.Assign[3] {
+		t.Fatalf("heavy pairs split: %v", co.Assign)
+	}
+	if co.Assign[0] == co.Assign[2] {
+		t.Fatalf("everything merged into one cluster: %v", co.Assign)
+	}
+	// The only coarse edge carries the bridge weight.
+	if co.Coarse.M() != 1 || co.Coarse.TotalCommunication() != 1 {
+		t.Fatalf("coarse edges wrong: m=%d total=%v", co.Coarse.M(), co.Coarse.TotalCommunication())
+	}
+}
+
+func TestCoarsenBalanceCap(t *testing.T) {
+	// A star of heavy edges around task 0 tempts the contractor to grow
+	// one giant cluster; the cap must keep cluster weights bounded.
+	weights := make([]float64, 9)
+	for i := range weights {
+		weights[i] = 1
+	}
+	tig := graph.NewTIGWithWeights(weights)
+	for i := 1; i < 9; i++ {
+		tig.MustAddEdge(0, i, 100)
+	}
+	co, err := Coarsen(tig, 3, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal weight = 3; cap = 4.5. No cluster may exceed it while legal
+	// merges existed (they did).
+	for c, members := range co.ClusterMembers {
+		w := 0.0
+		for _, task := range members {
+			w += weights[task]
+		}
+		if w > 4.5+1e-9 {
+			t.Fatalf("cluster %d weight %v exceeds cap", c, w)
+		}
+	}
+}
+
+func TestCoarsenDisconnectedTIG(t *testing.T) {
+	// Two components, no edges between: merging must still reach k.
+	tig := graph.NewTIGWithWeights([]float64{1, 1, 1, 1})
+	tig.MustAddEdge(0, 1, 5)
+	tig.MustAddEdge(2, 3, 5)
+	co, err := Coarsen(tig, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Coarse.NumTasks() != 1 || co.Coarse.M() != 0 {
+		t.Fatalf("full contraction wrong: %d nodes %d edges", co.Coarse.NumTasks(), co.Coarse.M())
+	}
+}
+
+func TestCoarsenErrors(t *testing.T) {
+	tig := chainTIG(5, 1, 1)
+	if _, err := Coarsen(tig, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Coarsen(tig, 6, 0); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if co, err := Coarsen(tig, 5, 0); err != nil || co.Coarse.NumTasks() != 5 {
+		t.Fatalf("identity coarsening failed: %v", err)
+	}
+}
+
+func TestCoarsenIdentityPreservesGraph(t *testing.T) {
+	tig := chainTIG(6, 2, 7)
+	co, err := Coarsen(tig, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Coarse.M() != tig.M() || co.Coarse.TotalCommunication() != tig.TotalCommunication() {
+		t.Fatal("identity coarsening altered the graph")
+	}
+	for t2 := 0; t2 < 6; t2++ {
+		if len(co.ClusterMembers[co.Assign[t2]]) != 1 {
+			t.Fatal("identity coarsening merged tasks")
+		}
+	}
+}
+
+func TestMapHierarchicalEndToEnd(t *testing.T) {
+	// 40 tasks onto 8 resources.
+	rng := xrand.New(4)
+	tig, err := gen.PaperTIG(rng, 40, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := gen.PaperPlatform(rng, 8, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MapHierarchical(tig, platform, core.Options{Seed: 1, MaxIterations: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Mapping.Validate(8); err != nil {
+		t.Fatal(err)
+	}
+	// Every resource hosts exactly one cluster -> mapping must use all 8.
+	used := map[int]bool{}
+	for _, r := range res.Mapping {
+		used[r] = true
+	}
+	if len(used) != 8 {
+		t.Fatalf("mapping uses %d resources, want 8", len(used))
+	}
+	// Exec consistency with a fresh evaluator.
+	eval, err := cost.NewEvaluator(tig, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eval.Exec(res.Mapping)-res.Exec) > 1e-9 {
+		t.Fatalf("exec %v inconsistent", res.Exec)
+	}
+	// Tasks in one cluster share a resource.
+	for c, members := range res.Coarsening.ClusterMembers {
+		for _, task := range members {
+			if res.Mapping[task] != res.CoarseRun.Mapping[c] {
+				t.Fatalf("cluster %d not co-located", c)
+			}
+		}
+	}
+}
+
+func TestMapHierarchicalBeatsRandomScatter(t *testing.T) {
+	rng := xrand.New(5)
+	tig, err := gen.PaperTIG(rng, 30, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := gen.PaperPlatform(rng, 6, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MapHierarchical(tig, platform, core.Options{Seed: 2, MaxIterations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := cost.NewEvaluator(tig, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random many-to-one scatter baseline (best of 20).
+	best := math.Inf(1)
+	m := make(cost.Mapping, 30)
+	for trial := 0; trial < 20; trial++ {
+		for i := range m {
+			m[i] = rng.Intn(6)
+		}
+		if exec := eval.Exec(m); exec < best {
+			best = exec
+		}
+	}
+	if res.Exec >= best {
+		t.Fatalf("hierarchical %v no better than best-of-20 random scatter %v", res.Exec, best)
+	}
+}
+
+func TestMapHierarchicalRejectsTooFewTasks(t *testing.T) {
+	tig := chainTIG(3, 1, 1)
+	platform := graph.NewResourceGraphWithCosts([]float64{1, 1, 1, 1})
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			platform.MustAddLink(a, b, 1)
+		}
+	}
+	if _, err := MapHierarchical(tig, platform, core.Options{}); err == nil {
+		t.Fatal("|Vt| < |Vr| accepted")
+	}
+}
+
+// Property: coarsening preserves total work and never inflates total
+// communication, for arbitrary random TIGs and cluster counts.
+func TestCoarsenProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		local := xrand.New(seed)
+		n := 5 + local.Intn(30)
+		tig, err := gen.PaperTIG(local, n, gen.DefaultPaperConfig())
+		if err != nil {
+			return false
+		}
+		k := 1 + local.Intn(n)
+		co, err := Coarsen(tig, k, 1.5)
+		if err != nil {
+			return false
+		}
+		if co.Coarse.NumTasks() != k || co.Coarse.Validate() != nil {
+			return false
+		}
+		if math.Abs(co.Coarse.TotalWork()-tig.TotalWork()) > 1e-6 {
+			return false
+		}
+		return co.Coarse.TotalCommunication() <= tig.TotalCommunication()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"matchsim/internal/cost"
+	"matchsim/internal/gen"
+	"matchsim/internal/graph"
+	"matchsim/internal/xrand"
+)
+
+func handEval(t *testing.T) *cost.Evaluator {
+	t.Helper()
+	tig := graph.NewTIGWithWeights([]float64{2, 3})
+	tig.MustAddEdge(0, 1, 10)
+	r := graph.NewResourceGraphWithCosts([]float64{1, 2})
+	r.MustAddLink(0, 1, 4)
+	e, err := cost.NewEvaluator(tig, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRunHandChecked(t *testing.T) {
+	e := handEval(t)
+	// Mapping [0,1]: r0 gets compute 2, send 40; r1 gets compute 6,
+	// receive 40 (after r0's send finishes at t=42) plus its own send 40
+	// and r0 receives it.
+	// Analytic: Exec_0 = 2 + 40 = 42... wait, eq.1 charges each crossing
+	// edge once per endpoint: Exec_0 = 2 + 40 = 42, Exec_1 = 6 + 40 = 46.
+	rep, err := Run(e, cost.Mapping{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AnalyticExec != 46 {
+		t.Fatalf("analytic %v, want 46", rep.AnalyticExec)
+	}
+	// Simulated: r0 computes [0,2], sends [2,42]; r1 computes [0,6],
+	// sends [6,46]; r0 receives r1's message [46,86]? No: r1's send
+	// completes at 46, r0 idle since 42 -> receive [46,86]. r1 receives
+	// r0's message (sent at 42): r1 busy sending until 46 -> receive
+	// [46,86]. Makespan 86.
+	if rep.Makespan != 86 {
+		t.Fatalf("simulated makespan %v, want 86", rep.Makespan)
+	}
+	if rep.Events != 6 { // 2 computes + 2 sends + 2 receives
+		t.Fatalf("events %d, want 6", rep.Events)
+	}
+	// Busy time: r0 = 2+40+40 = 82, r1 = 6+40+40 = 86.
+	if rep.BusyTime[0] != 82 || rep.BusyTime[1] != 86 {
+		t.Fatalf("busy %v", rep.BusyTime)
+	}
+	if rep.IdleTime[1] != 0 || rep.IdleTime[0] != 4 {
+		t.Fatalf("idle %v", rep.IdleTime)
+	}
+}
+
+func TestColocatedHasNoCommunication(t *testing.T) {
+	e := handEval(t)
+	rep, err := Run(e, cost.Mapping{0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both on r0: compute 2 + 3 serially, no messages.
+	if rep.Makespan != 5 || rep.Events != 2 {
+		t.Fatalf("makespan %v events %d", rep.Makespan, rep.Events)
+	}
+	if rep.AnalyticExec != 5 {
+		t.Fatalf("analytic %v", rep.AnalyticExec)
+	}
+	if rep.ModelRatio != 1 {
+		t.Fatalf("model ratio %v", rep.ModelRatio)
+	}
+}
+
+func TestSimulatedNeverBeatsAnalytic(t *testing.T) {
+	// The analytic Exec is max total work per resource; a serial
+	// execution of the same work cannot finish faster.
+	inst, err := gen.PaperInstance(5, 20, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := cost.NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(9)
+	for trial := 0; trial < 30; trial++ {
+		m := cost.Mapping(rng.Perm(20))
+		rep, err := Run(e, m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.PerStep[0] < rep.AnalyticExec-1e-6 {
+			t.Fatalf("trial %d: simulated %v beats analytic %v", trial, rep.PerStep[0], rep.AnalyticExec)
+		}
+		if rep.ModelRatio < 1-1e-9 {
+			t.Fatalf("model ratio %v < 1", rep.ModelRatio)
+		}
+		// The model should be a tight prediction: dependency stalls are
+		// bounded by one message round.
+		if rep.ModelRatio > 2.5 {
+			t.Fatalf("model ratio %v implausibly large", rep.ModelRatio)
+		}
+	}
+}
+
+func TestMultipleSuperstepsScaleLinearly(t *testing.T) {
+	e := handEval(t)
+	one, err := Run(e, cost.Mapping{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := Run(e, cost.Mapping{0, 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(five.PerStep) != 5 {
+		t.Fatalf("per-step count %d", len(five.PerStep))
+	}
+	// Steps are independent (barrier), so each costs the same.
+	for i, d := range five.PerStep {
+		if math.Abs(d-one.PerStep[0]) > 1e-9 {
+			t.Fatalf("step %d duration %v != %v", i, d, one.PerStep[0])
+		}
+	}
+	if math.Abs(five.Makespan-5*one.Makespan) > 1e-9 {
+		t.Fatalf("5-step makespan %v != 5 * %v", five.Makespan, one.Makespan)
+	}
+}
+
+func TestBusyPlusIdleEqualsMakespan(t *testing.T) {
+	inst, err := gen.PaperInstance(6, 12, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := cost.NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(e, cost.Identity(12), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range rep.BusyTime {
+		if math.Abs(rep.BusyTime[s]+rep.IdleTime[s]-rep.Makespan) > 1e-6 {
+			t.Fatalf("resource %d: busy %v + idle %v != makespan %v",
+				s, rep.BusyTime[s], rep.IdleTime[s], rep.Makespan)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	e := handEval(t)
+	if _, err := Run(e, cost.Mapping{0}, 1); err == nil {
+		t.Fatal("short mapping accepted")
+	}
+	if _, err := Run(e, cost.Mapping{0, 5}, 1); err == nil {
+		t.Fatal("out-of-range mapping accepted")
+	}
+	if _, err := Run(e, cost.Mapping{0, 1}, 0); err == nil {
+		t.Fatal("zero supersteps accepted")
+	}
+}
+
+func TestBetterMappingSimulatesFaster(t *testing.T) {
+	// The simulator should agree with the cost model about which of two
+	// mappings is better when the gap is large.
+	inst, err := gen.PaperInstance(7, 15, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := cost.NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(3)
+	// Find a clearly bad and a clearly good mapping by sampling.
+	var worst, best cost.Mapping
+	worstExec, bestExec := 0.0, math.Inf(1)
+	for i := 0; i < 200; i++ {
+		m := cost.Mapping(rng.Perm(15))
+		exec := e.Exec(m)
+		if exec > worstExec {
+			worstExec, worst = exec, m.Clone()
+		}
+		if exec < bestExec {
+			bestExec, best = exec, m.Clone()
+		}
+	}
+	repWorst, err := Run(e, worst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBest, err := Run(e, best, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repBest.Makespan >= repWorst.Makespan {
+		t.Fatalf("simulator disagrees with model: best %v vs worst %v",
+			repBest.Makespan, repWorst.Makespan)
+	}
+}
+
+// Property: the simulated makespan is sandwiched between the analytic
+// Exec and the total serial work.
+func TestSimulatedBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 4 + int(seed%10)
+		inst, err := gen.PaperInstance(seed, n, gen.DefaultPaperConfig())
+		if err != nil {
+			return false
+		}
+		e, err := cost.NewEvaluator(inst.TIG, inst.Platform)
+		if err != nil {
+			return false
+		}
+		rng := xrand.New(seed ^ 0xf00d)
+		m := cost.Mapping(rng.Perm(n))
+		rep, err := Run(e, m, 1)
+		if err != nil {
+			return false
+		}
+		totalWork := 0.0
+		for _, bt := range rep.BusyTime {
+			totalWork += bt
+		}
+		return rep.Makespan >= rep.AnalyticExec-1e-6 && rep.Makespan <= totalWork+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimulate50(b *testing.B) {
+	inst, err := gen.PaperInstance(1, 50, gen.DefaultPaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := cost.NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := cost.Mapping(xrand.New(2).Perm(50))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(e, m, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Regression is an ordinary-least-squares fit y = Intercept + Slope*x.
+type Regression struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	// N is the number of points fitted.
+	N int
+}
+
+// LinearRegression fits y = a + b*x by least squares. It needs at least
+// two points with distinct x values.
+func LinearRegression(x, y []float64) (Regression, error) {
+	var out Regression
+	if len(x) != len(y) {
+		return out, fmt.Errorf("stats: regression input lengths %d != %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return out, fmt.Errorf("stats: regression needs >= 2 points, got %d", len(x))
+	}
+	mx, my := Mean(x), Mean(y)
+	sxx, sxy, syy := 0.0, 0.0, 0.0
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return out, fmt.Errorf("stats: regression with constant x")
+	}
+	out.Slope = sxy / sxx
+	out.Intercept = my - out.Slope*mx
+	out.N = len(x)
+	if syy == 0 {
+		out.R2 = 1 // constant y fitted exactly by slope 0
+	} else {
+		out.R2 = sxy * sxy / (sxx * syy)
+	}
+	return out, nil
+}
+
+// PowerLawFit fits y = c * x^k by linear regression in log-log space and
+// returns the exponent k, the coefficient c, and the log-space R^2. All
+// inputs must be positive. This is the estimator the scaling experiment
+// uses to quantify how mapping time grows with problem size.
+func PowerLawFit(x, y []float64) (k, c, r2 float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, 0, fmt.Errorf("stats: power-law fit needs >= 2 paired points")
+	}
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return 0, 0, 0, fmt.Errorf("stats: power-law fit requires positive data (x=%v, y=%v)", x[i], y[i])
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	reg, err := LinearRegression(lx, ly)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return reg.Slope, math.Exp(reg.Intercept), reg.R2, nil
+}

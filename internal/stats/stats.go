@@ -1,0 +1,303 @@
+// Package stats implements the statistical machinery behind the paper's
+// Table 3: descriptive statistics, Student-t confidence intervals for the
+// mean, and one-way ANalysis Of VAriance (ANOVA) with the F statistic and
+// its p-value.
+//
+// Everything is built from scratch on the standard library. The special
+// functions — the regularised incomplete beta function via Lentz's
+// continued fraction, from which both the F distribution and Student's t
+// distribution follow — are verified against known fixtures in the tests.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs; NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator); NaN
+// for fewer than two observations.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the sample median; NaN for an empty slice.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics; NaN for an empty slice or q
+// outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary bundles the descriptive statistics the paper's Table 3 reports
+// for each heuristic: mean, 95% confidence interval for the mean, sample
+// standard deviation, and median.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Median float64
+	CI95Lo float64
+	CI95Hi float64
+}
+
+// Summarize computes Summary over xs. The confidence interval uses the
+// Student-t quantile with n-1 degrees of freedom; for n < 2 the interval
+// degenerates to the point estimate.
+func Summarize(xs []float64) Summary {
+	s := Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Median: Median(xs),
+	}
+	if len(xs) >= 2 {
+		t := StudentTQuantile(0.975, float64(len(xs)-1))
+		half := t * s.StdDev / math.Sqrt(float64(len(xs)))
+		s.CI95Lo = s.Mean - half
+		s.CI95Hi = s.Mean + half
+	} else {
+		s.CI95Lo, s.CI95Hi = s.Mean, s.Mean
+	}
+	return s
+}
+
+// RegIncBeta returns the regularised incomplete beta function
+// I_x(a, b) for a, b > 0 and 0 <= x <= 1, computed with the continued
+// fraction of Lentz's method (Numerical Recipes 6.4).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case a <= 0 || b <= 0:
+		return math.NaN()
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	// Use the symmetry relation for faster convergence.
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// FCDF returns P(F <= x) for the F distribution with (d1, d2) degrees of
+// freedom.
+func FCDF(x, d1, d2 float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return RegIncBeta(d1/2, d2/2, d1*x/(d1*x+d2))
+}
+
+// FSurvival returns P(F > x) — the p-value of an observed F statistic.
+func FSurvival(x, d1, d2 float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	// Compute through the complementary incomplete beta to preserve
+	// precision for large x (tiny p-values).
+	return RegIncBeta(d2/2, d1/2, d2/(d1*x+d2))
+}
+
+// StudentTCDF returns P(T <= t) for Student's t distribution with df
+// degrees of freedom.
+func StudentTCDF(t, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if t == 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	tail := 0.5 * RegIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - tail
+	}
+	return tail
+}
+
+// StudentTQuantile returns the p-quantile (0 < p < 1) of Student's t
+// distribution with df degrees of freedom, by bisection on the CDF.
+func StudentTQuantile(p, df float64) float64 {
+	if df <= 0 || p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	if p == 0.5 {
+		return 0
+	}
+	lo, hi := -1e6, 1e6
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if StudentTCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ANOVA is the result of a one-way analysis of variance.
+type ANOVA struct {
+	// F is the ratio MSBetween / MSWithin.
+	F float64
+	// P is the probability of an F at least this large under the null
+	// hypothesis that all group means are equal.
+	P float64
+	// DFBetween = k-1, DFWithin = N-k.
+	DFBetween, DFWithin int
+	// Sums of squares and mean squares.
+	SSBetween, SSWithin float64
+	MSBetween, MSWithin float64
+	// GrandMean over all observations.
+	GrandMean float64
+}
+
+// OneWayANOVA performs a one-way fixed-effects ANOVA across the groups.
+// It requires at least two groups, each with at least one observation,
+// and at least one group with two (so the within-group variance exists).
+func OneWayANOVA(groups [][]float64) (ANOVA, error) {
+	var out ANOVA
+	if len(groups) < 2 {
+		return out, fmt.Errorf("stats: ANOVA requires >= 2 groups, got %d", len(groups))
+	}
+	total, count := 0.0, 0
+	for i, g := range groups {
+		if len(g) == 0 {
+			return out, fmt.Errorf("stats: ANOVA group %d is empty", i)
+		}
+		for _, x := range g {
+			total += x
+			count++
+		}
+	}
+	out.GrandMean = total / float64(count)
+	for _, g := range groups {
+		gm := Mean(g)
+		d := gm - out.GrandMean
+		out.SSBetween += float64(len(g)) * d * d
+		for _, x := range g {
+			dd := x - gm
+			out.SSWithin += dd * dd
+		}
+	}
+	out.DFBetween = len(groups) - 1
+	out.DFWithin = count - len(groups)
+	if out.DFWithin < 1 {
+		return out, fmt.Errorf("stats: ANOVA needs more observations than groups (N=%d, k=%d)", count, len(groups))
+	}
+	out.MSBetween = out.SSBetween / float64(out.DFBetween)
+	out.MSWithin = out.SSWithin / float64(out.DFWithin)
+	if out.MSWithin == 0 {
+		// Degenerate: zero within-group variance. F is +Inf unless the
+		// between-group variance is also zero.
+		if out.MSBetween == 0 {
+			out.F = 0
+			out.P = 1
+		} else {
+			out.F = math.Inf(1)
+			out.P = 0
+		}
+		return out, nil
+	}
+	out.F = out.MSBetween / out.MSWithin
+	out.P = FSurvival(out.F, float64(out.DFBetween), float64(out.DFWithin))
+	return out, nil
+}

@@ -1,0 +1,490 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"matchsim/internal/xrand"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) != math.IsNaN(want) || math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "mean", Mean(xs), 5, 1e-12)
+	approx(t, "variance", Variance(xs), 32.0/7.0, 1e-12)
+	approx(t, "stddev", StdDev(xs), math.Sqrt(32.0/7.0), 1e-12)
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("degenerate inputs must return NaN")
+	}
+}
+
+func TestMedianAndQuantile(t *testing.T) {
+	approx(t, "median odd", Median([]float64{3, 1, 2}), 2, 1e-12)
+	approx(t, "median even", Median([]float64{4, 1, 3, 2}), 2.5, 1e-12)
+	xs := []float64{10, 20, 30, 40, 50}
+	approx(t, "q0", Quantile(xs, 0), 10, 1e-12)
+	approx(t, "q1", Quantile(xs, 1), 50, 1e-12)
+	approx(t, "q0.25", Quantile(xs, 0.25), 20, 1e-12)
+	approx(t, "q0.1", Quantile(xs, 0.1), 14, 1e-12)
+	if !math.IsNaN(Quantile(nil, 0.5)) || !math.IsNaN(Quantile(xs, 1.5)) {
+		t.Fatal("bad quantile inputs must return NaN")
+	}
+	// Input must not be mutated.
+	orig := []float64{3, 1, 2}
+	Median(orig)
+	if orig[0] != 3 || orig[1] != 1 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestRegIncBetaFixtures(t *testing.T) {
+	// I_x(a,b) fixtures from standard tables / scipy.special.betainc.
+	cases := []struct{ a, b, x, want float64 }{
+		{1, 1, 0.3, 0.3},          // uniform: I_x(1,1) = x
+		{2, 2, 0.5, 0.5},          // symmetric
+		{2, 3, 0.4, 0.5248},       // scipy: 0.5248
+		{0.5, 0.5, 0.25, 1.0 / 3}, // arcsine distribution: (2/pi) asin(sqrt x)
+		{5, 2, 0.8, 0.655360},     // scipy: 0.65536
+		{10, 10, 0.5, 0.5},
+	}
+	for _, c := range cases {
+		got := RegIncBeta(c.a, c.b, c.x)
+		if math.Abs(got-c.want) > 1e-5 {
+			t.Fatalf("I_%v(%v,%v) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+	if RegIncBeta(2, 2, 0) != 0 || RegIncBeta(2, 2, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+	if !math.IsNaN(RegIncBeta(-1, 2, 0.5)) {
+		t.Fatal("negative parameter accepted")
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a).
+	rng := xrand.New(1)
+	f := func(seed uint64) bool {
+		local := xrand.New(seed ^ rng.Uint64())
+		a := 0.5 + 10*local.Float64()
+		b := 0.5 + 10*local.Float64()
+		x := local.Float64()
+		lhs := RegIncBeta(a, b, x)
+		rhs := 1 - RegIncBeta(b, a, 1-x)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncBetaMonotoneInX(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x <= 1.0001; x += 0.01 {
+		v := RegIncBeta(3, 4, math.Min(x, 1))
+		if v < prev-1e-12 {
+			t.Fatalf("I_x(3,4) not monotone at x=%v", x)
+		}
+		prev = v
+	}
+}
+
+func TestFCDFAndSurvival(t *testing.T) {
+	// Critical values: F(0.95; 1, 10) = 4.965, F(0.95; 5, 20) = 2.711.
+	if got := FCDF(4.965, 1, 10); math.Abs(got-0.95) > 1e-3 {
+		t.Fatalf("FCDF(4.965;1,10) = %v, want ~0.95", got)
+	}
+	if got := FCDF(2.711, 5, 20); math.Abs(got-0.95) > 1e-3 {
+		t.Fatalf("FCDF(2.711;5,20) = %v, want ~0.95", got)
+	}
+	if got := FSurvival(4.965, 1, 10); math.Abs(got-0.05) > 1e-3 {
+		t.Fatalf("FSurvival = %v, want ~0.05", got)
+	}
+	if FCDF(-1, 2, 2) != 0 || FSurvival(-1, 2, 2) != 1 {
+		t.Fatal("non-positive x handling wrong")
+	}
+	// CDF + survival = 1.
+	for _, x := range []float64{0.1, 1, 3, 10, 100} {
+		if s := FCDF(x, 3, 7) + FSurvival(x, 3, 7); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("CDF+survival = %v at x=%v", s, x)
+		}
+	}
+	// Huge F must give an extremely small p-value, not underflow to junk.
+	p := FSurvival(1547, 2, 87)
+	if p <= 0 || p > 1e-10 {
+		t.Fatalf("p-value for F=1547 is %v, want tiny positive", p)
+	}
+}
+
+func TestStudentTCDF(t *testing.T) {
+	// t distribution fixtures: P(T<=1.812;10)=0.95, P(T<=2.228;10)=0.975.
+	if got := StudentTCDF(1.812, 10); math.Abs(got-0.95) > 1e-3 {
+		t.Fatalf("T CDF(1.812;10) = %v", got)
+	}
+	if got := StudentTCDF(2.228, 10); math.Abs(got-0.975) > 1e-3 {
+		t.Fatalf("T CDF(2.228;10) = %v", got)
+	}
+	if got := StudentTCDF(0, 5); got != 0.5 {
+		t.Fatalf("T CDF(0) = %v", got)
+	}
+	// Symmetry: CDF(-t) = 1 - CDF(t).
+	for _, tt := range []float64{0.5, 1, 2, 5} {
+		if s := StudentTCDF(-tt, 7) + StudentTCDF(tt, 7); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("t symmetry broken at %v: %v", tt, s)
+		}
+	}
+}
+
+func TestStudentTQuantile(t *testing.T) {
+	// Known two-sided 95% critical values: df=29 -> 2.045, df=10 -> 2.228.
+	if got := StudentTQuantile(0.975, 29); math.Abs(got-2.045) > 2e-3 {
+		t.Fatalf("t(0.975;29) = %v, want 2.045", got)
+	}
+	if got := StudentTQuantile(0.975, 10); math.Abs(got-2.228) > 2e-3 {
+		t.Fatalf("t(0.975;10) = %v, want 2.228", got)
+	}
+	if got := StudentTQuantile(0.5, 10); got != 0 {
+		t.Fatalf("t(0.5) = %v", got)
+	}
+	// Quantile inverts CDF.
+	q := StudentTQuantile(0.9, 15)
+	if math.Abs(StudentTCDF(q, 15)-0.9) > 1e-9 {
+		t.Fatal("quantile does not invert CDF")
+	}
+	if !math.IsNaN(StudentTQuantile(1.2, 10)) || !math.IsNaN(StudentTQuantile(0.5, -1)) {
+		t.Fatal("bad inputs accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	// 30 observations ~ the paper's Table 3 protocol.
+	rng := xrand.New(42)
+	xs := make([]float64, 30)
+	for i := range xs {
+		xs[i] = 3500 + 200*rng.NormFloat64()
+	}
+	s := Summarize(xs)
+	if s.N != 30 {
+		t.Fatalf("N=%d", s.N)
+	}
+	if s.CI95Lo >= s.Mean || s.CI95Hi <= s.Mean {
+		t.Fatalf("CI [%v,%v] does not bracket mean %v", s.CI95Lo, s.CI95Hi, s.Mean)
+	}
+	// Half-width = t(0.975;29) * sd/sqrt(30).
+	wantHalf := StudentTQuantile(0.975, 29) * s.StdDev / math.Sqrt(30)
+	if math.Abs((s.CI95Hi-s.CI95Lo)/2-wantHalf) > 1e-9 {
+		t.Fatal("CI half-width wrong")
+	}
+	one := Summarize([]float64{7})
+	if one.CI95Lo != 7 || one.CI95Hi != 7 {
+		t.Fatalf("single observation CI: %+v", one)
+	}
+}
+
+func TestOneWayANOVAHandFixture(t *testing.T) {
+	// Classic textbook example with known results.
+	groups := [][]float64{
+		{6, 8, 4, 5, 3, 4},
+		{8, 12, 9, 11, 6, 8},
+		{13, 9, 11, 8, 7, 12},
+	}
+	a, err := OneWayANOVA(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand computation: group means 5, 9, 10; grand mean 8.
+	approx(t, "grand mean", a.GrandMean, 8, 1e-12)
+	approx(t, "SSB", a.SSBetween, 84, 1e-9)
+	approx(t, "SSW", a.SSWithin, 68, 1e-9)
+	if a.DFBetween != 2 || a.DFWithin != 15 {
+		t.Fatalf("df %d/%d", a.DFBetween, a.DFWithin)
+	}
+	approx(t, "F", a.F, (84.0/2)/(68.0/15), 1e-9)
+	// F ~= 9.26 with df (2,15): p ~= 0.0024.
+	if a.P < 0.001 || a.P > 0.005 {
+		t.Fatalf("p = %v, want ~0.0024", a.P)
+	}
+}
+
+func TestOneWayANOVANullCase(t *testing.T) {
+	// Identical group distributions should give small F, large p.
+	rng := xrand.New(7)
+	groups := make([][]float64, 3)
+	for g := range groups {
+		groups[g] = make([]float64, 50)
+		for i := range groups[g] {
+			groups[g][i] = rng.NormFloat64()
+		}
+	}
+	a, err := OneWayANOVA(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P < 0.01 {
+		t.Fatalf("null-hypothesis data rejected with p=%v (F=%v)", a.P, a.F)
+	}
+}
+
+func TestOneWayANOVASeparatedGroups(t *testing.T) {
+	// Widely separated means: F huge, p tiny — the paper's Table 3 shape.
+	rng := xrand.New(8)
+	mk := func(center float64) []float64 {
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = center + 100*rng.NormFloat64()
+		}
+		return xs
+	}
+	a, err := OneWayANOVA([][]float64{mk(3559), mk(18720), mk(16700)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.F < 1000 {
+		t.Fatalf("F = %v, want >> 1", a.F)
+	}
+	if a.P > 1e-4 {
+		t.Fatalf("p = %v, want < 0.0001", a.P)
+	}
+}
+
+func TestOneWayANOVAErrors(t *testing.T) {
+	if _, err := OneWayANOVA([][]float64{{1, 2}}); err == nil {
+		t.Fatal("single group accepted")
+	}
+	if _, err := OneWayANOVA([][]float64{{1}, {}}); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if _, err := OneWayANOVA([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("N=k accepted (no within-group df)")
+	}
+}
+
+func TestOneWayANOVADegenerateVariance(t *testing.T) {
+	// Zero within-group variance, distinct means: F = +Inf, p = 0.
+	a, err := OneWayANOVA([][]float64{{5, 5, 5}, {9, 9, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(a.F, 1) || a.P != 0 {
+		t.Fatalf("degenerate ANOVA: F=%v p=%v", a.F, a.P)
+	}
+	// All values identical: F = 0, p = 1.
+	b, err := OneWayANOVA([][]float64{{5, 5}, {5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.F != 0 || b.P != 1 {
+		t.Fatalf("constant ANOVA: F=%v p=%v", b.F, b.P)
+	}
+}
+
+// Property: ANOVA decomposition SST = SSB + SSW.
+func TestANOVADecompositionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		k := 2 + rng.Intn(4)
+		groups := make([][]float64, k)
+		for g := range groups {
+			n := 2 + rng.Intn(20)
+			groups[g] = make([]float64, n)
+			for i := range groups[g] {
+				groups[g][i] = 10 * rng.NormFloat64()
+			}
+		}
+		a, err := OneWayANOVA(groups)
+		if err != nil {
+			return false
+		}
+		// Total sum of squares computed directly.
+		var all []float64
+		for _, g := range groups {
+			all = append(all, g...)
+		}
+		gm := Mean(all)
+		sst := 0.0
+		for _, x := range all {
+			d := x - gm
+			sst += d * d
+		}
+		return math.Abs(sst-(a.SSBetween+a.SSWithin)) < 1e-6*math.Max(1, sst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelchTTestFixture(t *testing.T) {
+	// Hand-computable fixture:
+	// a = 1..5: mean 3, var 2.5, n 5 -> se^2 = 0.5
+	// b = 2,4,..,10: mean 6, var 10, n 5 -> se^2 = 2
+	// t = -3 / sqrt(2.5) = -1.897367
+	// df = 2.5^2 / (0.5^2/4 + 2^2/4) = 6.25 / 1.0625 = 5.882353
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.T-(-3/math.Sqrt(2.5))) > 1e-9 {
+		t.Fatalf("t = %v, want %v", res.T, -3/math.Sqrt(2.5))
+	}
+	if math.Abs(res.DF-6.25/1.0625) > 1e-9 {
+		t.Fatalf("df = %v, want %v", res.DF, 6.25/1.0625)
+	}
+	// p must equal the two-sided tail of the t CDF at (|t|, df)...
+	wantP := 2 * (1 - StudentTCDF(math.Abs(res.T), res.DF))
+	if math.Abs(res.P-wantP) > 1e-12 {
+		t.Fatalf("p inconsistent: %v vs %v", res.P, wantP)
+	}
+	// ...and sit near the textbook value ~0.107 for t=1.897, df=5.88.
+	if res.P < 0.09 || res.P > 0.13 {
+		t.Fatalf("p = %v, want ~0.107", res.P)
+	}
+	if res.MeanDiff != -3 {
+		t.Fatalf("mean diff %v", res.MeanDiff)
+	}
+}
+
+func TestWelchTTestIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	res, err := WelchTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T != 0 || res.P < 0.99 {
+		t.Fatalf("identical samples: t=%v p=%v", res.T, res.P)
+	}
+}
+
+func TestWelchTTestDegenerate(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("single observation accepted")
+	}
+	res, err := WelchTTest([]float64{5, 5, 5}, []float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.T, -1) || res.P != 0 {
+		t.Fatalf("zero-variance distinct means: t=%v p=%v", res.T, res.P)
+	}
+	same, err := WelchTTest([]float64{5, 5}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.T != 0 || same.P != 1 {
+		t.Fatalf("zero-variance equal means: %+v", same)
+	}
+}
+
+func TestWelchTTestSeparatedGroups(t *testing.T) {
+	rng := xrand.New(12)
+	mk := func(center float64) []float64 {
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = center + 100*rng.NormFloat64()
+		}
+		return xs
+	}
+	res, err := WelchTTest(mk(3559), mk(18720))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-10 {
+		t.Fatalf("clearly separated groups p = %v", res.P)
+	}
+	if res.MeanDiff > 0 {
+		t.Fatalf("sign wrong: %v", res.MeanDiff)
+	}
+}
+
+func TestBonferroniThreshold(t *testing.T) {
+	if got := BonferroniThreshold(0.05, 3); math.Abs(got-0.05/3) > 1e-12 {
+		t.Fatalf("threshold %v", got)
+	}
+	if got := BonferroniThreshold(0.05, 0); got != 0.05 {
+		t.Fatalf("k=0 threshold %v", got)
+	}
+}
+
+func TestLinearRegressionExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 1 + 2x
+	reg, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "slope", reg.Slope, 2, 1e-12)
+	approx(t, "intercept", reg.Intercept, 1, 1e-12)
+	approx(t, "r2", reg.R2, 1, 1e-12)
+	if reg.N != 4 {
+		t.Fatalf("N=%d", reg.N)
+	}
+}
+
+func TestLinearRegressionNoisy(t *testing.T) {
+	rng := xrand.New(13)
+	var x, y []float64
+	for i := 0; i < 200; i++ {
+		xi := rng.Float64Range(0, 10)
+		x = append(x, xi)
+		y = append(y, 4-3*xi+0.1*rng.NormFloat64())
+	}
+	reg, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reg.Slope+3) > 0.02 || math.Abs(reg.Intercept-4) > 0.05 {
+		t.Fatalf("fit %+v", reg)
+	}
+	if reg.R2 < 0.99 {
+		t.Fatalf("R2 = %v", reg.R2)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := LinearRegression([]float64{1, 2}, []float64{2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := LinearRegression([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("constant x accepted")
+	}
+	reg, err := LinearRegression([]float64{1, 2}, []float64{5, 5})
+	if err != nil || reg.Slope != 0 || reg.R2 != 1 {
+		t.Fatalf("constant y fit: %+v err=%v", reg, err)
+	}
+}
+
+func TestPowerLawFitExact(t *testing.T) {
+	// y = 3 * x^2.5
+	x := []float64{1, 2, 4, 8, 16}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 3 * math.Pow(x[i], 2.5)
+	}
+	k, c, r2, err := PowerLawFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "exponent", k, 2.5, 1e-9)
+	approx(t, "coefficient", c, 3, 1e-9)
+	approx(t, "r2", r2, 1, 1e-9)
+}
+
+func TestPowerLawFitRejectsNonPositive(t *testing.T) {
+	if _, _, _, err := PowerLawFit([]float64{1, 2}, []float64{0, 3}); err == nil {
+		t.Fatal("zero y accepted")
+	}
+	if _, _, _, err := PowerLawFit([]float64{-1, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("negative x accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TTestResult is the outcome of Welch's unequal-variance two-sample
+// t-test.
+type TTestResult struct {
+	// T is the test statistic (sign follows mean(a) - mean(b)).
+	T float64
+	// DF is the Welch-Satterthwaite effective degrees of freedom.
+	DF float64
+	// P is the two-sided p-value.
+	P float64
+	// MeanDiff is mean(a) - mean(b).
+	MeanDiff float64
+}
+
+// WelchTTest tests whether two independent samples have equal means
+// without assuming equal variances — the post-hoc pairwise companion to
+// OneWayANOVA (apply a Bonferroni correction when testing several
+// pairs). Each sample needs at least two observations and at least one
+// sample must have positive variance.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	var out TTestResult
+	if len(a) < 2 || len(b) < 2 {
+		return out, fmt.Errorf("stats: Welch t-test needs >= 2 observations per sample (got %d, %d)", len(a), len(b))
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	out.MeanDiff = ma - mb
+	sea := va / na
+	seb := vb / nb
+	se := sea + seb
+	if se == 0 {
+		// Zero variance in both samples: means are exact.
+		if ma == mb {
+			out.T, out.DF, out.P = 0, na+nb-2, 1
+		} else {
+			out.T = math.Inf(1)
+			if out.MeanDiff < 0 {
+				out.T = math.Inf(-1)
+			}
+			out.DF, out.P = na+nb-2, 0
+		}
+		return out, nil
+	}
+	out.T = out.MeanDiff / math.Sqrt(se)
+	// Welch-Satterthwaite.
+	out.DF = se * se / (sea*sea/(na-1) + seb*seb/(nb-1))
+	// Two-sided p-value from the t CDF.
+	out.P = 2 * (1 - StudentTCDF(math.Abs(out.T), out.DF))
+	if out.P > 1 {
+		out.P = 1
+	}
+	return out, nil
+}
+
+// BonferroniThreshold returns the per-comparison significance level for
+// a family-wise level alpha across k comparisons.
+func BonferroniThreshold(alpha float64, k int) float64 {
+	if k < 1 {
+		return alpha
+	}
+	return alpha / float64(k)
+}

@@ -1,0 +1,54 @@
+package stochmat
+
+import (
+	"testing"
+
+	"matchsim/internal/xrand"
+)
+
+// FuzzSamplePermutation asserts GenPerm always emits valid permutations
+// from arbitrary (fuzzer-driven) stochastic matrices, including extreme
+// spiky and near-degenerate shapes.
+func FuzzSamplePermutation(f *testing.F) {
+	f.Add(uint8(5), uint64(1), false)
+	f.Add(uint8(1), uint64(2), true)
+	f.Add(uint8(30), uint64(3), true)
+	f.Fuzz(func(t *testing.T, nRaw uint8, seed uint64, spiky bool) {
+		n := 1 + int(nRaw%40)
+		rng := xrand.New(seed)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, n)
+			for j := range rows[i] {
+				switch {
+				case spiky && rng.Bool(0.8):
+					rows[i][j] = 1e-12
+				case spiky:
+					rows[i][j] = 1e6 * rng.Float64()
+				default:
+					rows[i][j] = rng.Float64()
+				}
+			}
+			// Guarantee positive mass.
+			rows[i][rng.Intn(n)] += 1
+		}
+		m, err := NewFromRows(rows)
+		if err != nil {
+			t.Fatalf("constructed rows rejected: %v", err)
+		}
+		s := NewSampler(n)
+		dst := make([]int, n)
+		for k := 0; k < 5; k++ {
+			if err := s.SamplePermutation(m, rng, dst); err != nil {
+				t.Fatalf("sampling failed: %v", err)
+			}
+			seen := make([]bool, n)
+			for _, v := range dst {
+				if v < 0 || v >= n || seen[v] {
+					t.Fatalf("non-permutation draw %v", dst)
+				}
+				seen[v] = true
+			}
+		}
+	})
+}

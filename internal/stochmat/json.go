@@ -1,0 +1,39 @@
+package stochmat
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// matrixJSON is the wire form of a Matrix.
+type matrixJSON struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	P    []float64 `json:"p"`
+}
+
+// MarshalJSON implements json.Marshaler; used by MaTCH checkpoints.
+func (m *Matrix) MarshalJSON() ([]byte, error) {
+	return json.Marshal(matrixJSON{Rows: m.rows, Cols: m.cols, P: m.p})
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the decoded
+// matrix (shape agreement and row-stochastic invariants within 1e-6).
+func (m *Matrix) UnmarshalJSON(data []byte) error {
+	var in matrixJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Rows < 1 || in.Cols < 1 {
+		return fmt.Errorf("stochmat: invalid decoded shape %dx%d", in.Rows, in.Cols)
+	}
+	if len(in.P) != in.Rows*in.Cols {
+		return fmt.Errorf("stochmat: decoded data length %d for %dx%d matrix", len(in.P), in.Rows, in.Cols)
+	}
+	decoded := &Matrix{rows: in.Rows, cols: in.Cols, p: in.P}
+	if err := decoded.Validate(1e-6); err != nil {
+		return err
+	}
+	*m = *decoded
+	return nil
+}

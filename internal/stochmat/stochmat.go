@@ -1,0 +1,333 @@
+// Package stochmat implements the row-stochastic matrix that parameterises
+// MaTCH's sampling distribution.
+//
+// Entry p_ij is the probability that task i is mapped to resource j. The
+// CE iteration (paper Fig. 5) starts from the uniform matrix, re-estimates
+// it from elite samples each round (eq. 11), smooths the update
+// (eq. 13, P_{k+1} = zeta*Q + (1-zeta)*P_k) and stops once the matrix has
+// degenerated — every row concentrating its mass on one column (Fig. 3).
+//
+// The kernel also provides the masked row sampling that GenPerm (Fig. 4)
+// needs: drawing from a row restricted to the still-unassigned resources,
+// which is equivalent to zeroing assigned columns and renormalising.
+package stochmat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"matchsim/internal/xrand"
+)
+
+// Matrix is a dense row-major row-stochastic matrix. Rows index tasks,
+// columns index resources. Matrices are square in the paper's experiments
+// but the kernel supports rectangular shapes for the |Vt| != |Vr|
+// extensions.
+type Matrix struct {
+	rows, cols int
+	p          []float64
+}
+
+// NewUniform returns the rows x cols matrix with every entry 1/cols — the
+// P_0 initialisation of the MaTCH algorithm.
+func NewUniform(rows, cols int) *Matrix {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("stochmat: invalid shape %dx%d", rows, cols))
+	}
+	m := &Matrix{rows: rows, cols: cols, p: make([]float64, rows*cols)}
+	u := 1 / float64(cols)
+	for i := range m.p {
+		m.p[i] = u
+	}
+	return m
+}
+
+// NewFromRows builds a matrix from explicit row data (copied), normalising
+// each row to sum to one. Rows with zero mass are rejected.
+func NewFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("stochmat: empty row data")
+	}
+	cols := len(rows[0])
+	m := &Matrix{rows: len(rows), cols: cols, p: make([]float64, len(rows)*cols)}
+	for i, row := range rows {
+		if len(row) != cols {
+			return nil, fmt.Errorf("stochmat: ragged row %d (%d entries, want %d)", i, len(row), cols)
+		}
+		total := 0.0
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("stochmat: invalid entry %v at (%d,%d)", v, i, j)
+			}
+			total += v
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("stochmat: row %d has zero mass", i)
+		}
+		for j, v := range row {
+			m.p[i*cols+j] = v / total
+		}
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows (tasks).
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns (resources).
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns p_ij.
+func (m *Matrix) At(i, j int) float64 { return m.p[i*m.cols+j] }
+
+// Row returns row i as a slice aliasing internal storage; callers must
+// treat it as read-only.
+func (m *Matrix) Row(i int) []float64 { return m.p[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{rows: m.rows, cols: m.cols, p: append([]float64(nil), m.p...)}
+}
+
+// Validate checks the stochastic invariants: entries in [0,1] and every
+// row summing to 1 within tol.
+func (m *Matrix) Validate(tol float64) error {
+	for i := 0; i < m.rows; i++ {
+		total := 0.0
+		for j := 0; j < m.cols; j++ {
+			v := m.At(i, j)
+			if v < -tol || v > 1+tol || math.IsNaN(v) {
+				return fmt.Errorf("stochmat: entry (%d,%d)=%v outside [0,1]", i, j, v)
+			}
+			total += v
+		}
+		if math.Abs(total-1) > tol {
+			return fmt.Errorf("stochmat: row %d sums to %v", i, total)
+		}
+	}
+	return nil
+}
+
+// MaxRow returns, for row i, the largest probability and its column — the
+// mu_k^i of the stopping criterion (eq. 12). Ties resolve to the lowest
+// column for determinism.
+func (m *Matrix) MaxRow(i int) (col int, p float64) {
+	row := m.Row(i)
+	col, p = 0, row[0]
+	for j := 1; j < m.cols; j++ {
+		if row[j] > p {
+			col, p = j, row[j]
+		}
+	}
+	return col, p
+}
+
+// ArgmaxAssignment returns the column of each row's maximum — the mapping
+// a degenerate matrix encodes.
+func (m *Matrix) ArgmaxAssignment() []int {
+	out := make([]int, m.rows)
+	for i := range out {
+		out[i], _ = m.MaxRow(i)
+	}
+	return out
+}
+
+// IsDegenerate reports whether every row has its maximum probability at
+// least thresh (e.g. 0.999) — the numeric version of the degenerate
+// matrix of Fig. 3.
+func (m *Matrix) IsDegenerate(thresh float64) bool {
+	for i := 0; i < m.rows; i++ {
+		if _, p := m.MaxRow(i); p < thresh {
+			return false
+		}
+	}
+	return true
+}
+
+// RowEntropy returns the Shannon entropy (nats) of row i: log(cols) for
+// the uniform row, 0 for a degenerate one.
+func (m *Matrix) RowEntropy(i int) float64 {
+	h := 0.0
+	for _, v := range m.Row(i) {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// MeanEntropy averages RowEntropy over all rows — the convergence
+// telemetry MaTCH reports each iteration.
+func (m *Matrix) MeanEntropy() float64 {
+	total := 0.0
+	for i := 0; i < m.rows; i++ {
+		total += m.RowEntropy(i)
+	}
+	return total / float64(m.rows)
+}
+
+// Smooth applies eq. (13): m = zeta*q + (1-zeta)*m, entrywise. Both
+// matrices must share a shape; zeta outside [0,1] is rejected.
+func (m *Matrix) Smooth(q *Matrix, zeta float64) error {
+	if q.rows != m.rows || q.cols != m.cols {
+		return fmt.Errorf("stochmat: smoothing %dx%d with %dx%d", m.rows, m.cols, q.rows, q.cols)
+	}
+	if zeta < 0 || zeta > 1 {
+		return fmt.Errorf("stochmat: smoothing factor %v outside [0,1]", zeta)
+	}
+	for i := range m.p {
+		m.p[i] = zeta*q.p[i] + (1-zeta)*m.p[i]
+	}
+	return nil
+}
+
+// SetRow overwrites row i with the normalised values of row (copied).
+func (m *Matrix) SetRow(i int, row []float64) error {
+	if len(row) != m.cols {
+		return fmt.Errorf("stochmat: SetRow with %d entries, want %d", len(row), m.cols)
+	}
+	total := 0.0
+	for _, v := range row {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("stochmat: SetRow with invalid entry %v", v)
+		}
+		total += v
+	}
+	if total <= 0 {
+		return fmt.Errorf("stochmat: SetRow with zero mass")
+	}
+	dst := m.p[i*m.cols : (i+1)*m.cols]
+	for j, v := range row {
+		dst[j] = v / total
+	}
+	return nil
+}
+
+// Sampler draws permutations (or partial assignments) from a Matrix with
+// per-row masking — the inner operation of GenPerm. One Sampler holds the
+// scratch buffers for one goroutine; create one per worker and reuse it
+// across draws to stay allocation-free in the hot loop.
+type Sampler struct {
+	cols    int
+	masked  []bool    // columns already assigned in the current draw
+	scratch []float64 // masked copy of the current row
+	order   []int     // task visiting order buffer
+}
+
+// NewSampler returns a sampler for matrices with the given column count.
+func NewSampler(cols int) *Sampler {
+	return &Sampler{
+		cols:    cols,
+		masked:  make([]bool, cols),
+		scratch: make([]float64, cols),
+		order:   make([]int, 0, cols),
+	}
+}
+
+// SamplePermutation draws one bijective mapping from m following GenPerm
+// (paper Fig. 4): visit tasks in a fresh uniformly random order; for each
+// task draw a resource from its row restricted to unassigned columns
+// (zeroing assigned columns and renormalising); mark the drawn column
+// assigned. dst must have length m.Rows(); the draw is written there.
+//
+// If a task's row has zero remaining mass (all its probability sits on
+// already-assigned columns), the draw falls back to a uniform choice among
+// the unassigned columns — the natural completion the paper leaves
+// implicit, needed once rows become nearly degenerate.
+func (s *Sampler) SamplePermutation(m *Matrix, rng *xrand.RNG, dst []int) error {
+	if m.rows != m.cols {
+		return fmt.Errorf("stochmat: SamplePermutation on non-square %dx%d matrix", m.rows, m.cols)
+	}
+	if m.cols != s.cols {
+		return fmt.Errorf("stochmat: sampler built for %d columns, matrix has %d", s.cols, m.cols)
+	}
+	if len(dst) != m.rows {
+		return fmt.Errorf("stochmat: destination length %d, want %d", len(dst), m.rows)
+	}
+	for j := range s.masked {
+		s.masked[j] = false
+	}
+	if cap(s.order) < m.rows {
+		s.order = make([]int, m.rows)
+	}
+	s.order = s.order[:m.rows]
+	rng.PermInto(s.order)
+
+	remaining := m.cols
+	for _, task := range s.order {
+		row := m.Row(task)
+		total := 0.0
+		for j := 0; j < m.cols; j++ {
+			if s.masked[j] {
+				s.scratch[j] = 0
+			} else {
+				s.scratch[j] = row[j]
+				total += row[j]
+			}
+		}
+		var choice int
+		if total > 1e-300 {
+			choice = rng.CategoricalTotal(s.scratch, total)
+		} else {
+			// Degenerate fallback: uniform over unassigned columns.
+			k := rng.Intn(remaining)
+			choice = -1
+			for j := 0; j < m.cols; j++ {
+				if !s.masked[j] {
+					if k == 0 {
+						choice = j
+						break
+					}
+					k--
+				}
+			}
+			if choice < 0 {
+				return fmt.Errorf("stochmat: internal error, no unassigned column left")
+			}
+		}
+		dst[task] = choice
+		s.masked[choice] = true
+		remaining--
+	}
+	return nil
+}
+
+// String renders the matrix with fixed precision, one row per line —
+// handy for the Fig. 3 evolution snapshots.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.3f", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Heatmap renders the matrix as a coarse ASCII heat map: each cell one
+// glyph from light to dark by probability mass. Used to visualise the
+// Fig. 3 evolution in terminal output.
+func (m *Matrix) Heatmap() string {
+	glyphs := []byte(" .:-=+*#%@")
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			v := m.At(i, j)
+			idx := int(v * float64(len(glyphs)))
+			if idx >= len(glyphs) {
+				idx = len(glyphs) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			b.WriteByte(glyphs[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

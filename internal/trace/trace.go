@@ -1,0 +1,157 @@
+// Package trace records solver runs as JSON-lines event streams —
+// production observability for long mapping jobs. Each run emits one
+// run-start event, one event per iteration/generation, and one run-end
+// event; the Reader parses a stream back for offline analysis (the
+// convergence plots in internal/exp consume either live histories or
+// replayed traces).
+//
+// The format is line-delimited JSON so streams can be tailed, truncated
+// and concatenated safely; a torn final line (a crashed run) is reported
+// as such rather than failing the whole replay.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// EventKind discriminates trace events.
+type EventKind string
+
+const (
+	// KindStart opens a run.
+	KindStart EventKind = "start"
+	// KindIteration records one CE iteration or GA generation.
+	KindIteration EventKind = "iter"
+	// KindEnd closes a run.
+	KindEnd EventKind = "end"
+)
+
+// Event is one trace record. Fields are a union across kinds; unused
+// fields are omitted from the wire form.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	// Run identity (start events).
+	Solver string `json:"solver,omitempty"`
+	Tasks  int    `json:"tasks,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	// Per-iteration payload.
+	Iter      int     `json:"iter,omitempty"`
+	Gamma     float64 `json:"gamma,omitempty"`
+	Best      float64 `json:"best,omitempty"`
+	Mean      float64 `json:"mean,omitempty"`
+	BestSoFar float64 `json:"best_so_far,omitempty"`
+	// Run outcome (end events).
+	Exec        float64       `json:"exec,omitempty"`
+	Iterations  int           `json:"iterations,omitempty"`
+	Evaluations int64         `json:"evaluations,omitempty"`
+	MappingTime time.Duration `json:"mapping_time_ns,omitempty"`
+	StopReason  string        `json:"stop_reason,omitempty"`
+}
+
+// Writer streams events as JSON lines. Not safe for concurrent use; a
+// solver emits events from its coordinating goroutine only.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit appends one event.
+func (t *Writer) Emit(e Event) error {
+	if e.Kind == "" {
+		return fmt.Errorf("trace: event without kind")
+	}
+	return t.enc.Encode(e)
+}
+
+// Start emits a run-start event.
+func (t *Writer) Start(solver string, tasks int, seed uint64) error {
+	return t.Emit(Event{Kind: KindStart, Solver: solver, Tasks: tasks, Seed: seed})
+}
+
+// Iteration emits one iteration event.
+func (t *Writer) Iteration(iter int, gamma, best, mean, bestSoFar float64) error {
+	return t.Emit(Event{Kind: KindIteration, Iter: iter, Gamma: gamma, Best: best, Mean: mean, BestSoFar: bestSoFar})
+}
+
+// End emits a run-end event.
+func (t *Writer) End(exec float64, iterations int, evaluations int64, mappingTime time.Duration, stopReason string) error {
+	return t.Emit(Event{
+		Kind: KindEnd, Exec: exec, Iterations: iterations,
+		Evaluations: evaluations, MappingTime: mappingTime, StopReason: stopReason,
+	})
+}
+
+// Flush writes buffered events through to the underlying writer.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Run is one replayed run.
+type Run struct {
+	Start      Event
+	Iterations []Event
+	End        *Event // nil when the stream ended mid-run (crash)
+}
+
+// Read replays a trace stream into runs. A truncated or torn final line
+// terminates parsing without error; malformed lines elsewhere fail.
+func Read(r io.Reader) ([]Run, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var runs []Run
+	var current *Run
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A torn final line is tolerated; mid-stream corruption is not.
+			if !scanner.Scan() {
+				break
+			}
+			return nil, fmt.Errorf("trace: malformed event at line %d: %w", lineNo, err)
+		}
+		switch e.Kind {
+		case KindStart:
+			if current != nil {
+				// Previous run never ended (crash); keep it with End nil.
+				runs = append(runs, *current)
+			}
+			current = &Run{Start: e}
+		case KindIteration:
+			if current == nil {
+				return nil, fmt.Errorf("trace: iteration event before any start at line %d", lineNo)
+			}
+			current.Iterations = append(current.Iterations, e)
+		case KindEnd:
+			if current == nil {
+				return nil, fmt.Errorf("trace: end event before any start at line %d", lineNo)
+			}
+			end := e
+			current.End = &end
+			runs = append(runs, *current)
+			current = nil
+		default:
+			return nil, fmt.Errorf("trace: unknown event kind %q at line %d", e.Kind, lineNo)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if current != nil {
+		runs = append(runs, *current)
+	}
+	return runs, nil
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Start("MaTCH", 20, 7); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := w.Iteration(i, 100-float64(i), 90-float64(i), 95, 90-float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.End(87, 3, 600, 12*time.Millisecond, "gamma-stall"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("runs %d", len(runs))
+	}
+	run := runs[0]
+	if run.Start.Solver != "MaTCH" || run.Start.Tasks != 20 || run.Start.Seed != 7 {
+		t.Fatalf("start event %+v", run.Start)
+	}
+	if len(run.Iterations) != 3 {
+		t.Fatalf("iterations %d", len(run.Iterations))
+	}
+	if run.Iterations[1].Iter != 2 || run.Iterations[1].Gamma != 98 {
+		t.Fatalf("iteration payload %+v", run.Iterations[1])
+	}
+	if run.End == nil || run.End.Exec != 87 || run.End.StopReason != "gamma-stall" {
+		t.Fatalf("end event %+v", run.End)
+	}
+	if run.End.MappingTime != 12*time.Millisecond {
+		t.Fatalf("mapping time %v", run.End.MappingTime)
+	}
+}
+
+func TestReadMultipleRuns(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for r := 0; r < 3; r++ {
+		w.Start("GA", 10, uint64(r))
+		w.Iteration(1, 0, 50, 60, 50)
+		w.End(50, 1, 100, time.Millisecond, "generations")
+	}
+	w.Flush()
+	runs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("runs %d", len(runs))
+	}
+	for i, run := range runs {
+		if run.Start.Seed != uint64(i) || run.End == nil {
+			t.Fatalf("run %d malformed", i)
+		}
+	}
+}
+
+func TestReadCrashedRun(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Start("MaTCH", 5, 1)
+	w.Iteration(1, 10, 9, 9.5, 9)
+	// No end event: the process died.
+	w.Flush()
+	runs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].End != nil {
+		t.Fatalf("crashed run not surfaced: %+v", runs)
+	}
+	if len(runs[0].Iterations) != 1 {
+		t.Fatal("iterations lost")
+	}
+}
+
+func TestReadTornFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Start("MaTCH", 5, 1)
+	w.End(10, 1, 5, time.Millisecond, "done")
+	w.Flush()
+	buf.WriteString(`{"kind":"start","solver":"MaT`) // torn mid-write
+	runs, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("torn final line should be tolerated: %v", err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("runs %d", len(runs))
+	}
+}
+
+func TestReadRejectsMidStreamCorruption(t *testing.T) {
+	input := `{"kind":"start","solver":"x","tasks":1}
+garbage not json
+{"kind":"end","exec":1}
+`
+	if _, err := Read(strings.NewReader(input)); err == nil {
+		t.Fatal("mid-stream corruption accepted")
+	}
+}
+
+func TestReadRejectsOrphanEvents(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"kind":"iter","iter":1}` + "\n")); err == nil {
+		t.Fatal("orphan iteration accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"kind":"end"}` + "\n")); err == nil {
+		t.Fatal("orphan end accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"kind":"weird"}` + "\n")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestEmitRejectsKindlessEvent(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Emit(Event{}); err == nil {
+		t.Fatal("kindless event accepted")
+	}
+}
+
+func TestBackToBackRunsWithoutEnd(t *testing.T) {
+	input := `{"kind":"start","solver":"a","tasks":1}
+{"kind":"start","solver":"b","tasks":2}
+{"kind":"end","exec":3}
+`
+	runs, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs %d", len(runs))
+	}
+	if runs[0].End != nil || runs[0].Start.Solver != "a" {
+		t.Fatalf("crashed first run: %+v", runs[0])
+	}
+	if runs[1].End == nil || runs[1].Start.Solver != "b" {
+		t.Fatalf("second run: %+v", runs[1])
+	}
+}

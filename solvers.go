@@ -1,0 +1,283 @@
+package matchsim
+
+import (
+	"time"
+
+	"matchsim/internal/agents"
+	"matchsim/internal/ce"
+	"matchsim/internal/core"
+	"matchsim/internal/ga"
+	"matchsim/internal/heuristics"
+)
+
+// Solution is the common result type of every solver.
+type Solution struct {
+	// Mapping assigns each task to a resource: Mapping[task] = resource.
+	Mapping []int
+	// Exec is the application execution time of the mapping (the paper's
+	// ET, in abstract cost units).
+	Exec float64
+	// MappingTime is the solver's wall-clock time (the paper's MT).
+	MappingTime time.Duration
+	// Iterations counts CE iterations or GA generations (0 for one-shot
+	// heuristics).
+	Iterations int
+	// Evaluations counts cost-function evaluations.
+	Evaluations int64
+	// Solver names the algorithm that produced the solution.
+	Solver string
+}
+
+// IterationTrace is per-iteration telemetry passed to option callbacks.
+type IterationTrace struct {
+	Iteration int
+	// Gamma is the CE elite threshold gamma_k (0 for the GA).
+	Gamma float64
+	// Best, Mean and Worst summarise the iteration's sample scores.
+	Best, Mean, Worst float64
+	// BestSoFar is the running optimum.
+	BestSoFar float64
+}
+
+// MaTCHOptions tunes the MaTCH solver. Zero values take the paper's
+// defaults: N = 2n^2 samples per iteration, rho = 0.05, zeta = 0.3,
+// stall constant c = 5.
+type MaTCHOptions struct {
+	// SampleSize is N, the mappings drawn per CE iteration.
+	SampleSize int
+	// Rho is the focus parameter in (0, 0.5].
+	Rho float64
+	// Zeta is the smoothing factor of eq. (13) in (0, 1].
+	Zeta float64
+	// StallC is the eq. (12) stability constant.
+	StallC int
+	// MaxIterations caps the CE loop (default 1000).
+	MaxIterations int
+	// Workers parallelises sampling and scoring (default GOMAXPROCS).
+	Workers int
+	// Seed makes the run deterministic together with Workers.
+	Seed uint64
+	// WarmStart, when non-nil, biases the initial sampling distribution
+	// towards this mapping (must be a permutation of the task set) —
+	// e.g. the result of SolveGreedy or a previous run.
+	WarmStart []int
+	// Polish runs 2-swap local descent on the best mapping after the CE
+	// loop ends (hybrid extension; only applies to SolveMaTCH).
+	Polish bool
+	// OnIteration, when non-nil, receives telemetry each iteration.
+	OnIteration func(IterationTrace)
+}
+
+// SolveMaTCH runs the paper's primary contribution on the problem.
+// It requires |Vt| = |Vr| (the paper's experimental setting); use
+// SolveMaTCHManyToOne for the general case.
+func SolveMaTCH(p *Problem, opts MaTCHOptions) (*Solution, error) {
+	res, err := core.Solve(p.evaluator(), coreOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Mapping:     res.Mapping,
+		Exec:        res.Exec,
+		MappingTime: res.MappingTime,
+		Iterations:  res.Iterations,
+		Evaluations: res.Evaluations,
+		Solver:      "MaTCH",
+	}, nil
+}
+
+// SolveMaTCHManyToOne runs the generalised MaTCH that permits any number
+// of tasks per resource (|Vt| independent of |Vr|).
+func SolveMaTCHManyToOne(p *Problem, opts MaTCHOptions) (*Solution, error) {
+	res, err := core.ManyToOne(p.evaluator(), coreOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Mapping:     res.Mapping,
+		Exec:        res.Exec,
+		MappingTime: res.MappingTime,
+		Iterations:  res.Iterations,
+		Evaluations: res.Evaluations,
+		Solver:      "MaTCH-many-to-one",
+	}, nil
+}
+
+func coreOptions(opts MaTCHOptions) core.Options {
+	o := core.Options{
+		SampleSize:    opts.SampleSize,
+		Rho:           opts.Rho,
+		Zeta:          opts.Zeta,
+		StallC:        opts.StallC,
+		MaxIterations: opts.MaxIterations,
+		Workers:       opts.Workers,
+		Seed:          opts.Seed,
+		WarmStart:     opts.WarmStart,
+		Polish:        opts.Polish,
+	}
+	if opts.OnIteration != nil {
+		cb := opts.OnIteration
+		o.OnIteration = func(st ce.IterStats) {
+			cb(IterationTrace{
+				Iteration: st.Iter,
+				Gamma:     st.Gamma,
+				Best:      st.Best,
+				Mean:      st.Mean,
+				Worst:     st.Worst,
+				BestSoFar: st.BestSoFar,
+			})
+		}
+	}
+	return o
+}
+
+// GAOptions tunes the FastMap-GA baseline. Zero values take the paper's
+// experimental configuration: population 500, 1000 generations, crossover
+// probability 0.85, mutation probability 0.07, elitism on.
+type GAOptions struct {
+	PopulationSize int
+	Generations    int
+	CrossoverProb  float64
+	MutationProb   float64
+	// Workers parallelises fitness evaluation (default GOMAXPROCS).
+	Workers int
+	Seed    uint64
+	// OnGeneration, when non-nil, receives telemetry each generation.
+	OnGeneration func(IterationTrace)
+}
+
+// SolveGA runs the FastMap-GA baseline (Section 5.1 of the paper).
+func SolveGA(p *Problem, opts GAOptions) (*Solution, error) {
+	o := ga.Options{
+		PopulationSize: opts.PopulationSize,
+		Generations:    opts.Generations,
+		CrossoverProb:  opts.CrossoverProb,
+		MutationProb:   opts.MutationProb,
+		Workers:        opts.Workers,
+		Seed:           opts.Seed,
+	}
+	if opts.OnGeneration != nil {
+		cb := opts.OnGeneration
+		o.OnGeneration = func(g ga.GenStats) {
+			cb(IterationTrace{
+				Iteration: g.Gen,
+				Best:      g.BestExec,
+				Mean:      g.MeanExec,
+				Worst:     g.WorstExec,
+				BestSoFar: g.BestSoFar,
+			})
+		}
+	}
+	res, err := ga.Solve(p.evaluator(), o)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Mapping:     res.Mapping,
+		Exec:        res.Exec,
+		MappingTime: res.MappingTime,
+		Iterations:  res.Generations,
+		Evaluations: res.Evaluations,
+		Solver:      "FastMap-GA",
+	}, nil
+}
+
+// DistributedOptions tunes the agent-based distributed MaTCH (the
+// paper's future-work design). Zero values take MaTCH defaults with
+// NumAgents = GOMAXPROCS.
+type DistributedOptions struct {
+	NumAgents     int
+	SampleSize    int
+	Rho           float64
+	Zeta          float64
+	StallC        int
+	MaxIterations int
+	Seed          uint64
+}
+
+// SolveDistributed runs the message-passing agent implementation of
+// MaTCH: row ownership of the stochastic matrix is partitioned across
+// agents that communicate only by messages.
+func SolveDistributed(p *Problem, opts DistributedOptions) (*Solution, error) {
+	res, err := agents.Solve(p.evaluator(), agents.Options{
+		NumAgents:     opts.NumAgents,
+		SampleSize:    opts.SampleSize,
+		Rho:           opts.Rho,
+		Zeta:          opts.Zeta,
+		StallC:        opts.StallC,
+		MaxIterations: opts.MaxIterations,
+		Seed:          opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Mapping:     res.Mapping,
+		Exec:        res.Exec,
+		MappingTime: res.MappingTime,
+		Iterations:  res.Iterations,
+		Evaluations: res.Evaluations,
+		Solver:      "MaTCH-distributed",
+	}, nil
+}
+
+// SolveRandom draws `samples` uniform random mappings and keeps the best.
+func SolveRandom(p *Problem, samples int, seed uint64) (*Solution, error) {
+	res, err := heuristics.RandomSearch(p.evaluator(), samples, seed)
+	if err != nil {
+		return nil, err
+	}
+	return baselineSolution(res, "RandomSearch"), nil
+}
+
+// SolveGreedy builds a mapping constructively, heaviest task first.
+func SolveGreedy(p *Problem) (*Solution, error) {
+	res, err := heuristics.Greedy(p.evaluator())
+	if err != nil {
+		return nil, err
+	}
+	return baselineSolution(res, "Greedy"), nil
+}
+
+// SolveLocalSearch runs steepest-descent 2-swap hill climbing with the
+// given number of random restarts.
+func SolveLocalSearch(p *Problem, restarts int, seed uint64) (*Solution, error) {
+	res, err := heuristics.LocalSearch(p.evaluator(), restarts, seed)
+	if err != nil {
+		return nil, err
+	}
+	return baselineSolution(res, "LocalSearch"), nil
+}
+
+// AnnealingOptions tunes SolveAnnealing; zero values derive sensible
+// defaults from the instance.
+type AnnealingOptions struct {
+	InitialTemp float64
+	CoolingRate float64
+	Steps       int
+	Seed        uint64
+}
+
+// SolveAnnealing runs Metropolis simulated annealing over 2-swap moves.
+func SolveAnnealing(p *Problem, opts AnnealingOptions) (*Solution, error) {
+	res, err := heuristics.SimulatedAnnealing(p.evaluator(), heuristics.AnnealOptions{
+		InitialTemp: opts.InitialTemp,
+		CoolingRate: opts.CoolingRate,
+		Steps:       opts.Steps,
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return baselineSolution(res, "SimulatedAnnealing"), nil
+}
+
+func baselineSolution(res *heuristics.Result, name string) *Solution {
+	return &Solution{
+		Mapping:     res.Mapping,
+		Exec:        res.Exec,
+		MappingTime: res.MappingTime,
+		Evaluations: res.Evaluations,
+		Solver:      name,
+	}
+}
