@@ -1,0 +1,275 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"matchsim/internal/ce"
+	"matchsim/internal/core"
+	"matchsim/internal/cost"
+	"matchsim/internal/gen"
+	"matchsim/internal/stochmat"
+	"matchsim/internal/xrand"
+)
+
+// benchRecord is one row of a BENCH_<name>.json artefact: a named
+// measurement with whatever subset of the fields applies. Sweep rows carry
+// (size, solver, ET, ns/op); kernel rows carry (ns/op, bytes/op,
+// allocs/op).
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Size        int     `json:"size,omitempty"`
+	Solver      string  `json:"solver,omitempty"`
+	ET          float64 `json:"et_units,omitempty"`
+	NsPerOp     int64   `json:"ns_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// SpeedupVsBaseline is NsPerOp of the -baseline reference divided by
+	// this record's NsPerOp; only set when -baseline is given.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// benchFile is the BENCH_<name>.json document.
+type benchFile struct {
+	Bench   string        `json:"bench"`
+	GoOS    string        `json:"goos"`
+	GoArch  string        `json:"goarch"`
+	Go      string        `json:"go"`
+	Records []benchRecord `json:"records"`
+}
+
+// writeBenchJSON writes BENCH_<name>.json in the working directory.
+func writeBenchJSON(name string, records []benchRecord) error {
+	doc := benchFile{
+		Bench:   name,
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+		Go:      runtime.Version(),
+		Records: records,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := "BENCH_" + name + ".json"
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// kernelBench is one micro-benchmark of the fused hot path.
+type kernelBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// runKernel benchmarks the sample-and-score kernels (the code paths the
+// fused SampleScorer optimisation touches) plus the end-to-end fused vs
+// unfused Solve at n=64, printing a table and — with -json — writing
+// BENCH_kernel.json (micro) and BENCH_fused.json (end-to-end).
+// baselineNs, when non-zero, is a reference ns/op (e.g. the pre-fusion
+// end-to-end measurement) used to annotate the end-to-end records with
+// speedups.
+func runKernel(seed uint64, quick, jsonOut bool, baselineNs int64, quiet bool) error {
+	const n = 64
+	inst, err := gen.PaperInstance(seed, n, gen.DefaultPaperConfig())
+	if err != nil {
+		return err
+	}
+	eval, err := cost.NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		return err
+	}
+	uniform := stochmat.NewUniform(n, n)
+	cdf := stochmat.NewRowCDF(uniform)
+
+	micro := []kernelBench{
+		{"genperm-linear", func(b *testing.B) {
+			b.ReportAllocs()
+			s := stochmat.NewSampler(n)
+			rng := xrand.New(1)
+			dst := make([]int, n)
+			for i := 0; i < b.N; i++ {
+				if err := s.SamplePermutation(uniform, rng, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"genperm-fast", func(b *testing.B) {
+			b.ReportAllocs()
+			s := stochmat.NewSampler(n)
+			rng := xrand.New(1)
+			dst := make([]int, n)
+			for i := 0; i < b.N; i++ {
+				if err := s.SamplePermutationFast(uniform, cdf, rng, dst, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"fused-sample-score", func(b *testing.B) {
+			b.ReportAllocs()
+			s := stochmat.NewSampler(n)
+			rng := xrand.New(1)
+			dst := make([]int, n)
+			ss := cost.NewStreamScorer(eval)
+			place := ss.Place
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				ss.Reset()
+				if err := s.SamplePermutationFast(uniform, cdf, rng, dst, place); err != nil {
+					b.Fatal(err)
+				}
+				sink = ss.Makespan()
+			}
+			_ = sink
+		}},
+		{"sample-then-exec", func(b *testing.B) {
+			b.ReportAllocs()
+			s := stochmat.NewSampler(n)
+			rng := xrand.New(1)
+			dst := make([]int, n)
+			scratch := make([]float64, n)
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				if err := s.SamplePermutationFast(uniform, cdf, rng, dst, nil); err != nil {
+					b.Fatal(err)
+				}
+				sink = eval.ExecInto(cost.Mapping(dst), scratch)
+			}
+			_ = sink
+		}},
+		{"elite-quickselect", func(b *testing.B) {
+			b.ReportAllocs()
+			benchEliteSelect(b, true)
+		}},
+		{"elite-full-sort", func(b *testing.B) {
+			b.ReportAllocs()
+			benchEliteSelect(b, false)
+		}},
+		{"exec-after-swap", func(b *testing.B) {
+			b.ReportAllocs()
+			rng := xrand.New(3)
+			m := make(cost.Mapping, n)
+			for i := range m {
+				m[i] = i
+			}
+			rng.ShuffleInts(m)
+			st, err := cost.NewState(eval, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink = st.ExecAfterSwap(rng.Intn(n), rng.Intn(n))
+			}
+			_ = sink
+		}},
+	}
+
+	var kernelRecs []benchRecord
+	for _, kb := range micro {
+		res := testing.Benchmark(kb.fn)
+		kernelRecs = append(kernelRecs, benchRecord{
+			Name:        kb.name,
+			Size:        n,
+			NsPerOp:     res.NsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "kernel %-20s %12d ns/op %8d B/op %6d allocs/op\n",
+				kb.name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
+		}
+	}
+
+	iters := 120
+	if quick {
+		iters = 20
+	}
+	var fusedRecs []benchRecord
+	for _, arm := range []struct {
+		name    string
+		unfused bool
+	}{{"solve-fused", false}, {"solve-unfused", true}} {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(eval, core.Options{
+					Seed: uint64(i), MaxIterations: iters, UnfusedScoring: arm.unfused,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rec := benchRecord{
+			Name:        arm.name,
+			Size:        n,
+			Solver:      "MaTCH",
+			NsPerOp:     res.NsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if baselineNs > 0 {
+			rec.SpeedupVsBaseline = float64(baselineNs) / float64(res.NsPerOp())
+		}
+		fusedRecs = append(fusedRecs, rec)
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "solve  %-20s %12d ns/op (n=%d, %d iters)\n",
+				arm.name, res.NsPerOp(), n, iters)
+		}
+	}
+	if baselineNs > 0 {
+		fusedRecs = append(fusedRecs, benchRecord{
+			Name: "solve-baseline", Size: n, Solver: "MaTCH", NsPerOp: baselineNs,
+		})
+	}
+
+	fmt.Printf("%-22s %14s %10s %8s\n", "benchmark", "ns/op", "B/op", "allocs")
+	for _, r := range append(append([]benchRecord{}, kernelRecs...), fusedRecs...) {
+		fmt.Printf("%-22s %14d %10d %8d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+
+	if jsonOut {
+		if err := writeBenchJSON("kernel", kernelRecs); err != nil {
+			return err
+		}
+		if err := writeBenchJSON("fused", fusedRecs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchEliteSelect measures elite extraction from a CE-iteration-sized
+// score vector (N = 2n^2 at n=64), either by quickselect (the production
+// path) or a full sort of the candidate order.
+func benchEliteSelect(b *testing.B, quickselect bool) {
+	const sampleN = 2 * 64 * 64
+	k := sampleN / 20
+	rng := xrand.New(5)
+	base := make([]float64, sampleN)
+	for i := range base {
+		base[i] = rng.Float64() * 1000
+	}
+	scores := make([]float64, sampleN)
+	order := make([]int, sampleN)
+	for i := 0; i < b.N; i++ {
+		copy(scores, base)
+		for j := range order {
+			order[j] = j
+		}
+		if quickselect {
+			ce.SelectElite(order, scores, k, true)
+		} else {
+			sort.Slice(order, func(a, c int) bool {
+				sa, sc := scores[order[a]], scores[order[c]]
+				if sa != sc {
+					return sa < sc
+				}
+				return order[a] < order[c]
+			})
+		}
+	}
+}

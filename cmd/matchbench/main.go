@@ -11,10 +11,14 @@
 //	matchbench -exp all           # everything
 //	matchbench -exp table1 -quick # reduced budgets for smoke runs
 //	matchbench -exp table1 -csv   # machine-readable output
+//	matchbench -exp table1 -json  # also write BENCH_table1.json
+//	matchbench -exp kernel -json  # hot-path micro-benchmarks -> BENCH_kernel.json + BENCH_fused.json
 //
 // Experiments: table1, table2, table3 (with post-hoc Welch tests; -size
 // overrides the instance size), fig3, fig7, fig8, fig9, convergence,
-// scaling, simcheck, overset, ablation-rho, ablation-zeta,
+// scaling, simcheck, overset, kernel (sample-and-score micro-benchmarks
+// plus the end-to-end fused vs unfused Solve; -baseline annotates
+// speedups against a reference ns/op), ablation-rho, ablation-zeta,
 // ablation-samples, ablation-workers, ablation-selection,
 // ablation-warmstart, baselines, all.
 package main
@@ -32,16 +36,18 @@ import (
 
 func main() {
 	var (
-		expName = flag.String("exp", "all", "experiment to run")
-		seed    = flag.Uint64("seed", 2005, "master seed")
-		size    = flag.Int("size", 0, "instance size override for table3 (paper: 10)")
-		quick   = flag.Bool("quick", false, "reduced budgets (seconds instead of minutes)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of formatted tables")
-		quiet   = flag.Bool("q", false, "suppress progress output")
+		expName  = flag.String("exp", "all", "experiment to run")
+		seed     = flag.Uint64("seed", 2005, "master seed")
+		size     = flag.Int("size", 0, "instance size override for table3 (paper: 10)")
+		quick    = flag.Bool("quick", false, "reduced budgets (seconds instead of minutes)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		jsonOut  = flag.Bool("json", false, "also write BENCH_<name>.json artefacts (table1, kernel)")
+		baseline = flag.Int64("baseline", 0, "reference ns/op for kernel speedup annotations (e.g. a pre-optimisation end-to-end run)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
-	if err := run(*expName, *seed, *size, *quick, *csv, *quiet); err != nil {
+	if err := run(*expName, *seed, *size, *quick, *csv, *jsonOut, *baseline, *quiet); err != nil {
 		fmt.Fprintf(os.Stderr, "matchbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -64,13 +70,17 @@ func sweepConfig(seed uint64, quick, quiet bool) exp.SweepConfig {
 	return cfg
 }
 
-func run(expName string, seed uint64, size int, quick, csv, quiet bool) error {
+func run(expName string, seed uint64, size int, quick, csv, jsonOut bool, baseline int64, quiet bool) error {
 	show := func(t *exp.Table) {
 		if csv {
 			fmt.Print(t.CSV())
 		} else {
 			fmt.Println(t.Render())
 		}
+	}
+
+	if expName == "kernel" {
+		return runKernel(seed, quick, jsonOut, baseline, quiet)
 	}
 
 	needsSweep := map[string]bool{"table1": true, "table2": true, "fig7": true, "fig8": true, "fig9": true, "all": true}
@@ -98,6 +108,19 @@ func run(expName string, seed uint64, size int, quick, csv, quiet bool) error {
 	ran := false
 	if match("table1") {
 		show(exp.RenderTable1(sweep))
+		if jsonOut {
+			var recs []benchRecord
+			for i, n := range sweep.Sizes {
+				recs = append(recs,
+					benchRecord{Name: "table1", Size: n, Solver: "MaTCH",
+						ET: sweep.MaTCH[i].ET, NsPerOp: sweep.MaTCH[i].MT.Nanoseconds()},
+					benchRecord{Name: "table1", Size: n, Solver: "FastMapGA",
+						ET: sweep.GA[i].ET, NsPerOp: sweep.GA[i].MT.Nanoseconds()})
+			}
+			if err := writeBenchJSON("table1", recs); err != nil {
+				return err
+			}
+		}
 		ran = true
 	}
 	if match("table2") {
@@ -268,7 +291,7 @@ func run(expName string, seed uint64, size int, quick, csv, quiet bool) error {
 		ran = true
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of table1 table2 table3 fig3 fig7 fig8 fig9 %s baselines overset simcheck scaling convergence all)",
+		return fmt.Errorf("unknown experiment %q (want one of table1 table2 table3 fig3 fig7 fig8 fig9 kernel %s baselines overset simcheck scaling convergence all)",
 			expName, strings.Join([]string{"ablation-rho", "ablation-zeta", "ablation-samples", "ablation-workers", "ablation-selection", "ablation-warmstart"}, " "))
 	}
 	return nil

@@ -1,27 +1,32 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", 1, 0, true, false, true); err == nil {
+	if err := run("bogus", 1, 0, true, false, false, 0, true); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunQuickFig3(t *testing.T) {
-	if err := run("fig3", 1, 0, true, false, true); err != nil {
+	if err := run("fig3", 1, 0, true, false, false, 0, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunQuickAblationRho(t *testing.T) {
-	if err := run("ablation-rho", 1, 0, true, false, true); err != nil {
+	if err := run("ablation-rho", 1, 0, true, false, false, 0, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunQuickTable3CSV(t *testing.T) {
-	if err := run("table3", 1, 8, true, true, true); err != nil {
+	if err := run("table3", 1, 8, true, true, false, 0, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -30,7 +35,42 @@ func TestRunQuickSweepTables(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep tables take several seconds")
 	}
-	if err := run("table1", 1, 0, true, false, true); err != nil {
+	if err := run("table1", 1, 0, true, false, false, 0, true); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBenchJSONRoundTrip exercises the BENCH_<name>.json writer schema.
+func TestBenchJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	recs := []benchRecord{
+		{Name: "solve-fused", Size: 64, Solver: "MaTCH", NsPerOp: 123456, AllocsPerOp: 42},
+		{Name: "table1", Size: 10, Solver: "FastMapGA", ET: 987.5, NsPerOp: 5555},
+	}
+	if err := writeBenchJSON("roundtrip", recs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_roundtrip.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Bench != "roundtrip" || len(doc.Records) != 2 {
+		t.Fatalf("unexpected document: %+v", doc)
+	}
+	if doc.Records[0] != recs[0] || doc.Records[1] != recs[1] {
+		t.Fatalf("records did not round-trip: %+v", doc.Records)
 	}
 }

@@ -35,7 +35,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
 	"sync"
 )
 import "matchsim/internal/xrand"
@@ -63,6 +62,20 @@ type Problem[S any] interface {
 	// Copy copies src into dst (both allocated by NewSolution); the
 	// framework uses it to keep the best-so-far solution.
 	Copy(dst, src S)
+}
+
+// SampleScorer is the optional fused sample-and-score fast path. A
+// Problem that also implements it can draw a solution and compute its
+// score in one pass — e.g. by accumulating the cost model while the
+// sampler assigns tasks — instead of materialising the solution and then
+// re-walking it in Score. Run detects the interface at start-up and, when
+// present (and not disabled via Config.UnfusedScoring), calls SampleScore
+// in place of the Sample+Score pair. The contract matches Sample's:
+// concurrent calls with distinct (rng, dst) pairs must be safe, dst is
+// overwritten with the draw, and the returned score must equal what
+// Score(dst) would report for the same solution.
+type SampleScorer[S any] interface {
+	SampleScore(rng *xrand.RNG, dst S) (float64, error)
 }
 
 // Config tunes one CE run. Zero-valued fields take the documented
@@ -97,6 +110,11 @@ type Config struct {
 	Seed uint64
 	// Minimize selects the optimisation direction; MaTCH minimises.
 	Minimize bool
+	// UnfusedScoring forces the separate Sample-then-Score path even when
+	// the problem implements SampleScorer. It exists as an escape hatch
+	// and for A/B-testing the fused path; both paths consume identical
+	// RNG streams and must produce identical results.
+	UnfusedScoring bool
 	// OnIteration, when non-nil, receives telemetry after each iteration.
 	OnIteration func(IterStats)
 }
@@ -224,6 +242,11 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 		return a > b
 	}
 
+	// Fused fast path: if the problem can sample and score in one pass,
+	// use it unless explicitly disabled.
+	sampleScorer, _ := any(p).(SampleScorer[S])
+	fused := sampleScorer != nil && !cfg.UnfusedScoring
+
 	var (
 		prevGamma  float64
 		stallRuns  int
@@ -248,6 +271,17 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 			go func(w, lo, hi int) {
 				defer wg.Done()
 				rng := workerRNGs[w]
+				if fused {
+					for i := lo; i < hi; i++ {
+						score, err := sampleScorer.SampleScore(rng, solutions[i])
+						if err != nil {
+							sampleErrs[w] = err
+							return
+						}
+						scores[i] = score
+					}
+					return
+				}
 				for i := lo; i < hi; i++ {
 					if err := p.Sample(rng, solutions[i]); err != nil {
 						sampleErrs[w] = err
@@ -265,27 +299,32 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 		}
 		res.Evaluations += int64(n)
 
-		// Rank solutions in the improving direction.
+		// Extract the elite by partial selection: only the best eliteCount
+		// samples ever need ranking, so a full sort of all N scores is
+		// wasted work. Worst and mean come from one streaming pass.
 		for i := range order {
 			order[i] = i
 		}
-		sort.Slice(order, func(a, b int) bool {
-			return better(scores[order[a]], scores[order[b]])
-		})
+		SelectElite(order, scores, eliteCount, cfg.Minimize)
+
+		worst := scores[0]
+		total := 0.0
+		for _, s := range scores {
+			if better(worst, s) {
+				worst = s
+			}
+			total += s
+		}
 
 		gamma := scores[order[eliteCount-1]]
 		stats := IterStats{
 			Iter:       iter,
 			Gamma:      gamma,
 			Best:       scores[order[0]],
-			Worst:      scores[order[n-1]],
+			Worst:      worst,
 			EliteCount: eliteCount,
+			Mean:       total / float64(n),
 		}
-		total := 0.0
-		for _, s := range scores {
-			total += s
-		}
-		stats.Mean = total / float64(n)
 
 		if better(scores[order[0]], res.BestScore) {
 			res.BestScore = scores[order[0]]

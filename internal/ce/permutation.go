@@ -19,6 +19,7 @@ type PermutationProblem struct {
 	n        int
 	p        *stochmat.Matrix
 	q        *stochmat.Matrix
+	cdf      *stochmat.RowCDF // prefix sums of p for the fast sampler
 	score    func([]int) float64
 	samplers sync.Pool
 	// DegenerateThresh: converged when every row's maximum exceeds it.
@@ -41,6 +42,7 @@ func NewPermutationProblem(n int, score func([]int) float64) (*PermutationProble
 		score:            score,
 		DegenerateThresh: 0.95,
 	}
+	pp.cdf = stochmat.NewRowCDF(pp.p)
 	pp.samplers.New = func() any { return stochmat.NewSampler(n) }
 	return pp, nil
 }
@@ -54,10 +56,11 @@ func (pp *PermutationProblem) NewSolution() []int { return make([]int, pp.n) }
 // Copy implements Problem.
 func (pp *PermutationProblem) Copy(dst, src []int) { copy(dst, src) }
 
-// Sample implements Problem via GenPerm.
+// Sample implements Problem via GenPerm, using the CDF-accelerated
+// sampler (the prefix-sum table is rebuilt after every Update).
 func (pp *PermutationProblem) Sample(rng *xrand.RNG, dst []int) error {
 	s := pp.samplers.Get().(*stochmat.Sampler)
-	err := s.SamplePermutation(pp.p, rng, dst)
+	err := s.SamplePermutationFast(pp.p, pp.cdf, rng, dst, nil)
 	pp.samplers.Put(s)
 	return err
 }
@@ -83,7 +86,11 @@ func (pp *PermutationProblem) Update(elite [][]int, zeta float64) error {
 			return err
 		}
 	}
-	return pp.p.Smooth(pp.q, zeta)
+	if err := pp.p.Smooth(pp.q, zeta); err != nil {
+		return err
+	}
+	pp.cdf.Rebuild(pp.p)
+	return nil
 }
 
 // Converged implements Problem.

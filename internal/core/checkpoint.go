@@ -79,6 +79,7 @@ func (pr *problem) restore(c *Checkpoint) error {
 		return fmt.Errorf("core: checkpoint for %d tasks applied to %d-task problem", c.Matrix.Rows(), pr.n)
 	}
 	pr.p = c.Matrix.Clone()
+	pr.refreshCDF()
 	copy(pr.prevArgmax, c.PrevArgmax)
 	pr.stableRuns = c.StableRuns
 	pr.iter = c.Iterations

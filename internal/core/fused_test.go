@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"matchsim/internal/cost"
+	"matchsim/internal/gen"
+)
+
+func fusedTestEval(t *testing.T, seed uint64, n int) *cost.Evaluator {
+	t.Helper()
+	inst, err := gen.PaperInstance(seed, n, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := cost.NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eval
+}
+
+// TestSolveFusedUnfusedBitIdentical: the fused SampleScore path and the
+// separate Sample+Score path draw from identical RNG streams and (on the
+// integer-weight paper generator) compute identical float64 scores, so a
+// whole run must be bit-for-bit reproducible across the two paths — best
+// score, mapping, and every per-iteration statistic.
+func TestSolveFusedUnfusedBitIdentical(t *testing.T) {
+	for _, c := range []struct {
+		seed    uint64
+		workers int
+	}{{7, 1}, {3, 4}} {
+		eval := fusedTestEval(t, 42, 16)
+		opts := Options{Seed: c.seed, Workers: c.workers, MaxIterations: 80}
+
+		fused, err := Solve(eval, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.UnfusedScoring = true
+		unfused, err := Solve(eval, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if fused.Exec != unfused.Exec {
+			t.Fatalf("seed=%d workers=%d: fused exec %v != unfused %v",
+				c.seed, c.workers, fused.Exec, unfused.Exec)
+		}
+		if !equalInts(fused.Mapping, unfused.Mapping) {
+			t.Fatalf("seed=%d workers=%d: mappings diverge: %v vs %v",
+				c.seed, c.workers, fused.Mapping, unfused.Mapping)
+		}
+		if fused.Iterations != unfused.Iterations || fused.StopReason != unfused.StopReason {
+			t.Fatalf("seed=%d workers=%d: trajectory diverges: %d/%s vs %d/%s",
+				c.seed, c.workers, fused.Iterations, fused.StopReason,
+				unfused.Iterations, unfused.StopReason)
+		}
+		for i := range fused.History {
+			a, b := fused.History[i], unfused.History[i]
+			if a.Gamma != b.Gamma || a.Best != b.Best || a.Worst != b.Worst || a.Mean != b.Mean {
+				t.Fatalf("seed=%d workers=%d iteration %d: stats diverge: %+v vs %+v",
+					c.seed, c.workers, i, a, b)
+			}
+		}
+	}
+}
+
+// TestSolveDeterminismPinned pins complete runs for fixed (seed, workers)
+// pairs. Any change to the sampling order, RNG consumption, elite
+// selection, score accumulation, or smoothing arithmetic shows up here as
+// a changed execution time, iteration count, or mapping. The values were
+// recorded from the fused path; the unfused path must reproduce them too
+// (see TestSolveFusedUnfusedBitIdentical).
+func TestSolveDeterminismPinned(t *testing.T) {
+	cases := []struct {
+		seed     uint64
+		workers  int
+		wantExec float64
+		wantIter int
+		wantStop string
+		wantMap  []int
+	}{
+		{7, 1, 6494, 43, "distribution-converged",
+			[]int{12, 6, 3, 0, 5, 15, 1, 8, 11, 2, 10, 7, 9, 14, 4, 13}},
+		{3, 4, 6448, 44, "distribution-converged",
+			[]int{0, 7, 5, 12, 13, 6, 4, 3, 15, 1, 10, 2, 11, 8, 9, 14}},
+	}
+	for _, c := range cases {
+		eval := fusedTestEval(t, 42, 16)
+		res, err := Solve(eval, Options{Seed: c.seed, Workers: c.workers, MaxIterations: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Exec != c.wantExec {
+			t.Errorf("seed=%d workers=%d: exec %v, want %v", c.seed, c.workers, res.Exec, c.wantExec)
+		}
+		if res.Iterations != c.wantIter {
+			t.Errorf("seed=%d workers=%d: iterations %d, want %d", c.seed, c.workers, res.Iterations, c.wantIter)
+		}
+		if string(res.StopReason) != c.wantStop {
+			t.Errorf("seed=%d workers=%d: stop %s, want %s", c.seed, c.workers, res.StopReason, c.wantStop)
+		}
+		if !equalInts(res.Mapping, c.wantMap) {
+			t.Errorf("seed=%d workers=%d: mapping %v, want %v", c.seed, c.workers, res.Mapping, c.wantMap)
+		}
+	}
+}
+
+// TestManyToOneFusedUnfusedIdentical covers the unconstrained sampler's
+// fused path the same way.
+func TestManyToOneFusedUnfusedIdentical(t *testing.T) {
+	inst, err := gen.PaperInstance(8, 12, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the platform to force many-to-one (5 resources, 12 tasks).
+	small, err := gen.PaperInstance(9, 5, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := cost.NewEvaluator(inst.TIG, small.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Seed: 5, Workers: 2, MaxIterations: 60}
+	fused, err := ManyToOne(eval, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.UnfusedScoring = true
+	unfused, err := ManyToOne(eval, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.Exec != unfused.Exec || !equalInts(fused.Mapping, unfused.Mapping) {
+		t.Fatalf("many-to-one fused %v %v != unfused %v %v",
+			fused.Exec, fused.Mapping, unfused.Exec, unfused.Mapping)
+	}
+	if fused.Iterations != unfused.Iterations {
+		t.Fatalf("iterations diverge: %d vs %d", fused.Iterations, unfused.Iterations)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

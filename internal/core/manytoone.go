@@ -39,15 +39,16 @@ func ManyToOne(eval *cost.Evaluator, opts Options) (*Result, error) {
 		}
 	}
 	cfg := ce.Config{
-		SampleSize:    opts.SampleSize,
-		Rho:           opts.Rho,
-		Zeta:          opts.Zeta,
-		StallWindow:   opts.GammaStallWindow,
-		MaxIterations: opts.MaxIterations,
-		Workers:       opts.Workers,
-		Seed:          opts.Seed,
-		Minimize:      true,
-		OnIteration:   opts.OnIteration,
+		SampleSize:     opts.SampleSize,
+		Rho:            opts.Rho,
+		Zeta:           opts.Zeta,
+		StallWindow:    opts.GammaStallWindow,
+		MaxIterations:  opts.MaxIterations,
+		Workers:        opts.Workers,
+		Seed:           opts.Seed,
+		Minimize:       true,
+		UnfusedScoring: opts.UnfusedScoring,
+		OnIteration:    opts.OnIteration,
 	}
 
 	start := time.Now()
@@ -77,15 +78,17 @@ func ManyToOne(eval *cost.Evaluator, opts Options) (*Result, error) {
 	}, nil
 }
 
-// manyToOneProblem implements ce.Problem[[]int] with independent row
-// sampling (no permutation constraint).
+// manyToOneProblem implements ce.Problem[[]int] (and ce.SampleScorer) with
+// independent row sampling (no permutation constraint).
 type manyToOneProblem struct {
 	eval      *cost.Evaluator
 	tasks     int
 	resources int
 	p         *stochmat.Matrix
 	q         *stochmat.Matrix
+	cdf       *stochmat.RowCDF // per-row prefix sums, rebuilt with p
 	scratch   sync.Pool
+	fused     sync.Pool // *fusedState (sampler unused; scorer + bound Place)
 
 	stallC     int
 	prevArgmax []int
@@ -108,12 +111,18 @@ func newManyToOneProblem(eval *cost.Evaluator, stallC, snapshotEvery int) *manyT
 		snapshotEvery: snapshotEvery,
 		prevArgmax:    make([]int, tasks),
 	}
+	pr.cdf = stochmat.NewRowCDF(pr.p)
 	for i := range pr.prevArgmax {
 		pr.prevArgmax[i] = -1
 	}
 	pr.scratch.New = func() any {
 		buf := make([]float64, resources)
 		return &buf
+	}
+	pr.fused.New = func() any {
+		fs := &fusedState{scorer: cost.NewStreamScorer(eval)}
+		fs.place = fs.scorer.Place
+		return fs
 	}
 	if snapshotEvery > 0 {
 		pr.snapshots = append(pr.snapshots, Snapshot{Iter: 0, Matrix: pr.p.Clone()})
@@ -147,6 +156,7 @@ func (pr *manyToOneProblem) applyWarmStart(warm cost.Mapping, bias float64) erro
 	if pr.snapshotEvery > 0 {
 		pr.snapshots[0] = Snapshot{Iter: 0, Matrix: pr.p.Clone()}
 	}
+	pr.cdf.Rebuild(pr.p)
 	return nil
 }
 
@@ -154,13 +164,51 @@ func (pr *manyToOneProblem) NewSolution() []int { return make([]int, pr.tasks) }
 
 func (pr *manyToOneProblem) Copy(dst, src []int) { copy(dst, src) }
 
-// Sample draws each task's resource independently from its row — the
-// unconstrained generation of eq. (8).
-func (pr *manyToOneProblem) Sample(rng *xrand.RNG, dst []int) error {
+// sampleInto draws each task's resource independently from its row — the
+// unconstrained generation of eq. (8) — as one inverse-CDF binary search
+// per task over the shared prefix-sum table (O(log |Vr|) instead of the
+// linear roulette walk). onAssign, when non-nil, observes each placement;
+// the fused path hooks the streaming scorer there. Both the fused and
+// unfused paths route through this helper, so they consume identical RNG
+// streams.
+func (pr *manyToOneProblem) sampleInto(rng *xrand.RNG, dst []int, onAssign func(task, col int)) {
 	for task := 0; task < pr.tasks; task++ {
-		dst[task] = rng.CategoricalTotal(pr.p.Row(task), 1)
+		row := pr.cdf.Row(task)
+		total := row[pr.resources-1]
+		x := rng.Float64() * total
+		choice := pr.cdf.SearchRow(task, x)
+		if choice >= pr.resources {
+			// Rounding pushed x to (or past) the row total: clamp to the
+			// last positive-probability column, as the linear walk does.
+			for j := pr.resources - 1; j >= 0; j-- {
+				if pr.p.At(task, j) > 0 {
+					choice = j
+					break
+				}
+			}
+		}
+		dst[task] = choice
+		if onAssign != nil {
+			onAssign(task, choice)
+		}
 	}
+}
+
+// Sample implements ce.Problem.
+func (pr *manyToOneProblem) Sample(rng *xrand.RNG, dst []int) error {
+	pr.sampleInto(rng, dst, nil)
 	return nil
+}
+
+// SampleScore implements ce.SampleScorer: the makespan accumulates while
+// the mapping is drawn, so scoring needs no second pass.
+func (pr *manyToOneProblem) SampleScore(rng *xrand.RNG, dst []int) (float64, error) {
+	fs := pr.fused.Get().(*fusedState)
+	fs.scorer.Reset()
+	pr.sampleInto(rng, dst, fs.place)
+	score := fs.scorer.Makespan()
+	pr.fused.Put(fs)
+	return score, nil
 }
 
 func (pr *manyToOneProblem) Score(m []int) float64 {
@@ -190,6 +238,7 @@ func (pr *manyToOneProblem) Update(elite [][]int, zeta float64) error {
 	if err := pr.p.Smooth(pr.q, zeta); err != nil {
 		return err
 	}
+	pr.cdf.Rebuild(pr.p)
 	stable := true
 	for i := 0; i < pr.tasks; i++ {
 		col, _ := pr.p.MaxRow(i)

@@ -82,6 +82,11 @@ type Options struct {
 	// beyond the paper that removes the small residual gaps the eq. 12
 	// stop can leave. The extra cost is O(n^2 * deg) per descent step.
 	Polish bool
+	// UnfusedScoring disables the fused sample-and-score fast path,
+	// forcing the CE loop back to separate Sample and Score calls. Both
+	// paths draw from identical RNG streams and produce identical results;
+	// the switch exists for A/B benchmarking and as an escape hatch.
+	UnfusedScoring bool
 	// OnIteration, when non-nil, receives telemetry each iteration.
 	OnIteration func(ce.IterStats)
 }
@@ -142,15 +147,23 @@ type Result struct {
 	finalStableRuns int
 }
 
-// problem implements ce.Problem[[]int] for the mapping COP.
+// problem implements ce.Problem[[]int] (and ce.SampleScorer[[]int]) for
+// the mapping COP.
 type problem struct {
 	eval *cost.Evaluator
 	n    int
 	p    *stochmat.Matrix
 	q    *stochmat.Matrix // elite counts buffer, reused each iteration
 
-	samplers sync.Pool // *stochmat.Sampler
-	scratch  sync.Pool // *[]float64 load buffers
+	// cdf caches per-row prefix sums of p for the fast GenPerm sampler.
+	// It is rebuilt after every mutation of p (all of which happen on a
+	// single goroutine between sampling phases) and read concurrently by
+	// the sampling workers.
+	cdf *stochmat.RowCDF
+
+	samplers sync.Pool // *stochmat.Sampler, for the unfused Sample path
+	scratch  sync.Pool // *[]float64 load buffers, for the unfused Score path
+	fused    sync.Pool // *fusedState, for the SampleScore path
 
 	// eq. 12 stopping state.
 	stallC     int
@@ -161,6 +174,16 @@ type problem struct {
 	snapshotEvery int
 	iter          int
 	snapshots     []Snapshot
+}
+
+// fusedState is the per-goroutine scratch of the fused sample-and-score
+// path: the GenPerm sampler, the streaming cost accumulator it feeds, and
+// the pre-bound Place callback (bound once at construction so the hot
+// loop does not allocate a method value per draw).
+type fusedState struct {
+	sampler *stochmat.Sampler
+	scorer  *cost.StreamScorer
+	place   func(task, col int)
 }
 
 func newProblem(eval *cost.Evaluator, stallC, snapshotEvery int) *problem {
@@ -174,6 +197,7 @@ func newProblem(eval *cost.Evaluator, stallC, snapshotEvery int) *problem {
 		snapshotEvery: snapshotEvery,
 		prevArgmax:    make([]int, n),
 	}
+	pr.cdf = stochmat.NewRowCDF(pr.p)
 	for i := range pr.prevArgmax {
 		pr.prevArgmax[i] = -1
 	}
@@ -182,11 +206,23 @@ func newProblem(eval *cost.Evaluator, stallC, snapshotEvery int) *problem {
 		buf := make([]float64, eval.NumResources())
 		return &buf
 	}
+	pr.fused.New = func() any {
+		fs := &fusedState{
+			sampler: stochmat.NewSampler(n),
+			scorer:  cost.NewStreamScorer(eval),
+		}
+		fs.place = fs.scorer.Place
+		return fs
+	}
 	if snapshotEvery > 0 {
 		pr.snapshots = append(pr.snapshots, Snapshot{Iter: 0, Matrix: pr.p.Clone()})
 	}
 	return pr
 }
+
+// refreshCDF re-derives the sampler's prefix-sum table after p changed.
+// Callers must ensure no sampling worker is running concurrently.
+func (pr *problem) refreshCDF() { pr.cdf.Rebuild(pr.p) }
 
 // applyWarmStart re-initialises P_0 with bias mass on the warm mapping's
 // columns: p_ij = bias + (1-bias)/n for j = warm[i], (1-bias)/n otherwise.
@@ -215,6 +251,7 @@ func (pr *problem) applyWarmStart(warm cost.Mapping, bias float64) error {
 		// Replace the initial snapshot with the biased matrix.
 		pr.snapshots[0] = Snapshot{Iter: 0, Matrix: pr.p.Clone()}
 	}
+	pr.refreshCDF()
 	return nil
 }
 
@@ -225,11 +262,30 @@ func (pr *problem) NewSolution() []int { return make([]int, pr.n) }
 func (pr *problem) Copy(dst, src []int) { copy(dst, src) }
 
 // Sample implements ce.Problem: one GenPerm draw from the current matrix.
+// It uses the same CDF-based fast sampler as SampleScore so the fused and
+// unfused paths consume identical RNG streams and stay bit-for-bit
+// interchangeable.
 func (pr *problem) Sample(rng *xrand.RNG, dst []int) error {
 	s := pr.samplers.Get().(*stochmat.Sampler)
-	err := s.SamplePermutation(pr.p, rng, dst)
+	err := s.SamplePermutationFast(pr.p, pr.cdf, rng, dst, nil)
 	pr.samplers.Put(s)
 	return err
+}
+
+// SampleScore implements ce.SampleScorer: one GenPerm draw whose makespan
+// is accumulated while the permutation is built — each assignment charges
+// its compute time and the edges to already-placed neighbours — so no
+// second pass over the mapping (or the TIG) is needed.
+func (pr *problem) SampleScore(rng *xrand.RNG, dst []int) (float64, error) {
+	fs := pr.fused.Get().(*fusedState)
+	fs.scorer.Reset()
+	err := fs.sampler.SamplePermutationFast(pr.p, pr.cdf, rng, dst, fs.place)
+	score := fs.scorer.Makespan()
+	pr.fused.Put(fs)
+	if err != nil {
+		return 0, err
+	}
+	return score, nil
 }
 
 // Score implements ce.Problem: the application execution time.
@@ -269,6 +325,7 @@ func (pr *problem) Update(elite [][]int, zeta float64) error {
 	if err := pr.p.Smooth(pr.q, zeta); err != nil {
 		return err
 	}
+	pr.refreshCDF()
 
 	// eq. 12: track stability of each row's maximal element.
 	stable := true
@@ -324,15 +381,16 @@ func solveFromProblem(eval *cost.Evaluator, opts Options, init func(*problem) er
 		}
 	}
 	cfg := ce.Config{
-		SampleSize:    opts.SampleSize,
-		Rho:           opts.Rho,
-		Zeta:          opts.Zeta,
-		StallWindow:   opts.GammaStallWindow,
-		MaxIterations: opts.MaxIterations,
-		Workers:       opts.Workers,
-		Seed:          opts.Seed,
-		Minimize:      true,
-		OnIteration:   opts.OnIteration,
+		SampleSize:     opts.SampleSize,
+		Rho:            opts.Rho,
+		Zeta:           opts.Zeta,
+		StallWindow:    opts.GammaStallWindow,
+		MaxIterations:  opts.MaxIterations,
+		Workers:        opts.Workers,
+		Seed:           opts.Seed,
+		Minimize:       true,
+		UnfusedScoring: opts.UnfusedScoring,
+		OnIteration:    opts.OnIteration,
 	}
 
 	start := time.Now()

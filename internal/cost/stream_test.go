@@ -1,0 +1,290 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"matchsim/internal/gen"
+	"matchsim/internal/graph"
+	"matchsim/internal/xrand"
+)
+
+// randomFloatInstance builds an instance with arbitrary float weights —
+// the regime where the streaming accumulator and the canonical Exec can
+// differ by rounding, bounded at 1e-9 relative.
+func randomFloatInstance(t *testing.T, rng *xrand.RNG, tasks, resources int) *Evaluator {
+	t.Helper()
+	w := make([]float64, tasks)
+	for i := range w {
+		w[i] = rng.Float64()*9 + 0.5
+	}
+	tig := graph.NewTIGWithWeights(w)
+	for i := 0; i < tasks; i++ {
+		for j := i + 1; j < tasks; j++ {
+			if rng.Float64() < 0.3 {
+				tig.MustAddEdge(i, j, rng.Float64()*50+1)
+			}
+		}
+	}
+	costs := make([]float64, resources)
+	for i := range costs {
+		costs[i] = rng.Float64()*4 + 0.5
+	}
+	rg := graph.NewResourceGraphWithCosts(costs)
+	for i := 0; i < resources; i++ {
+		for j := i + 1; j < resources; j++ {
+			rg.MustAddLink(i, j, rng.Float64()*10+0.5)
+		}
+	}
+	e, err := NewEvaluator(tig, rg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func randomPermutation(rng *xrand.RNG, n int) Mapping {
+	m := make(Mapping, n)
+	rng.PermInto(m)
+	return m
+}
+
+func randomManyToOne(rng *xrand.RNG, tasks, resources int) Mapping {
+	m := make(Mapping, tasks)
+	for i := range m {
+		m[i] = rng.Intn(resources)
+	}
+	return m
+}
+
+func relDiff(a, b float64) float64 {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / scale
+}
+
+// TestStreamScorerMatchesExec: the fused accumulator must agree with the
+// canonical evaluator within 1e-9 relative on float-weight instances, for
+// both bijective and many-to-one mappings, across sizes.
+func TestStreamScorerMatchesExec(t *testing.T) {
+	rng := xrand.New(31)
+	for _, n := range []int{4, 16, 64} {
+		// Bijective: |Vt| = |Vr| = n.
+		e := randomFloatInstance(t, rng, n, n)
+		ss := NewStreamScorer(e)
+		for trial := 0; trial < 100; trial++ {
+			m := randomPermutation(rng, n)
+			got, err := ss.Score(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := e.Exec(m); relDiff(got, want) > 1e-9 {
+				t.Fatalf("n=%d bijective trial %d: stream %v vs exec %v", n, trial, got, want)
+			}
+		}
+		// Many-to-one: fewer resources than tasks.
+		r := n/2 + 1
+		e2 := randomFloatInstance(t, rng, n, r)
+		ss2 := NewStreamScorer(e2)
+		for trial := 0; trial < 100; trial++ {
+			m := randomManyToOne(rng, n, r)
+			got, err := ss2.Score(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := e2.Exec(m); relDiff(got, want) > 1e-9 {
+				t.Fatalf("n=%d many-to-one trial %d: stream %v vs exec %v", n, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamScorerExactOnPaperInstances: the Section 5.2 generator draws
+// every weight from small integer ranges, so all load sums are exact in
+// float64 regardless of accumulation order — the fused score must be
+// bit-identical to Exec there. This equality is what makes the fused and
+// unfused CE paths interchangeable on paper workloads.
+func TestStreamScorerExactOnPaperInstances(t *testing.T) {
+	rng := xrand.New(32)
+	for _, n := range []int{10, 20, 50} {
+		inst, err := gen.PaperInstance(uint64(n), n, gen.DefaultPaperConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEvaluator(inst.TIG, inst.Platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss := NewStreamScorer(e)
+		for trial := 0; trial < 50; trial++ {
+			m := randomPermutation(rng, n)
+			got, err := ss.Score(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := e.Exec(m); got != want {
+				t.Fatalf("n=%d trial %d: stream %v != exec %v (must be bit-identical)", n, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamScorerPlacementOrderInvariance: on integer-weight instances
+// the makespan must not depend on the order tasks are placed in.
+func TestStreamScorerPlacementOrderInvariance(t *testing.T) {
+	rng := xrand.New(33)
+	inst, err := gen.PaperInstance(9, 16, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewStreamScorer(e)
+	m := randomPermutation(rng, 16)
+	want := e.Exec(m)
+	order := make([]int, 16)
+	for trial := 0; trial < 30; trial++ {
+		rng.PermInto(order)
+		ss.Reset()
+		for _, task := range order {
+			ss.Place(task, m[task])
+		}
+		if got := ss.Makespan(); got != want {
+			t.Fatalf("order %v: makespan %v != %v", order, got, want)
+		}
+	}
+}
+
+// TestStreamScorerReuse: a scorer must be reusable across draws without
+// leaking state from earlier placements.
+func TestStreamScorerReuse(t *testing.T) {
+	rng := xrand.New(34)
+	e := randomFloatInstance(t, rng, 12, 12)
+	ss := NewStreamScorer(e)
+	for trial := 0; trial < 200; trial++ {
+		m := randomPermutation(rng, 12)
+		got, err := ss.Score(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := e.Exec(m); relDiff(got, want) > 1e-9 {
+			t.Fatalf("trial %d: reused scorer drifted: %v vs %v", trial, got, want)
+		}
+	}
+}
+
+// TestExecAfterSwapDeltaMatchesReference: the delta probe must agree with
+// the swap-and-revert reference and leave the state untouched, including
+// after committed swaps and many-to-one SetTask moves.
+func TestExecAfterSwapDeltaMatchesReference(t *testing.T) {
+	rng := xrand.New(35)
+	for _, n := range []int{4, 16, 64} {
+		e := randomFloatInstance(t, rng, n, n)
+		st, err := NewState(e, randomPermutation(rng, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 300; trial++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			got := st.ExecAfterSwap(i, j)
+			want := st.execAfterSwapBySwapping(i, j)
+			if relDiff(got, want) > 1e-9 {
+				t.Fatalf("n=%d trial %d swap(%d,%d): delta %v vs reference %v", n, trial, i, j, got, want)
+			}
+			// Every few probes, commit a mutation so the cached order and
+			// loads churn.
+			switch trial % 5 {
+			case 0:
+				st.Swap(rng.Intn(n), rng.Intn(n))
+			case 2:
+				st.SetTask(rng.Intn(n), rng.Intn(n))
+			}
+		}
+		// The probe must not have corrupted incremental state. Committed
+		// swaps accumulate a little float error on their own, so compare
+		// with a mixed absolute/relative tolerance.
+		fresh := e.Loads(st.Mapping(), nil)
+		for r, l := range st.Loads() {
+			if math.Abs(l-fresh[r]) > 1e-9*(1+math.Abs(fresh[r])) {
+				t.Fatalf("n=%d: load[%d] drifted: %v vs recomputed %v", n, r, l, fresh[r])
+			}
+		}
+	}
+}
+
+// TestExecAfterSwapDeltaOnPaperInstance: exact agreement on the integer-
+// weight generator output.
+func TestExecAfterSwapDeltaOnPaperInstance(t *testing.T) {
+	rng := xrand.New(36)
+	inst, err := gen.PaperInstance(4, 20, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(e, randomPermutation(rng, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		i, j := rng.Intn(20), rng.Intn(20)
+		if got, want := st.ExecAfterSwap(i, j), st.execAfterSwapBySwapping(i, j); got != want {
+			t.Fatalf("trial %d swap(%d,%d): delta %v != reference %v", trial, i, j, got, want)
+		}
+		if trial%7 == 0 {
+			st.Swap(rng.Intn(20), rng.Intn(20))
+		}
+	}
+}
+
+func BenchmarkExecAfterSwap(b *testing.B) {
+	inst, err := gen.PaperInstance(2005, 64, gen.DefaultPaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	st, err := NewState(e, randomPermutation(rng, 64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("delta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st.ExecAfterSwap(i%64, (i*7+13)%64)
+		}
+	})
+	b.Run("swap-revert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st.execAfterSwapBySwapping(i%64, (i*7+13)%64)
+		}
+	})
+}
+
+func BenchmarkStreamScore64(b *testing.B) {
+	inst, err := gen.PaperInstance(2005, 64, gen.DefaultPaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	m := randomPermutation(rng, 64)
+	ss := NewStreamScorer(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ss.Score(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

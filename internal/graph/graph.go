@@ -159,6 +159,13 @@ func (g *Undirected) TotalEdgeWeight() float64 {
 	return total
 }
 
+// BuildAdjacency eagerly (re)builds the CSR adjacency arrays. Neighbors
+// and Degree build them lazily on first use, which is not safe to trigger
+// from multiple goroutines; code that shares a finished graph across
+// goroutines (the fused CE sampling workers do) must call BuildAdjacency
+// once beforehand, after which concurrent Neighbors calls are read-only.
+func (g *Undirected) BuildAdjacency() { g.ensureAdjacency() }
+
 // ensureAdjacency rebuilds the CSR arrays after edge insertions.
 func (g *Undirected) ensureAdjacency() {
 	if !g.dirty && g.offsets != nil {

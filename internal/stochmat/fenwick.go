@@ -1,0 +1,187 @@
+package stochmat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fenwick is a binary indexed tree over non-negative float64 weights,
+// supporting O(log n) prefix sums, point updates and inverse-CDF draws.
+// It is the log-time replacement for the linear "roulette wheel" walk in
+// the GenPerm hot path: after an O(n) build from a (masked) weight row,
+// each categorical draw costs a single O(log n) descent instead of an
+// O(n) accumulate-and-compare scan.
+//
+// The zero value is not usable; construct with NewFenwick. A Fenwick is
+// not safe for concurrent use — like Sampler, create one per goroutine.
+type Fenwick struct {
+	n    int
+	tree []float64 // 1-based; tree[i] covers (i - lowbit(i), i]
+}
+
+// NewFenwick returns a tree over n weights, all initially zero.
+func NewFenwick(n int) *Fenwick {
+	if n < 1 {
+		panic(fmt.Sprintf("stochmat: Fenwick size %d < 1", n))
+	}
+	return &Fenwick{n: n, tree: make([]float64, n+1)}
+}
+
+// Len returns the number of weights.
+func (f *Fenwick) Len() int { return f.n }
+
+// Build loads weights into the tree in O(n), replacing previous content.
+// len(weights) must equal Len.
+func (f *Fenwick) Build(weights []float64) {
+	if len(weights) != f.n {
+		panic(fmt.Sprintf("stochmat: Fenwick build with %d weights, want %d", len(weights), f.n))
+	}
+	copy(f.tree[1:], weights)
+	// Classic linear-time construction: push each node's partial sum to
+	// its parent.
+	for i := 1; i <= f.n; i++ {
+		if j := i + (i & -i); j <= f.n {
+			f.tree[j] += f.tree[i]
+		}
+	}
+}
+
+// Add adds delta to weight i (0-based).
+func (f *Fenwick) Add(i int, delta float64) {
+	for j := i + 1; j <= f.n; j += j & -j {
+		f.tree[j] += delta
+	}
+}
+
+// Prefix returns the sum of weights[0..i) (0 <= i <= Len).
+func (f *Fenwick) Prefix(i int) float64 {
+	total := 0.0
+	for ; i > 0; i -= i & -i {
+		total += f.tree[i]
+	}
+	return total
+}
+
+// Total returns the sum of all weights.
+func (f *Fenwick) Total() float64 { return f.Prefix(f.n) }
+
+// Find returns the index the linear roulette walk would select for draw
+// value x: the smallest i whose inclusive prefix sum exceeds x. Zero-
+// weight entries are never selected (their prefix sum equals their
+// predecessor's, so the descent steps past them), and x at or beyond the
+// total clamps to the last positive-weight index — exactly the
+// floating-point shortfall behaviour of the linear walk.
+func (f *Fenwick) Find(x float64) int {
+	pos := 0
+	// Largest power of two <= n.
+	bit := 1
+	for bit<<1 <= f.n {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := pos + bit
+		if next <= f.n && f.tree[next] <= x {
+			pos = next
+			x -= f.tree[next]
+		}
+	}
+	if pos >= f.n {
+		// x >= total: mirror the linear walk's "return the last positive
+		// index" fallback.
+		return f.lastPositive()
+	}
+	return pos
+}
+
+// lastPositive returns the highest index with positive weight, or -1 if
+// all weights are zero.
+func (f *Fenwick) lastPositive() int {
+	for i := f.n - 1; i >= 0; i-- {
+		if f.weight(i) > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// weight reconstructs weights[i] from the tree in O(log n).
+func (f *Fenwick) weight(i int) float64 {
+	j := i + 1
+	w := f.tree[j]
+	// Subtract the children of node j to isolate the single weight.
+	for k := j - 1; k > j-(j&-j); k -= k & -k {
+		w -= f.tree[k]
+	}
+	return w
+}
+
+// RowCDF holds per-row inclusive prefix sums of a Matrix — the shared,
+// read-only lookup table the fast GenPerm sampler binary-searches. It is
+// rebuilt once per CE iteration (after the eq. 13 smoothing update) and
+// then read concurrently by every sampling worker, amortising the O(n^2)
+// build over the N = 2n^2 draws of the iteration.
+type RowCDF struct {
+	rows, cols int
+	cum        []float64 // cum[i*cols+j] = sum_{k<=j} p_ik
+}
+
+// NewRowCDF builds the prefix-sum table of m.
+func NewRowCDF(m *Matrix) *RowCDF {
+	c := &RowCDF{}
+	c.Rebuild(m)
+	return c
+}
+
+// Rebuild refreshes the table from m, reallocating only on shape change.
+// It must not run concurrently with readers; the CE loop calls it from
+// the single-threaded Update step.
+func (c *RowCDF) Rebuild(m *Matrix) {
+	if c.rows != m.rows || c.cols != m.cols {
+		c.rows, c.cols = m.rows, m.cols
+		c.cum = make([]float64, m.rows*m.cols)
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		dst := c.cum[i*c.cols : (i+1)*c.cols]
+		acc := 0.0
+		for j, v := range row {
+			acc += v
+			dst[j] = acc
+		}
+	}
+}
+
+// Rows returns the number of rows.
+func (c *RowCDF) Rows() int { return c.rows }
+
+// Cols returns the number of columns.
+func (c *RowCDF) Cols() int { return c.cols }
+
+// Row returns row i's inclusive prefix sums, aliasing internal storage;
+// callers must treat it as read-only.
+func (c *RowCDF) Row(i int) []float64 { return c.cum[i*c.cols : (i+1)*c.cols] }
+
+// SearchRow returns the smallest column j in row i with cum[j] > x — the
+// inverse-CDF draw for value x in [0, row total). O(log cols).
+//
+// The search is branch-free: draw values land uniformly over the CDF, so
+// a branching binary search mispredicts half its comparisons, which
+// dominates its cost at CE row sizes. Prefix sums and draw values are
+// non-negative finite floats, whose IEEE-754 bit patterns order exactly
+// like integers, so each "cum[mid] <= x" test becomes an integer
+// subtraction whose sign bit is smeared into a mask that conditionally
+// advances the window base.
+func (c *RowCDF) SearchRow(i int, x float64) int {
+	row := c.Row(i)
+	xb := int64(math.Float64bits(x))
+	base := 0
+	for n := c.cols; n > 1; {
+		half := n >> 1
+		vb := int64(math.Float64bits(row[base+half-1]))
+		// (vb-xb-1)>>63 is all-ones iff row[base+half-1] <= x.
+		base += half & int((vb-xb-1)>>63)
+		n -= half
+	}
+	vb := int64(math.Float64bits(row[base]))
+	return base + int((vb-xb-1)>>63)&1
+}

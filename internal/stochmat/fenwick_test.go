@@ -1,0 +1,294 @@
+package stochmat
+
+import (
+	"math"
+	"testing"
+
+	"matchsim/internal/xrand"
+)
+
+// refWalk replicates the linear roulette walk of xrand.CategoricalTotal:
+// skip non-positive weights, return the first index whose inclusive
+// prefix sum exceeds x, falling back to the last positive index.
+func refWalk(weights []float64, x float64) int {
+	acc := 0.0
+	last := -1
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		last = i
+		acc += w
+		if x < acc {
+			return i
+		}
+	}
+	return last
+}
+
+func randWeights(rng *xrand.RNG, n int, zeroFrac float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		if rng.Float64() < zeroFrac {
+			continue
+		}
+		w[i] = rng.Float64() * 10
+	}
+	return w
+}
+
+func TestFenwickPrefixAndAdd(t *testing.T) {
+	rng := xrand.New(1)
+	for _, n := range []int{1, 2, 3, 7, 16, 33, 64} {
+		w := randWeights(rng, n, 0.3)
+		f := NewFenwick(n)
+		f.Build(w)
+		for trial := 0; trial < 50; trial++ {
+			// Check all prefixes against a naive accumulation.
+			acc := 0.0
+			for i := 0; i <= n; i++ {
+				if got := f.Prefix(i); math.Abs(got-acc) > 1e-9*(1+acc) {
+					t.Fatalf("n=%d trial=%d Prefix(%d)=%v, want %v", n, trial, i, got, acc)
+				}
+				if i < n {
+					acc += w[i]
+				}
+			}
+			// Mutate one entry both ways.
+			i := rng.Intn(n)
+			delta := rng.Float64() - 0.3
+			if w[i]+delta < 0 {
+				delta = -w[i]
+			}
+			w[i] += delta
+			f.Add(i, delta)
+		}
+	}
+}
+
+func TestFenwickFindMatchesLinearWalk(t *testing.T) {
+	rng := xrand.New(2)
+	for _, n := range []int{1, 2, 5, 16, 64, 100} {
+		for _, zeroFrac := range []float64{0, 0.4, 0.9} {
+			w := randWeights(rng, n, zeroFrac)
+			f := NewFenwick(n)
+			f.Build(w)
+			total := 0.0
+			for _, v := range w {
+				total += v
+			}
+			if total == 0 {
+				if got := f.Find(0); got != -1 {
+					t.Fatalf("n=%d all-zero Find(0)=%d, want -1", n, got)
+				}
+				continue
+			}
+			for trial := 0; trial < 500; trial++ {
+				x := rng.Float64() * total
+				if got, want := f.Find(x), refWalk(w, x); got != want {
+					t.Fatalf("n=%d zeroFrac=%v Find(%v)=%d, want %d (weights %v)",
+						n, zeroFrac, x, got, want, w)
+				}
+			}
+			// x at/beyond the total clamps to the last positive index.
+			if got, want := f.Find(total*(1+1e-9)), refWalk(w, total*2); got != want {
+				t.Fatalf("n=%d overflow Find=%d, want %d", n, got, want)
+			}
+		}
+	}
+}
+
+func TestRowCDFSearchMatchesScan(t *testing.T) {
+	rng := xrand.New(3)
+	m := NewUniform(8, 8)
+	for i := 0; i < 8; i++ {
+		row := randWeights(rng, 8, 0.3)
+		row[rng.Intn(8)] += 1 // ensure positive mass
+		if err := m.SetRow(i, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cdf := NewRowCDF(m)
+	if cdf.Rows() != 8 || cdf.Cols() != 8 {
+		t.Fatalf("CDF shape %dx%d", cdf.Rows(), cdf.Cols())
+	}
+	for i := 0; i < 8; i++ {
+		row := cdf.Row(i)
+		for trial := 0; trial < 200; trial++ {
+			x := rng.Float64() * row[7]
+			got := cdf.SearchRow(i, x)
+			want := 0
+			for want < 8 && row[want] <= x {
+				want++
+			}
+			if got != want {
+				t.Fatalf("row %d SearchRow(%v)=%d, want %d", i, x, got, want)
+			}
+		}
+	}
+}
+
+// testMatrices builds the three regimes the samplers see over a CE run:
+// uniform (iteration 0), random row-stochastic (mid-run), near-degenerate
+// (close to the eq. 12 stop).
+func testMatrices(t *testing.T, rng *xrand.RNG, n int) map[string]*Matrix {
+	t.Helper()
+	random := NewUniform(n, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64() + 1e-3
+		}
+		if err := random.SetRow(i, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	degen := NewUniform(n, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = 1e-4
+		}
+		row[(i*7+3)%n] = 1
+		if err := degen.SetRow(i, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return map[string]*Matrix{
+		"uniform":         NewUniform(n, n),
+		"random":          random,
+		"near-degenerate": degen,
+	}
+}
+
+// TestFenwickSamplerStreamIdentity: SamplePermutationFenwick must consume
+// the same RNG variates and output the same permutations as the linear
+// reference sampler, draw after draw.
+func TestFenwickSamplerStreamIdentity(t *testing.T) {
+	setup := xrand.New(4)
+	for _, n := range []int{4, 16, 64} {
+		for name, m := range testMatrices(t, setup, n) {
+			rngA, rngB := xrand.New(99), xrand.New(99)
+			sa, sb := NewSampler(n), NewSampler(n)
+			da, db := make([]int, n), make([]int, n)
+			for draw := 0; draw < 200; draw++ {
+				if err := sa.SamplePermutation(m, rngA, da); err != nil {
+					t.Fatal(err)
+				}
+				if err := sb.SamplePermutationFenwick(m, rngB, db); err != nil {
+					t.Fatal(err)
+				}
+				for i := range da {
+					if da[i] != db[i] {
+						t.Fatalf("n=%d %s draw %d: linear %v != fenwick %v", n, name, draw, da, db)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastSamplerValidAndDeterministic: the rejection sampler must always
+// emit permutations and be reproducible for a fixed RNG stream.
+func TestFastSamplerValidAndDeterministic(t *testing.T) {
+	setup := xrand.New(5)
+	for _, n := range []int{4, 16, 64} {
+		for name, m := range testMatrices(t, setup, n) {
+			cdf := NewRowCDF(m)
+			rngA, rngB := xrand.New(7), xrand.New(7)
+			sa, sb := NewSampler(n), NewSampler(n)
+			da, db := make([]int, n), make([]int, n)
+			for draw := 0; draw < 100; draw++ {
+				if err := sa.SamplePermutationFast(m, cdf, rngA, da, nil); err != nil {
+					t.Fatal(err)
+				}
+				if !isPermutation(da) {
+					t.Fatalf("n=%d %s draw %d: not a permutation: %v", n, name, draw, da)
+				}
+				if err := sb.SamplePermutationFast(m, cdf, rngB, db, nil); err != nil {
+					t.Fatal(err)
+				}
+				for i := range da {
+					if da[i] != db[i] {
+						t.Fatalf("n=%d %s draw %d: same seed diverged: %v vs %v", n, name, draw, da, db)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastSamplerOnAssignOrder: the callback must see every (task, col)
+// pair of the final permutation exactly once.
+func TestFastSamplerOnAssignOrder(t *testing.T) {
+	n := 16
+	m := NewUniform(n, n)
+	cdf := NewRowCDF(m)
+	s := NewSampler(n)
+	rng := xrand.New(11)
+	dst := make([]int, n)
+	got := make(map[int]int)
+	err := s.SamplePermutationFast(m, cdf, rng, dst, func(task, col int) {
+		if _, dup := got[task]; dup {
+			t.Fatalf("task %d assigned twice", task)
+		}
+		got[task] = col
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("callback saw %d assignments, want %d", len(got), n)
+	}
+	for task, col := range got {
+		if dst[task] != col {
+			t.Fatalf("callback (%d,%d) disagrees with dst %v", task, col, dst)
+		}
+	}
+}
+
+// TestFastSamplerFrequencies: rejection-with-exact-fallback samples the
+// exact GenPerm distribution, so per-(task, col) assignment frequencies
+// must agree with the linear reference within sampling noise.
+func TestFastSamplerFrequencies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("frequency comparison needs many draws")
+	}
+	n := 6
+	setup := xrand.New(6)
+	m := testMatrices(t, setup, n)["random"]
+	cdf := NewRowCDF(m)
+	const draws = 40000
+	count := func(sample func(rng *xrand.RNG, dst []int) error, seed uint64) [][]float64 {
+		freq := make([][]float64, n)
+		for i := range freq {
+			freq[i] = make([]float64, n)
+		}
+		rng := xrand.New(seed)
+		dst := make([]int, n)
+		for d := 0; d < draws; d++ {
+			if err := sample(rng, dst); err != nil {
+				t.Fatal(err)
+			}
+			for task, col := range dst {
+				freq[task][col] += 1.0 / draws
+			}
+		}
+		return freq
+	}
+	sLin, sFast := NewSampler(n), NewSampler(n)
+	linear := count(func(rng *xrand.RNG, dst []int) error {
+		return sLin.SamplePermutation(m, rng, dst)
+	}, 21)
+	fast := count(func(rng *xrand.RNG, dst []int) error {
+		return sFast.SamplePermutationFast(m, cdf, rng, dst, nil)
+	}, 22)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if diff := math.Abs(linear[i][j] - fast[i][j]); diff > 0.02 {
+				t.Fatalf("frequency(%d,%d): linear %.4f vs fast %.4f (diff %.4f)",
+					i, j, linear[i][j], fast[i][j], diff)
+			}
+		}
+	}
+}
