@@ -1,0 +1,172 @@
+// Package api defines the wire types of the matchd mapping service: job
+// submission requests, job status and result documents, and the
+// server-sent progress events. It is shared by the daemon (cmd/matchd,
+// internal/httpapi, internal/jobs) and the Go client (package client),
+// and doubles as the JSON schema reference for non-Go consumers.
+//
+// All documents are plain JSON. Progress events reuse the field layout of
+// the repo's JSONL trace schema (internal/trace), so a concatenation of a
+// job's SSE `data:` payloads is a valid trace stream.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Solver names accepted by SubmitRequest.Solver.
+const (
+	SolverMaTCH       = "match"       // the paper's CE heuristic (|Vt| = |Vr|)
+	SolverManyToOne   = "match-m2o"   // generalised CE (any |Vt|, |Vr|)
+	SolverGA          = "ga"          // FastMap-GA baseline
+	SolverDistributed = "distributed" // agent-based MaTCH
+	SolverRandom      = "random"      // uniform random search
+	SolverGreedy      = "greedy"      // constructive greedy
+	SolverLocal       = "local"       // 2-swap hill climbing
+	SolverAnneal      = "anneal"      // simulated annealing
+)
+
+// SolverOptions carries every tunable a job may set. Zero values take the
+// solver's documented defaults. Only the fields relevant to the chosen
+// solver are read.
+type SolverOptions struct {
+	// Seed and Workers together determine a deterministic run: the same
+	// (instance, solver, options) submission produces a bit-identical
+	// mapping to a direct library call with the same parameters.
+	Seed    uint64 `json:"seed,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+
+	// CE (match, match-m2o, distributed) knobs.
+	SampleSize int     `json:"sample_size,omitempty"`
+	Rho        float64 `json:"rho,omitempty"`
+	Zeta       float64 `json:"zeta,omitempty"`
+	StallC     int     `json:"stall_c,omitempty"`
+	// GammaStallWindow is the generic CE quantile-stall stop (default 25
+	// iterations without improvement). Raise it with StallC and
+	// MaxIterations for jobs that should run until convergence or
+	// cancellation.
+	GammaStallWindow int  `json:"gamma_stall_window,omitempty"`
+	MaxIterations    int  `json:"max_iterations,omitempty"`
+	Polish           bool `json:"polish,omitempty"`
+	NumAgents        int  `json:"num_agents,omitempty"` // distributed only
+
+	// GA knobs.
+	PopulationSize int     `json:"population_size,omitempty"`
+	Generations    int     `json:"generations,omitempty"`
+	CrossoverProb  float64 `json:"crossover_prob,omitempty"`
+	MutationProb   float64 `json:"mutation_prob,omitempty"`
+
+	// Baseline knobs.
+	Budget   int `json:"budget,omitempty"`   // random-search samples
+	Restarts int `json:"restarts,omitempty"` // local-search restarts
+	Steps    int `json:"steps,omitempty"`    // annealing moves
+}
+
+// SubmitRequest is the body of POST /v1/jobs.
+type SubmitRequest struct {
+	// Instance is the problem instance JSON (the matchgen format: a
+	// {"tig": ..., "platform": ...} document).
+	Instance json.RawMessage `json:"instance"`
+	// Solver selects the algorithm; see the Solver* constants.
+	Solver string `json:"solver"`
+	// Options tunes the solver; zero values take defaults.
+	Options SolverOptions `json:"options"`
+}
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// TerminalState reports whether a job state is final.
+func TerminalState(s string) bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobInfo is the status document returned by POST /v1/jobs,
+// GET /v1/jobs/{id} and DELETE /v1/jobs/{id}.
+type JobInfo struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Solver string `json:"solver"`
+	// Key is the content hash of (instance, solver, options) — identical
+	// submissions share it and hit the result cache.
+	Key     string    `json:"key"`
+	Created time.Time `json:"created"`
+	// Started and Finished are zero until the job reaches the
+	// corresponding lifecycle point.
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// Error explains a failed job.
+	Error string `json:"error,omitempty"`
+	// CacheHit marks a job satisfied from the result cache without
+	// running the solver.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Resumed marks a job restored from a persisted checkpoint after a
+	// daemon restart.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// JobResult is the document returned by GET /v1/jobs/{id}/result.
+type JobResult struct {
+	// Mapping assigns each task to a resource: mapping[task] = resource.
+	Mapping []int `json:"mapping"`
+	// Exec is the application execution time of the mapping (the paper's
+	// ET, abstract cost units).
+	Exec float64 `json:"exec"`
+	// Iterations counts CE iterations or GA generations.
+	Iterations int `json:"iterations,omitempty"`
+	// Evaluations counts cost-function evaluations performed by the run
+	// that produced this result (a cache hit performs zero new ones).
+	Evaluations int64 `json:"evaluations"`
+	// MappingTime is the solver wall-clock time in nanoseconds.
+	MappingTime time.Duration `json:"mapping_time_ns"`
+	// Solver echoes the algorithm name.
+	Solver string `json:"solver"`
+	// StopReason records why the run ended (e.g. "distribution-converged",
+	// "completed", "cancelled").
+	StopReason string `json:"stop_reason,omitempty"`
+	// CacheHit marks a result served from the cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+}
+
+// Event is one progress event, streamed over GET /v1/jobs/{id}/events as
+// SSE data payloads. The JSON layout matches the internal trace schema:
+// one "start" event, one "iter" event per CE iteration / GA generation,
+// and one "end" event.
+type Event struct {
+	Kind string `json:"kind"` // "start" | "iter" | "end"
+	// Run identity (start events).
+	Solver string `json:"solver,omitempty"`
+	Tasks  int    `json:"tasks,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	// Per-iteration payload.
+	Iter      int     `json:"iter,omitempty"`
+	Gamma     float64 `json:"gamma,omitempty"`
+	Best      float64 `json:"best,omitempty"`
+	Mean      float64 `json:"mean,omitempty"`
+	BestSoFar float64 `json:"best_so_far,omitempty"`
+	// Run outcome (end events).
+	Exec        float64       `json:"exec,omitempty"`
+	Iterations  int           `json:"iterations,omitempty"`
+	Evaluations int64         `json:"evaluations,omitempty"`
+	MappingTime time.Duration `json:"mapping_time_ns,omitempty"`
+	StopReason  string        `json:"stop_reason,omitempty"`
+}
+
+// Error is the JSON error document every non-2xx response carries, plus
+// the HTTP status it arrived with.
+type Error struct {
+	Status  int    `json:"-"`
+	Message string `json:"error"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("matchd: %s (HTTP %d)", e.Message, e.Status)
+}

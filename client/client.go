@@ -1,0 +1,200 @@
+// Package client is the Go client of the matchd mapping service. It
+// speaks the HTTP/JSON protocol of internal/httpapi using only the public
+// wire types of package api, exactly as a third-party consumer would.
+//
+//	c := client.New("http://127.0.0.1:8080")
+//	info, _ := c.Submit(ctx, api.SubmitRequest{Instance: inst, Solver: api.SolverMaTCH})
+//	info, _ = c.Wait(ctx, info.ID, 50*time.Millisecond)
+//	res, _ := c.Result(ctx, info.ID)
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"matchsim/api"
+)
+
+// Client talks to one matchd instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New builds a client for the daemon at base (e.g. "http://127.0.0.1:8080").
+// The default underlying http.Client has no timeout — long solves stream
+// and poll fine; use WithHTTPClient to impose one.
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// WithHTTPClient swaps the underlying HTTP client (timeouts, transports).
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	c.http = hc
+	return c
+}
+
+// do issues a request and decodes a JSON response into out, converting
+// non-2xx responses into *api.Error.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reader = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, reader)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &api.Error{Status: resp.StatusCode}
+		if err := json.NewDecoder(resp.Body).Decode(apiErr); err != nil || apiErr.Message == "" {
+			apiErr.Message = resp.Status
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job. The returned info is the job's initial state:
+// "queued" normally, "done" when the submission was answered from the
+// daemon's result cache.
+func (c *Client) Submit(ctx context.Context, req api.SubmitRequest) (api.JobInfo, error) {
+	var info api.JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &info)
+	return info, err
+}
+
+// Info fetches a job's status.
+func (c *Client) Info(ctx context.Context, id string) (api.JobInfo, error) {
+	var info api.JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &info)
+	return info, err
+}
+
+// Result fetches a finished job's result. Unfinished jobs yield an
+// *api.Error with Status 409.
+func (c *Client) Result(ctx context.Context, id string) (api.JobResult, error) {
+	var res api.JobResult
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res)
+	return res, err
+}
+
+// Cancel requests cancellation; running solvers stop within one iteration.
+func (c *Client) Cancel(ctx context.Context, id string) (api.JobInfo, error) {
+	var info api.JobInfo
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &info)
+	return info, err
+}
+
+// Wait polls a job until it reaches a terminal state, ctx expires, or a
+// request fails. interval <= 0 defaults to 100ms.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (api.JobInfo, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		info, err := c.Info(ctx, id)
+		if err != nil {
+			return info, err
+		}
+		if api.TerminalState(info.State) {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Events subscribes to a job's SSE progress stream and invokes fn for
+// every event, history first. It returns when the job ends (nil), ctx is
+// cancelled, or the stream breaks.
+func (c *Client) Events(ctx context.Context, id string, fn func(api.Event)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &api.Error{Status: resp.StatusCode}
+		if err := json.NewDecoder(resp.Body).Decode(apiErr); err != nil || apiErr.Message == "" {
+			apiErr.Message = resp.Status
+		}
+		return apiErr
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for scanner.Scan() {
+		line := scanner.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue // event: lines, keep-alives, blank separators
+		}
+		var e api.Event
+		if err := json.Unmarshal([]byte(data), &e); err != nil {
+			return fmt.Errorf("client: malformed event payload: %w", err)
+		}
+		fn(e)
+	}
+	if err := scanner.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// Healthy reports whether the daemon answers /healthz with 200.
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &api.Error{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	return string(data), nil
+}

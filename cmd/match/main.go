@@ -8,60 +8,88 @@
 //	match -in inst.json -solver match
 //	match -in inst.json -solver ga -pop 500 -gens 1000
 //	match -in inst.json -solver distributed -agents 4
+//	match -in inst.json -solver match -checkpoint run.ckpt
 //
 // Solvers: match (default, the paper's CE heuristic), ga (FastMap-GA),
 // distributed (agent-based MaTCH), random, greedy, local, anneal.
+//
+// With -checkpoint, a MaTCH run becomes interruptible: Ctrl-C (or
+// SIGTERM) stops the CE loop within one iteration and saves its state to
+// the file; re-running the same command resumes from it instead of
+// starting over. The file is also written on normal completion so a
+// finished run can later be extended with a larger -max-iters.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"matchsim"
 	"matchsim/internal/trace"
 )
 
+// config carries every CLI knob into run (tests build it directly).
+type config struct {
+	in      string
+	solver  string
+	seed    uint64
+	verbose bool
+	// MaTCH / distributed knobs.
+	samples  int
+	rho      float64
+	zeta     float64
+	maxIters int
+	agentsN  int
+	// GA knobs.
+	pop  int
+	gens int
+	// Baseline knobs.
+	budget   int
+	restarts int
+	// Validation / observability.
+	simulate  int
+	traceFile string
+	// checkpoint names a resumable snapshot file (MaTCH only): loaded at
+	// start when present, written on interrupt and on completion.
+	checkpoint string
+}
+
 func main() {
-	var (
-		in      = flag.String("in", "", "instance JSON file (default stdin)")
-		solver  = flag.String("solver", "match", "match | ga | distributed | random | greedy | local | anneal")
-		seed    = flag.Uint64("seed", 1, "solver seed")
-		verbose = flag.Bool("v", false, "print per-iteration progress")
-		// MaTCH / distributed knobs.
-		samples  = flag.Int("samples", 0, "CE sample size N (default 2n^2)")
-		rho      = flag.Float64("rho", 0, "CE focus parameter (default 0.05)")
-		zeta     = flag.Float64("zeta", 0, "CE smoothing factor (default 0.3)")
-		maxIters = flag.Int("max-iters", 0, "CE iteration cap (default 1000)")
-		agentsN  = flag.Int("agents", 0, "distributed agent count (default GOMAXPROCS)")
-		// GA knobs.
-		pop  = flag.Int("pop", 0, "GA population size (default 500)")
-		gens = flag.Int("gens", 0, "GA generations (default 1000)")
-		// Baseline knobs.
-		budget   = flag.Int("budget", 10000, "random-search samples")
-		restarts = flag.Int("restarts", 5, "local-search restarts")
-		// Validation / observability.
-		simulate  = flag.Int("simulate", 0, "after mapping, execute this many supersteps on the discrete-event simulator")
-		traceFile = flag.String("trace", "", "write a JSONL run trace to this file")
-	)
+	var cfg config
+	flag.StringVar(&cfg.in, "in", "", "instance JSON file (default stdin)")
+	flag.StringVar(&cfg.solver, "solver", "match", "match | ga | distributed | random | greedy | local | anneal")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "solver seed")
+	flag.BoolVar(&cfg.verbose, "v", false, "print per-iteration progress")
+	flag.IntVar(&cfg.samples, "samples", 0, "CE sample size N (default 2n^2)")
+	flag.Float64Var(&cfg.rho, "rho", 0, "CE focus parameter (default 0.05)")
+	flag.Float64Var(&cfg.zeta, "zeta", 0, "CE smoothing factor (default 0.3)")
+	flag.IntVar(&cfg.maxIters, "max-iters", 0, "CE iteration cap (default 1000)")
+	flag.IntVar(&cfg.agentsN, "agents", 0, "distributed agent count (default GOMAXPROCS)")
+	flag.IntVar(&cfg.pop, "pop", 0, "GA population size (default 500)")
+	flag.IntVar(&cfg.gens, "gens", 0, "GA generations (default 1000)")
+	flag.IntVar(&cfg.budget, "budget", 10000, "random-search samples")
+	flag.IntVar(&cfg.restarts, "restarts", 5, "local-search restarts")
+	flag.IntVar(&cfg.simulate, "simulate", 0, "after mapping, execute this many supersteps on the discrete-event simulator")
+	flag.StringVar(&cfg.traceFile, "trace", "", "write a JSONL run trace to this file")
+	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "MaTCH checkpoint file: resume from it if present, save on interrupt/finish")
 	flag.Parse()
 
-	if err := run(*in, *solver, *seed, *verbose, *samples, *rho, *zeta, *maxIters,
-		*agentsN, *pop, *gens, *budget, *restarts, *simulate, *traceFile); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "match: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, solver string, seed uint64, verbose bool,
-	samples int, rho, zeta float64, maxIters, agentsN, pop, gens, budget, restarts, simulate int,
-	traceFile string) error {
-
+func run(cfg config) error {
 	var rd io.Reader = os.Stdin
-	if in != "" {
-		f, err := os.Open(in)
+	if cfg.in != "" {
+		f, err := os.Open(cfg.in)
 		if err != nil {
 			return err
 		}
@@ -73,24 +101,28 @@ func run(in, solver string, seed uint64, verbose bool,
 		return fmt.Errorf("reading instance: %w", err)
 	}
 
+	if cfg.checkpoint != "" && cfg.solver != "match" {
+		return fmt.Errorf("-checkpoint applies only to the match solver (got %q)", cfg.solver)
+	}
+
 	var tw *trace.Writer
-	if traceFile != "" {
-		f, err := os.Create(traceFile)
+	if cfg.traceFile != "" {
+		f, err := os.Create(cfg.traceFile)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		tw = trace.NewWriter(f)
-		if err := tw.Start(solver, problem.NumTasks(), seed); err != nil {
+		if err := tw.Start(cfg.solver, problem.NumTasks(), cfg.seed); err != nil {
 			return err
 		}
 		defer tw.Flush()
 	}
 
 	var progress func(matchsim.IterationTrace)
-	if verbose || tw != nil {
+	if cfg.verbose || tw != nil {
 		progress = func(tr matchsim.IterationTrace) {
-			if verbose {
+			if cfg.verbose {
 				fmt.Fprintf(os.Stderr, "iter %4d  best=%.0f  gamma=%.0f  best-so-far=%.0f\n",
 					tr.Iteration, tr.Best, tr.Gamma, tr.BestSoFar)
 			}
@@ -101,38 +133,35 @@ func run(in, solver string, seed uint64, verbose bool,
 	}
 
 	var sol *matchsim.Solution
-	switch solver {
+	switch cfg.solver {
 	case "match":
-		sol, err = matchsim.SolveMaTCH(problem, matchsim.MaTCHOptions{
-			SampleSize: samples, Rho: rho, Zeta: zeta,
-			MaxIterations: maxIters, Seed: seed, OnIteration: progress,
-		})
+		sol, err = runMatch(problem, cfg, progress)
 	case "ga":
 		sol, err = matchsim.SolveGA(problem, matchsim.GAOptions{
-			PopulationSize: pop, Generations: gens, Seed: seed, OnGeneration: progress,
+			PopulationSize: cfg.pop, Generations: cfg.gens, Seed: cfg.seed, OnGeneration: progress,
 		})
 	case "distributed":
 		sol, err = matchsim.SolveDistributed(problem, matchsim.DistributedOptions{
-			NumAgents: agentsN, SampleSize: samples, Rho: rho, Zeta: zeta,
-			MaxIterations: maxIters, Seed: seed,
+			NumAgents: cfg.agentsN, SampleSize: cfg.samples, Rho: cfg.rho, Zeta: cfg.zeta,
+			MaxIterations: cfg.maxIters, Seed: cfg.seed,
 		})
 	case "random":
-		sol, err = matchsim.SolveRandom(problem, budget, seed)
+		sol, err = matchsim.SolveRandom(problem, cfg.budget, cfg.seed)
 	case "greedy":
 		sol, err = matchsim.SolveGreedy(problem)
 	case "local":
-		sol, err = matchsim.SolveLocalSearch(problem, restarts, seed)
+		sol, err = matchsim.SolveLocalSearch(problem, cfg.restarts, cfg.seed)
 	case "anneal":
-		sol, err = matchsim.SolveAnnealing(problem, matchsim.AnnealingOptions{Seed: seed})
+		sol, err = matchsim.SolveAnnealing(problem, matchsim.AnnealingOptions{Seed: cfg.seed})
 	default:
-		return fmt.Errorf("unknown solver %q", solver)
+		return fmt.Errorf("unknown solver %q", cfg.solver)
 	}
 	if err != nil {
 		return err
 	}
 
 	if tw != nil {
-		if err := tw.End(sol.Exec, sol.Iterations, sol.Evaluations, sol.MappingTime, "completed"); err != nil {
+		if err := tw.End(sol.Exec, sol.Iterations, sol.Evaluations, sol.MappingTime, sol.StopReason); err != nil {
 			return err
 		}
 	}
@@ -159,15 +188,65 @@ func run(in, solver string, seed uint64, verbose bool,
 			s, load, b.Compute[s], b.Comm[s])
 	}
 
-	if simulate > 0 {
-		rep, err := matchsim.Simulate(problem, sol.Mapping, simulate)
+	if cfg.simulate > 0 {
+		rep, err := matchsim.Simulate(problem, sol.Mapping, cfg.simulate)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("simulated %d supersteps:\n", simulate)
+		fmt.Printf("simulated %d supersteps:\n", cfg.simulate)
 		fmt.Printf("  analytic ET/step: %10.2f units\n", rep.AnalyticExec)
 		fmt.Printf("  simulated step:   %10.2f units (model ratio %.3f)\n", rep.PerStep[0], rep.ModelRatio)
 		fmt.Printf("  total makespan:   %10.2f units (%d events)\n", rep.Makespan, rep.Events)
 	}
 	return nil
+}
+
+// runMatch runs the MaTCH solver with optional checkpointing: the run
+// resumes from cfg.checkpoint when the file exists, stops cleanly on
+// SIGINT/SIGTERM, and saves its state back on interrupt and on finish.
+func runMatch(problem *matchsim.Problem, cfg config, progress func(matchsim.IterationTrace)) (*matchsim.Solution, error) {
+	opts := matchsim.MaTCHOptions{
+		SampleSize: cfg.samples, Rho: cfg.rho, Zeta: cfg.zeta,
+		MaxIterations: cfg.maxIters, Seed: cfg.seed, OnIteration: progress,
+	}
+	if cfg.checkpoint == "" {
+		return matchsim.SolveMaTCH(problem, opts)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.Context = ctx
+
+	var sol *matchsim.Solution
+	var err error
+	if data, readErr := os.ReadFile(cfg.checkpoint); readErr == nil {
+		ckpt, decErr := matchsim.DecodeCheckpoint(data)
+		if decErr != nil {
+			return nil, fmt.Errorf("loading checkpoint %s: %w", cfg.checkpoint, decErr)
+		}
+		fmt.Fprintf(os.Stderr, "match: resuming from %s (%d iterations banked)\n", cfg.checkpoint, ckpt.Iterations)
+		sol, err = matchsim.ResumeMaTCH(problem, ckpt, opts)
+	} else if os.IsNotExist(readErr) {
+		sol, err = matchsim.SolveMaTCH(problem, opts)
+	} else {
+		return nil, readErr
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if ckpt := sol.Checkpoint(); ckpt != nil {
+		data, encErr := ckpt.Encode()
+		if encErr != nil {
+			return nil, encErr
+		}
+		if writeErr := os.WriteFile(cfg.checkpoint, data, 0o644); writeErr != nil {
+			return nil, fmt.Errorf("saving checkpoint: %w", writeErr)
+		}
+		if sol.StopReason == matchsim.StopCancelled {
+			fmt.Fprintf(os.Stderr, "match: interrupted after %d iterations; state saved to %s (re-run to resume)\n",
+				sol.Iterations, cfg.checkpoint)
+		}
+	}
+	return sol, nil
 }

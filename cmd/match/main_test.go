@@ -28,12 +28,20 @@ func writeInstance(t *testing.T) string {
 	return path
 }
 
+// fastCfg is the small-budget configuration the solver table tests share.
+func fastCfg(in, solver string) config {
+	return config{
+		in: in, solver: solver, seed: 1,
+		samples: 128, rho: 0.1, zeta: 0.5, maxIters: 30,
+		agentsN: 2, pop: 20, gens: 20,
+		budget: 200, restarts: 2, simulate: 2,
+	}
+}
+
 func TestRunAllSolvers(t *testing.T) {
 	path := writeInstance(t)
 	for _, solver := range []string{"match", "ga", "distributed", "random", "greedy", "local", "anneal"} {
-		// Small budgets keep the test fast.
-		err := run(path, solver, 1, false, 128, 0.1, 0.5, 30, 2, 20, 20, 200, 2, 2, "")
-		if err != nil {
+		if err := run(fastCfg(path, solver)); err != nil {
 			t.Fatalf("solver %s: %v", solver, err)
 		}
 	}
@@ -41,13 +49,13 @@ func TestRunAllSolvers(t *testing.T) {
 
 func TestRunUnknownSolver(t *testing.T) {
 	path := writeInstance(t)
-	if err := run(path, "bogus", 1, false, 0, 0, 0, 0, 0, 0, 0, 100, 1, 0, ""); err == nil {
+	if err := run(config{in: path, solver: "bogus", seed: 1, budget: 100, restarts: 1}); err == nil {
 		t.Fatal("unknown solver accepted")
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run("/nonexistent/instance.json", "match", 1, false, 0, 0, 0, 0, 0, 0, 0, 100, 1, 0, ""); err == nil {
+	if err := run(config{in: "/nonexistent/instance.json", solver: "match", seed: 1}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -57,7 +65,7 @@ func TestRunCorruptInstance(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "match", 1, false, 0, 0, 0, 0, 0, 0, 0, 100, 1, 0, ""); err == nil {
+	if err := run(config{in: path, solver: "match", seed: 1}); err == nil {
 		t.Fatal("corrupt instance accepted")
 	}
 }
@@ -65,7 +73,11 @@ func TestRunCorruptInstance(t *testing.T) {
 func TestRunWritesTrace(t *testing.T) {
 	path := writeInstance(t)
 	traceOut := filepath.Join(t.TempDir(), "run.trace")
-	if err := run(path, "match", 1, false, 128, 0.1, 0.5, 10, 0, 0, 0, 100, 1, 0, traceOut); err != nil {
+	cfg := fastCfg(path, "match")
+	cfg.maxIters = 10
+	cfg.simulate = 0
+	cfg.traceFile = traceOut
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(traceOut)
@@ -85,5 +97,75 @@ func TestRunWritesTrace(t *testing.T) {
 	}
 	if len(runs[0].Iterations) == 0 {
 		t.Fatal("no iteration events recorded")
+	}
+}
+
+// TestCheckpointSaveAndResume drives the -checkpoint flag: a completed
+// run saves a decodable snapshot, and a re-run resumes from it without
+// error.
+func TestCheckpointSaveAndResume(t *testing.T) {
+	path := writeInstance(t)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	cfg := fastCfg(path, "match")
+	cfg.simulate = 0
+	cfg.maxIters = 10
+	cfg.checkpoint = ckpt
+	if err := run(cfg); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	c, err := matchsim.DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatalf("checkpoint not decodable: %v", err)
+	}
+	if c.Iterations == 0 {
+		t.Error("checkpoint banked no iterations")
+	}
+
+	// Second invocation resumes from the file and extends the run.
+	cfg.maxIters = 5
+	if err := run(cfg); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	data2, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint not rewritten: %v", err)
+	}
+	c2, err := matchsim.DecodeCheckpoint(data2)
+	if err != nil {
+		t.Fatalf("rewritten checkpoint not decodable: %v", err)
+	}
+	if c2.Iterations == 0 {
+		t.Error("rewritten checkpoint banked no iterations")
+	}
+}
+
+// TestCheckpointCorruptFile checks a damaged checkpoint fails loudly
+// rather than silently restarting.
+func TestCheckpointCorruptFile(t *testing.T) {
+	path := writeInstance(t)
+	ckpt := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(ckpt, []byte(`{"iterations": 1`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg(path, "match")
+	cfg.checkpoint = ckpt
+	if err := run(cfg); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+// TestCheckpointRejectsNonMatchSolver checks the flag is refused outside
+// the MaTCH solver.
+func TestCheckpointRejectsNonMatchSolver(t *testing.T) {
+	path := writeInstance(t)
+	cfg := fastCfg(path, "ga")
+	cfg.checkpoint = filepath.Join(t.TempDir(), "x.ckpt")
+	if err := run(cfg); err == nil {
+		t.Fatal("-checkpoint with ga accepted")
 	}
 }

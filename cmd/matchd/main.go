@@ -1,0 +1,117 @@
+// Command matchd serves the MaTCH solvers as a long-running mapping
+// service: jobs are submitted over HTTP/JSON, run on a bounded worker
+// pool, stream per-iteration progress over SSE, and identical submissions
+// are answered from a content-addressed result cache. SIGINT/SIGTERM
+// drains gracefully — running CE jobs are checkpointed to -checkpoint-dir
+// and resume on the next start.
+//
+// Usage:
+//
+//	matchd [-listen 127.0.0.1:8080] [-queue 64] [-workers N]
+//	       [-cache 128] [-checkpoint-dir DIR] [-trace FILE]
+//
+// See the README's "Running matchd" section for the API walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"matchsim/internal/httpapi"
+	"matchsim/internal/jobs"
+	"matchsim/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "matchd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("matchd", flag.ContinueOnError)
+	var (
+		listen        = fs.String("listen", "127.0.0.1:8080", "address to listen on (host:port; port 0 picks a free one)")
+		queue         = fs.Int("queue", 64, "submission queue capacity")
+		workers       = fs.Int("workers", 0, "concurrent solver jobs (0 = GOMAXPROCS)")
+		cache         = fs.Int("cache", 128, "result cache capacity in entries (negative disables)")
+		checkpointDir = fs.String("checkpoint-dir", "", "directory for shutdown checkpoints (empty disables persistence)")
+		traceFile     = fs.String("trace", "", "append every job's trace events to this JSONL file")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for running jobs on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(stdout, "matchd ", log.LstdFlags)
+
+	var tw *trace.Writer
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw = trace.NewWriter(f)
+		defer tw.Flush()
+	}
+
+	manager := jobs.New(jobs.Options{
+		QueueCapacity: *queue,
+		Workers:       *workers,
+		CacheCapacity: *cache,
+		CheckpointDir: *checkpointDir,
+		TraceWriter:   tw,
+	})
+	if restored, err := manager.Restore(); err != nil {
+		logger.Printf("restore: %v (restored %d jobs anyway)", err, restored)
+	} else if restored > 0 {
+		logger.Printf("restored %d checkpointed job(s) from %s", restored, *checkpointDir)
+	}
+
+	// Listen before announcing readiness so -listen :0 reports the real
+	// port (the e2e tests depend on this line).
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on http://%s", ln.Addr())
+
+	server := &http.Server{Handler: httpapi.New(manager)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		logger.Printf("signal received; draining")
+	case err := <-errCh:
+		return err
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := server.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := manager.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

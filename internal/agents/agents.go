@@ -26,6 +26,7 @@
 package agents
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -54,6 +55,10 @@ type Options struct {
 	MaxIterations int
 	// Seed fixes the run (per-agent streams are split from it).
 	Seed uint64
+	// Context, when non-nil, cancels the protocol at round granularity.
+	// If at least one round completed, Solve returns the incumbent with
+	// Cancelled set; otherwise it returns the context's error.
+	Context context.Context
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -92,6 +97,8 @@ type Result struct {
 	Rounds int
 	// NumAgents echoes the effective agent count.
 	NumAgents int
+	// Cancelled reports that Options.Context ended the protocol early.
+	Cancelled bool
 }
 
 // sampleBatch is the agent -> coordinator message of step 2.
@@ -193,7 +200,19 @@ func Solve(eval *cost.Evaluator, opts Options) (*Result, error) {
 	allScores := make([]float64, 0, opts.SampleSize)
 	order := make([]int, 0, opts.SampleSize)
 
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if ctx.Err() != nil {
+			if res.Iterations == 0 {
+				return nil, ctx.Err()
+			}
+			res.Cancelled = true
+			break
+		}
 		// Step 1: broadcast snapshot + sampling quotas.
 		snapshot := matrix.Clone()
 		perAgent := opts.SampleSize / opts.NumAgents

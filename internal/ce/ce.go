@@ -31,6 +31,7 @@
 package ce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -115,6 +116,13 @@ type Config struct {
 	// and for A/B-testing the fused path; both paths consume identical
 	// RNG streams and must produce identical results.
 	UnfusedScoring bool
+	// Context, when non-nil, cancels the run: workers poll it while
+	// sampling and the loop checks it at iteration boundaries, so a
+	// cancelled run stops within (at most) one iteration. If at least one
+	// iteration completed the best-so-far result is returned with
+	// StopCancelled; a run cancelled before its first iteration finishes
+	// returns the context's error instead.
+	Context context.Context
 	// OnIteration, when non-nil, receives telemetry after each iteration.
 	OnIteration func(IterStats)
 }
@@ -183,6 +191,8 @@ const (
 	StopConverged StopReason = "distribution-converged"
 	// StopMaxIterations: the iteration cap fired first.
 	StopMaxIterations StopReason = "max-iterations"
+	// StopCancelled: the run's Context was cancelled mid-search.
+	StopCancelled StopReason = "cancelled"
 )
 
 // Result carries the outcome of one CE run.
@@ -247,6 +257,21 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 	sampleScorer, _ := any(p).(SampleScorer[S])
 	fused := sampleScorer != nil && !cfg.UnfusedScoring
 
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := ctx.Done()
+	// cancelled finalises a cut-short run: keep the incumbent when at
+	// least one full iteration backs it, otherwise surface the error.
+	cancelled := func() (Result[S], error) {
+		if res.Iterations == 0 {
+			return zero, ctx.Err()
+		}
+		res.StopReason = StopCancelled
+		return res, nil
+	}
+
 	var (
 		prevGamma  float64
 		stallRuns  int
@@ -255,6 +280,9 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 	)
 
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		if ctx.Err() != nil {
+			return cancelled()
+		}
 		// Fan out: each worker samples and scores a contiguous chunk.
 		var wg sync.WaitGroup
 		chunk := (n + cfg.Workers - 1) / cfg.Workers
@@ -273,6 +301,13 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 				rng := workerRNGs[w]
 				if fused {
 					for i := lo; i < hi; i++ {
+						if i&63 == 0 {
+							select {
+							case <-done:
+								return
+							default:
+							}
+						}
 						score, err := sampleScorer.SampleScore(rng, solutions[i])
 						if err != nil {
 							sampleErrs[w] = err
@@ -283,6 +318,13 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 					return
 				}
 				for i := lo; i < hi; i++ {
+					if i&63 == 0 {
+						select {
+						case <-done:
+							return
+						default:
+						}
+					}
 					if err := p.Sample(rng, solutions[i]); err != nil {
 						sampleErrs[w] = err
 						return
@@ -292,6 +334,11 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 			}(w, lo, hi)
 		}
 		wg.Wait()
+		if ctx.Err() != nil {
+			// The iteration's sample set may be torn; discard it and fall
+			// back on the incumbent from completed iterations.
+			return cancelled()
+		}
 		for _, err := range sampleErrs {
 			if err != nil {
 				return zero, fmt.Errorf("ce: sampling failed at iteration %d: %w", iter, err)

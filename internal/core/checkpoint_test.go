@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 )
@@ -139,5 +140,134 @@ func TestCheckpointIsDeepCopy(t *testing.T) {
 	}
 	if res.FinalMatrix.At(0, 0) == 1 && res.FinalMatrix.At(0, 1) == 0 {
 		t.Fatal("checkpoint aliases the result matrix")
+	}
+}
+
+// TestDecodeCheckpointValidateBranches exercises every validate() error
+// path individually by mutating an encoded good checkpoint: non-square
+// matrix, argmax length mismatch, non-permutation incumbent, wrong-length
+// incumbent, and negative counters.
+func TestDecodeCheckpointValidateBranches(t *testing.T) {
+	e := paperEval(t, 36, 6)
+	res, err := Solve(e, Options{Seed: 1, Workers: 1, MaxIterations: 5, GammaStallWindow: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := CheckpointFrom(res)
+
+	mutate := func(t *testing.T, name string, f func(c *Checkpoint)) {
+		t.Helper()
+		data, err := good.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c Checkpoint
+		if err := json.Unmarshal(data, &c); err != nil {
+			t.Fatal(err)
+		}
+		f(&c)
+		bad, err := json.Marshal(&c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeCheckpoint(bad); err == nil {
+			t.Errorf("%s accepted", name)
+		} else {
+			t.Logf("%s rejected: %v", name, err)
+		}
+	}
+
+	mutate(t, "argmax length mismatch", func(c *Checkpoint) {
+		c.PrevArgmax = c.PrevArgmax[:len(c.PrevArgmax)-1]
+	})
+	mutate(t, "non-permutation incumbent", func(c *Checkpoint) {
+		c.Best[0] = c.Best[1]
+	})
+	mutate(t, "wrong-length incumbent", func(c *Checkpoint) {
+		c.Best = c.Best[:len(c.Best)-1]
+	})
+	mutate(t, "negative stable-runs counter", func(c *Checkpoint) {
+		c.StableRuns = -1
+	})
+	mutate(t, "negative iteration counter", func(c *Checkpoint) {
+		c.Iterations = -3
+	})
+
+	// The good checkpoint itself still round-trips (the mutations above
+	// operated on copies).
+	data, err := good.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpoint(data); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+}
+
+// TestDecodeCheckpointRejectsNonSquareMatrix builds the dimension
+// mismatch validate() path, which cannot be reached by mutating a
+// well-formed Matrix in memory.
+func TestDecodeCheckpointRejectsNonSquareMatrix(t *testing.T) {
+	e := paperEval(t, 37, 4)
+	res, err := Solve(e, Options{Seed: 1, Workers: 1, MaxIterations: 3, GammaStallWindow: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := CheckpointFrom(res).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the matrix document to a 1x4 (rows x cols mismatch).
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var matrix map[string]json.RawMessage
+	if err := json.Unmarshal(doc["matrix"], &matrix); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("matrix fields: %v", keysOf(matrix))
+	matrix["rows"] = json.RawMessage("1")
+	patched, err := json.Marshal(matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc["matrix"] = patched
+	bad, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpoint(bad); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+}
+
+func keysOf(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestDecodeCheckpointTruncatedJSON feeds every proper prefix of a valid
+// encoding to the decoder: none may be accepted, and none may panic.
+func TestDecodeCheckpointTruncatedJSON(t *testing.T) {
+	e := paperEval(t, 38, 5)
+	res, err := Solve(e, Options{Seed: 2, Workers: 1, MaxIterations: 4, GammaStallWindow: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := CheckpointFrom(res).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeCheckpoint(data[:cut]); err == nil {
+			t.Fatalf("truncation at byte %d/%d accepted:\n%s", cut, len(data), data[:cut])
+		}
+	}
+	if _, err := DecodeCheckpoint(data); err != nil {
+		t.Fatalf("full encoding rejected: %v", err)
 	}
 }

@@ -48,6 +48,7 @@ func ManyToOne(eval *cost.Evaluator, opts Options) (*Result, error) {
 		Seed:           opts.Seed,
 		Minimize:       true,
 		UnfusedScoring: opts.UnfusedScoring,
+		Context:        opts.Context,
 		OnIteration:    opts.OnIteration,
 	}
 

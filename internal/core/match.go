@@ -25,6 +25,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -87,6 +88,12 @@ type Options struct {
 	// paths draw from identical RNG streams and produce identical results;
 	// the switch exists for A/B benchmarking and as an escape hatch.
 	UnfusedScoring bool
+	// Context, when non-nil, cancels the run: the CE loop stops within at
+	// most one iteration of cancellation. If at least one iteration
+	// completed, Solve returns the best-so-far Result with StopReason
+	// ce.StopCancelled (checkpointable via CheckpointFrom); otherwise it
+	// returns the context's error. Polish is skipped on cancellation.
+	Context context.Context
 	// OnIteration, when non-nil, receives telemetry each iteration.
 	OnIteration func(ce.IterStats)
 }
@@ -390,6 +397,7 @@ func solveFromProblem(eval *cost.Evaluator, opts Options, init func(*problem) er
 		Seed:           opts.Seed,
 		Minimize:       true,
 		UnfusedScoring: opts.UnfusedScoring,
+		Context:        opts.Context,
 		OnIteration:    opts.OnIteration,
 	}
 
@@ -425,7 +433,7 @@ func solveFromProblem(eval *cost.Evaluator, opts Options, init func(*problem) er
 	if !res.Mapping.IsPermutation() {
 		return nil, fmt.Errorf("core: internal error — best mapping is not a permutation: %v", res.Mapping)
 	}
-	if opts.Polish {
+	if opts.Polish && res.StopReason != ce.StopCancelled {
 		if err := polish(eval, res); err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -267,7 +268,7 @@ func CompareBaselines(cfg AblationConfig) (*Table, error) {
 	}
 	budget := 2 * cfg.Size * cfg.Size * 50 // comparable evaluation volume
 	if err := run("RandomSearch", func(seed uint64) (outcome, error) {
-		res, err := heuristics.RandomSearch(eval, budget, seed)
+		res, err := heuristics.RandomSearch(context.Background(), eval, budget, seed)
 		if err != nil {
 			return outcome{}, err
 		}
@@ -285,7 +286,7 @@ func CompareBaselines(cfg AblationConfig) (*Table, error) {
 		return nil, err
 	}
 	if err := run("LocalSearch x5", func(seed uint64) (outcome, error) {
-		res, err := heuristics.LocalSearch(eval, 5, seed)
+		res, err := heuristics.LocalSearch(context.Background(), eval, 5, seed)
 		if err != nil {
 			return outcome{}, err
 		}

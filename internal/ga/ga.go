@@ -25,6 +25,7 @@
 package ga
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -70,6 +71,10 @@ type Options struct {
 	Crossover CrossoverScheme
 	// OnGeneration, when non-nil, receives telemetry every generation.
 	OnGeneration func(GenStats)
+	// Context, when non-nil, cancels the run at generation granularity.
+	// If at least one generation completed, Solve returns the best-so-far
+	// Result with Cancelled set; otherwise it returns the context's error.
+	Context context.Context
 }
 
 // SelectionScheme enumerates parent-selection operators.
@@ -172,6 +177,9 @@ type Result struct {
 	MappingTime time.Duration
 	// History holds per-generation telemetry.
 	History []GenStats
+	// Cancelled reports that Options.Context ended the run before the
+	// configured generation count.
+	Cancelled bool
 }
 
 // chromosome is resource-indexed: chrom[s] = task hosted by resource s.
@@ -250,8 +258,20 @@ func Solve(eval *cost.Evaluator, opts Options) (*Result, error) {
 		res.Evaluations += int64(opts.PopulationSize)
 	}
 
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	var mapBuf cost.Mapping
 	for gen := 1; gen <= opts.Generations; gen++ {
+		if ctx.Err() != nil {
+			if res.Generations == 0 {
+				return nil, ctx.Err()
+			}
+			res.Cancelled = true
+			break
+		}
 		evaluate()
 
 		stats := GenStats{Gen: gen, BestExec: math.Inf(1), WorstExec: math.Inf(-1)}

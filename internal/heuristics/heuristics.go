@@ -15,6 +15,7 @@
 package heuristics
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -56,13 +57,16 @@ func checkSquare(eval *cost.Evaluator) error {
 
 // RandomSearch draws `samples` uniform random permutations and keeps the
 // best — the weakest sensible baseline and the floor every other solver
-// must beat.
-func RandomSearch(eval *cost.Evaluator, samples int, seed uint64) (*Result, error) {
+// must beat. ctx cancels the search between draws.
+func RandomSearch(ctx context.Context, eval *cost.Evaluator, samples int, seed uint64) (*Result, error) {
 	if err := checkSquare(eval); err != nil {
 		return nil, err
 	}
 	if samples < 1 {
 		return nil, fmt.Errorf("heuristics: sample budget %d < 1", samples)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	start := time.Now()
 	n := eval.NumTasks()
@@ -72,6 +76,9 @@ func RandomSearch(eval *cost.Evaluator, samples int, seed uint64) (*Result, erro
 	best := make(cost.Mapping, n)
 	bestExec := math.Inf(1)
 	for i := 0; i < samples; i++ {
+		if i&255 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		rng.PermInto(perm)
 		if exec := eval.ExecInto(cost.Mapping(perm), scratch); exec < bestExec {
 			bestExec = exec
@@ -167,12 +174,16 @@ func Greedy(eval *cost.Evaluator) (*Result, error) {
 // LocalSearch runs steepest-descent 2-swap hill climbing from a random
 // start: repeatedly apply the best improving swap until none exists.
 // Restarts times from fresh random permutations; keeps the global best.
-func LocalSearch(eval *cost.Evaluator, restarts int, seed uint64) (*Result, error) {
+// ctx cancels the search between descent steps.
+func LocalSearch(ctx context.Context, eval *cost.Evaluator, restarts int, seed uint64) (*Result, error) {
 	if err := checkSquare(eval); err != nil {
 		return nil, err
 	}
 	if restarts < 1 {
 		return nil, fmt.Errorf("heuristics: restart budget %d < 1", restarts)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	start := time.Now()
 	n := eval.NumTasks()
@@ -188,6 +199,9 @@ func LocalSearch(eval *cost.Evaluator, restarts int, seed uint64) (*Result, erro
 		}
 		current := st.Exec()
 		for {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			bi, bj, bestMove := -1, -1, current
 			for i := 0; i < n; i++ {
 				for j := i + 1; j < n; j++ {
@@ -222,6 +236,8 @@ type AnnealOptions struct {
 	Steps int
 	// Seed fixes the run.
 	Seed uint64
+	// Context, when non-nil, cancels the annealing schedule between moves.
+	Context context.Context
 }
 
 // SimulatedAnnealing runs classic Metropolis annealing over 2-swap moves.
@@ -250,11 +266,18 @@ func SimulatedAnnealing(eval *cost.Evaluator, opts AnnealOptions) (*Result, erro
 		return nil, fmt.Errorf("heuristics: invalid annealing options %+v", opts)
 	}
 
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	best := st.Mapping().Clone()
 	bestExec := current
 	temp := opts.InitialTemp
 	var evals int64
 	for step := 0; step < opts.Steps; step++ {
+		if step&1023 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		i, j := rng.Intn(n), rng.Intn(n)
 		if i == j {
 			continue

@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -49,11 +50,11 @@ func bruteForceBest(e *cost.Evaluator) float64 {
 
 func TestRandomSearchValidAndMonotoneInBudget(t *testing.T) {
 	e := paperEval(t, 1, 12)
-	small, err := RandomSearch(e, 10, 7)
+	small, err := RandomSearch(context.Background(), e, 10, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := RandomSearch(e, 2000, 7)
+	big, err := RandomSearch(context.Background(), e, 2000, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestRandomSearchValidAndMonotoneInBudget(t *testing.T) {
 
 func TestRandomSearchRejectsBadInput(t *testing.T) {
 	e := paperEval(t, 1, 5)
-	if _, err := RandomSearch(e, 0, 1); err == nil {
+	if _, err := RandomSearch(context.Background(), e, 0, 1); err == nil {
 		t.Fatal("zero budget accepted")
 	}
 	tig := graph.NewTIGWithWeights([]float64{1, 1})
@@ -82,7 +83,7 @@ func TestRandomSearchRejectsBadInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RandomSearch(bad, 10, 1); err == nil {
+	if _, err := RandomSearch(context.Background(), bad, 10, 1); err == nil {
 		t.Fatal("non-square instance accepted")
 	}
 }
@@ -101,7 +102,7 @@ func TestGreedyValidAndBeatsWorstRandom(t *testing.T) {
 	}
 	// Greedy should beat a single random mapping almost always; compare
 	// against the mean of a few.
-	rnd, err := RandomSearch(e, 1, 99)
+	rnd, err := RandomSearch(context.Background(), e, 1, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestGreedyDeterministic(t *testing.T) {
 
 func TestLocalSearchReachesLocalOptimum(t *testing.T) {
 	e := paperEval(t, 4, 10)
-	res, err := LocalSearch(e, 3, 5)
+	res, err := LocalSearch(context.Background(), e, 3, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestLocalSearchReachesLocalOptimum(t *testing.T) {
 func TestLocalSearchFindsOptimumOnTiny(t *testing.T) {
 	e := paperEval(t, 5, 6)
 	want := bruteForceBest(e)
-	res, err := LocalSearch(e, 20, 1)
+	res, err := LocalSearch(context.Background(), e, 20, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestSimulatedAnnealingValidAndCompetitive(t *testing.T) {
 	}
 	// SA with a default budget should beat pure random sampling of the
 	// same order of evaluations.
-	rnd, err := RandomSearch(e, int(res.Evaluations), 3)
+	rnd, err := RandomSearch(context.Background(), e, int(res.Evaluations), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,13 +217,13 @@ func TestAllSolversAgreeOnTrivialInstance(t *testing.T) {
 		t.Fatal(err)
 	}
 	const want = 6.0
-	if res, err := RandomSearch(e, 5, 1); err != nil || res.Exec != want {
+	if res, err := RandomSearch(context.Background(), e, 5, 1); err != nil || res.Exec != want {
 		t.Fatalf("random: %v %v", res, err)
 	}
 	if res, err := Greedy(e); err != nil || res.Exec != want {
 		t.Fatalf("greedy: %v %v", res, err)
 	}
-	if res, err := LocalSearch(e, 1, 1); err != nil || res.Exec != want {
+	if res, err := LocalSearch(context.Background(), e, 1, 1); err != nil || res.Exec != want {
 		t.Fatalf("local: %v %v", res, err)
 	}
 	if res, err := SimulatedAnnealing(e, AnnealOptions{Seed: 1, Steps: 100}); err != nil || res.Exec != want {
@@ -234,11 +235,11 @@ func TestSolverQualityOrderingOnMediumInstance(t *testing.T) {
 	// Sanity ordering: local search and SA should not lose to a tiny
 	// random-sample baseline on a 20-node instance.
 	e := paperEval(t, 8, 20)
-	rnd, err := RandomSearch(e, 50, 2)
+	rnd, err := RandomSearch(context.Background(), e, 50, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ls, err := LocalSearch(e, 2, 2)
+	ls, err := LocalSearch(context.Background(), e, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

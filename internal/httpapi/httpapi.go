@@ -1,0 +1,206 @@
+// Package httpapi exposes a jobs.Manager over HTTP/JSON — the serving
+// surface of the matchd daemon:
+//
+//	POST   /v1/jobs             submit a job            → 202 JobInfo (200 on cache hit)
+//	GET    /v1/jobs/{id}        job status              → 200 JobInfo
+//	GET    /v1/jobs/{id}/result finished job's mapping  → 200 JobResult
+//	DELETE /v1/jobs/{id}        cancel a job            → 200 JobInfo
+//	GET    /v1/jobs/{id}/events live progress (SSE)     → text/event-stream
+//	GET    /healthz             liveness                → 200 {"status":"ok"}
+//	GET    /metrics             Prometheus text format  → 200
+//
+// Every non-2xx response body is an api.Error document. The SSE stream
+// replays the job's event history, then follows it live; each `data:`
+// payload is one api.Event JSON document (the internal trace schema), so
+// concatenating them yields a valid trace stream.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"matchsim/api"
+	"matchsim/internal/jobs"
+)
+
+// Server adapts a jobs.Manager to net/http.
+type Server struct {
+	manager *jobs.Manager
+	mux     *http.ServeMux
+}
+
+// New builds the HTTP surface over m.
+func New(m *jobs.Manager) *Server {
+	s := &Server{manager: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, api.Error{Status: status, Message: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req api.SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	info, err := s.manager.Submit(req)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrShuttingDown):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if info.State == api.StateDone { // answered from the result cache
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	info, err := s.manager.Info(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	res, err := s.manager.Result(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	case errors.Is(err, jobs.ErrNotDone):
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	info, err := s.manager.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// events streams a job's progress as server-sent events: the buffered
+// history first, then live events until the job ends or the client goes
+// away. Terminal jobs get their full history and an immediate close.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	ch, detach, err := s.manager.Subscribe(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer detach()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case e, open := <-ch:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Kind, data); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	if s.manager.Closed() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting down"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// metrics renders the manager's gauges and counters in the Prometheus
+// text exposition format (hand-rolled; the daemon takes no dependencies).
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.manager.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+
+	gauge("matchd_queue_depth", "Jobs waiting in the submission queue.", float64(st.QueueDepth))
+	gauge("matchd_queue_capacity", "Capacity of the submission queue.", float64(st.QueueCapacity))
+	gauge("matchd_workers", "Size of the solver worker pool.", float64(st.Workers))
+
+	fmt.Fprintf(w, "# HELP matchd_jobs Jobs in the store by lifecycle state.\n# TYPE matchd_jobs gauge\n")
+	states := make([]string, 0, len(st.JobsByState))
+	for state := range st.JobsByState {
+		states = append(states, state)
+	}
+	sort.Strings(states)
+	for _, state := range states {
+		fmt.Fprintf(w, "matchd_jobs{state=%q} %d\n", state, st.JobsByState[state])
+	}
+
+	counter("matchd_jobs_submitted_total", "Jobs submitted since start.", float64(st.Submitted))
+	counter("matchd_cache_hits_total", "Submissions answered from the result cache.", float64(st.CacheHits))
+	counter("matchd_cache_misses_total", "Submissions that required a solver run.", float64(st.CacheMisses))
+	gauge("matchd_cache_entries", "Entries currently held by the result cache.", float64(st.CacheEntries))
+	gauge("matchd_cache_capacity", "Capacity of the result cache.", float64(st.CacheCapacity))
+	counter("matchd_solves_total", "Solver runs completed successfully.", float64(st.SolvesTotal))
+	counter("matchd_solve_seconds_total", "Wall-clock seconds spent in successful solver runs.", st.SolveSecondsTotal)
+}

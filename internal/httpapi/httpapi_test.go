@@ -1,0 +1,253 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"matchsim"
+	"matchsim/api"
+	"matchsim/client"
+	"matchsim/internal/jobs"
+)
+
+func newTestServer(t *testing.T, opts jobs.Options) (*client.Client, *jobs.Manager) {
+	t.Helper()
+	m := jobs.New(opts)
+	ts := httptest.NewServer(New(m))
+	t.Cleanup(func() {
+		ts.Close()
+		m.Shutdown(context.Background())
+	})
+	return client.New(ts.URL), m
+}
+
+func instanceJSON(t *testing.T, seed uint64, n int) []byte {
+	t.Helper()
+	p, err := matchsim.GeneratePaper(seed, n)
+	if err != nil {
+		t.Fatalf("GeneratePaper: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteInstance(&buf); err != nil {
+		t.Fatalf("WriteInstance: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestHTTPRoundTrip drives the full protocol through the public client:
+// submit, poll, result, and determinism against a direct library call.
+func TestHTTPRoundTrip(t *testing.T) {
+	c, _ := newTestServer(t, jobs.Options{Workers: 2})
+	ctx := context.Background()
+
+	if err := c.Healthy(ctx); err != nil {
+		t.Fatalf("Healthy: %v", err)
+	}
+	inst := instanceJSON(t, 5, 12)
+	info, err := c.Submit(ctx, api.SubmitRequest{
+		Instance: inst, Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: 99, Workers: 2},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final, err := c.Wait(ctx, info.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.State != api.StateDone {
+		t.Fatalf("job ended %q (error %q), want done", final.State, final.Error)
+	}
+	res, err := c.Result(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	p, _ := matchsim.ReadProblem(bytes.NewReader(inst))
+	direct, err := matchsim.SolveMaTCH(p, matchsim.MaTCHOptions{Seed: 99, Workers: 2})
+	if err != nil {
+		t.Fatalf("SolveMaTCH: %v", err)
+	}
+	if !reflect.DeepEqual(res.Mapping, direct.Mapping) || res.Exec != direct.Exec {
+		t.Errorf("API result (%v, %v) != direct (%v, %v)", res.Mapping, res.Exec, direct.Mapping, direct.Exec)
+	}
+}
+
+// TestHTTPErrors checks the protocol's error statuses: 400, 404, 409, 503.
+func TestHTTPErrors(t *testing.T) {
+	c, m := newTestServer(t, jobs.Options{Workers: 1, QueueCapacity: 1})
+	ctx := context.Background()
+
+	var apiErr *api.Error
+	if _, err := c.Submit(ctx, api.SubmitRequest{Instance: []byte("{}"), Solver: "bogus"}); !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Errorf("bad solver error = %v, want *api.Error 400", err)
+	}
+	if _, err := c.Info(ctx, "jmissing"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Errorf("unknown id error = %v, want 404", err)
+	}
+	if _, err := c.Cancel(ctx, "jmissing"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Errorf("cancel unknown id error = %v, want 404", err)
+	}
+
+	// A queued/running job's result is 409.
+	long := api.SubmitRequest{
+		Instance: instanceJSON(t, 8, 28), Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: 1, Workers: 1, MaxIterations: 100000, StallC: 100000, GammaStallWindow: 100000},
+	}
+	info, err := c.Submit(ctx, long)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := c.Result(ctx, info.ID); !errors.As(err, &apiErr) || apiErr.Status != 409 {
+		t.Errorf("early result error = %v, want 409", err)
+	}
+
+	// Saturate: worker busy + queue slot taken → 503.
+	waitRunning(t, c, info.ID)
+	if _, err := c.Submit(ctx, api.SubmitRequest{
+		Instance: instanceJSON(t, 9, 8), Solver: api.SolverMaTCH, Options: api.SolverOptions{Seed: 2},
+	}); err != nil {
+		t.Fatalf("filler submit: %v", err)
+	}
+	_, err = c.Submit(ctx, api.SubmitRequest{
+		Instance: instanceJSON(t, 10, 8), Solver: api.SolverMaTCH, Options: api.SolverOptions{Seed: 3},
+	})
+	if !errors.As(err, &apiErr) || apiErr.Status != 503 {
+		t.Errorf("overflow submit error = %v, want 503", err)
+	}
+
+	if _, err := c.Cancel(ctx, info.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if _, err := c.Wait(ctx, info.ID, 5*time.Millisecond); err != nil {
+		t.Fatalf("Wait after cancel: %v", err)
+	}
+	_ = m
+}
+
+// TestHTTPCancelStopsJob checks DELETE over the wire lands the job in
+// cancelled.
+func TestHTTPCancelStopsJob(t *testing.T) {
+	c, _ := newTestServer(t, jobs.Options{Workers: 1})
+	ctx := context.Background()
+
+	info, err := c.Submit(ctx, api.SubmitRequest{
+		Instance: instanceJSON(t, 14, 28), Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: 4, Workers: 1, MaxIterations: 100000, StallC: 100000, GammaStallWindow: 100000},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitRunning(t, c, info.ID)
+	if _, err := c.Cancel(ctx, info.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	final, err := c.Wait(ctx, info.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.State != api.StateCancelled {
+		t.Errorf("job ended %q, want cancelled", final.State)
+	}
+}
+
+// TestSSEEvents checks the event stream over real HTTP: history replay,
+// live iterations, and stream close at job end.
+func TestSSEEvents(t *testing.T) {
+	c, _ := newTestServer(t, jobs.Options{Workers: 1})
+	ctx := context.Background()
+
+	info, err := c.Submit(ctx, api.SubmitRequest{
+		Instance: instanceJSON(t, 16, 10), Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: 12, Workers: 1},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	var kinds []string
+	streamCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := c.Events(streamCtx, info.ID, func(e api.Event) {
+		kinds = append(kinds, e.Kind)
+	}); err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(kinds) < 3 {
+		t.Fatalf("streamed %d events, want start + iters + end", len(kinds))
+	}
+	if kinds[0] != "start" || kinds[len(kinds)-1] != "end" {
+		t.Errorf("stream shape %v, want start...end", kinds)
+	}
+	// Subscribing after the end replays the identical history.
+	var replay []string
+	if err := c.Events(ctx, info.ID, func(e api.Event) { replay = append(replay, e.Kind) }); err != nil {
+		t.Fatalf("replay Events: %v", err)
+	}
+	if !reflect.DeepEqual(replay, kinds) {
+		t.Errorf("replay %v != live %v", replay, kinds)
+	}
+}
+
+// TestMetrics checks the Prometheus exposition carries the service gauges
+// and counters, including the cache hit recorded by a resubmission.
+func TestMetrics(t *testing.T) {
+	c, _ := newTestServer(t, jobs.Options{Workers: 1})
+	ctx := context.Background()
+
+	req := api.SubmitRequest{
+		Instance: instanceJSON(t, 18, 10), Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: 2, Workers: 1},
+	}
+	info, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := c.Wait(ctx, info.ID, 5*time.Millisecond); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if _, err := c.Submit(ctx, req); err != nil { // cache hit
+		t.Fatalf("resubmit: %v", err)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{
+		"matchd_queue_depth 0",
+		"matchd_workers 1",
+		"matchd_jobs_submitted_total 2",
+		"matchd_cache_hits_total 1",
+		"matchd_cache_misses_total 1",
+		"matchd_solves_total 1",
+		`matchd_jobs{state="done"} 2`,
+		"matchd_solve_seconds_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func waitRunning(t *testing.T, c *client.Client, id string) {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		info, err := c.Info(ctx, id)
+		if err != nil {
+			t.Fatalf("Info: %v", err)
+		}
+		if info.State == api.StateRunning {
+			return
+		}
+		if api.TerminalState(info.State) || time.Now().After(deadline) {
+			t.Fatalf("job %s in %q, never observed running", id, info.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

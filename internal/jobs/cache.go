@@ -1,0 +1,66 @@
+package jobs
+
+import (
+	"container/list"
+
+	"matchsim/api"
+)
+
+// resultCache is a small LRU keyed by the content address of a submission
+// (see Key). Identical resubmissions are answered from it with zero new
+// cost-function evaluations. It is not internally synchronised — the
+// Manager calls it under its own lock.
+type resultCache struct {
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key    string
+	result api.JobResult
+}
+
+// newResultCache builds a cache holding up to cap entries; cap <= 0
+// disables caching entirely.
+func newResultCache(cap int) *resultCache {
+	return &resultCache{
+		cap:     cap,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) get(key string) (api.JobResult, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return api.JobResult{}, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	// Copy the mapping so callers can't mutate the cached slice.
+	res := e.result
+	res.Mapping = append([]int(nil), e.result.Mapping...)
+	return res, true
+}
+
+func (c *resultCache) put(key string, res api.JobResult) {
+	if c.cap <= 0 {
+		return
+	}
+	res.Mapping = append([]int(nil), res.Mapping...)
+	res.CacheHit = false
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).result = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, result: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int { return c.order.Len() }

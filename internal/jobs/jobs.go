@@ -1,0 +1,600 @@
+// Package jobs is the serving layer behind matchd: a bounded submission
+// queue, a worker pool that runs solver jobs with full lifecycle tracking
+// (queued → running → done | failed | cancelled), a content-addressed
+// result cache so identical submissions are answered without re-solving,
+// live per-iteration progress fan-out to subscribers, and graceful
+// shutdown that checkpoints interrupted CE jobs to disk so they resume
+// after a restart.
+//
+// The Manager is the single coordination point. One mutex guards all job
+// state; solver work itself runs outside the lock on the worker pool, so
+// the lock is only ever held for map/flag updates and event fan-out.
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"matchsim"
+	"matchsim/api"
+	"matchsim/internal/trace"
+)
+
+// Submission and lookup errors.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity (HTTP 503 at the API layer).
+	ErrQueueFull = errors.New("jobs: submission queue full")
+	// ErrShuttingDown rejects submissions during graceful shutdown.
+	ErrShuttingDown = errors.New("jobs: manager shutting down")
+	// ErrUnknownJob reports a lookup for an id the store does not hold.
+	ErrUnknownJob = errors.New("jobs: unknown job id")
+	// ErrNotDone reports a result request for an unfinished job.
+	ErrNotDone = errors.New("jobs: job has no result yet")
+)
+
+// Options tunes a Manager. Zero values take the documented defaults.
+type Options struct {
+	// QueueCapacity bounds the number of jobs waiting to run; default 64.
+	QueueCapacity int
+	// Workers is the number of jobs run concurrently; default GOMAXPROCS.
+	// Each job additionally parallelises internally per its own Workers
+	// option, so a loaded daemon usually wants few job workers.
+	Workers int
+	// CacheCapacity bounds the content-addressed result cache (entries);
+	// default 128. 0 keeps the default; negative disables caching.
+	CacheCapacity int
+	// CheckpointDir, when non-empty, is where Shutdown persists
+	// interrupted jobs and Restore finds them. The directory is created
+	// on demand.
+	CheckpointDir string
+	// TraceWriter, when non-nil, additionally receives every job's
+	// events on one shared stream (trace.Writer is concurrency-safe).
+	TraceWriter *trace.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueCapacity <= 0 {
+		o.QueueCapacity = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 128
+	}
+	return o
+}
+
+// job is the manager-internal lifecycle record. All fields are guarded by
+// Manager.mu except the immutable identity fields set before registration.
+type job struct {
+	id     string
+	key    string
+	solver string
+	req    api.SubmitRequest
+	// problem is parsed once at submission.
+	problem *matchsim.Problem
+
+	state    string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	errMsg   string
+	cacheHit bool
+	resumed  bool
+
+	result     *api.JobResult
+	resumeFrom *matchsim.Checkpoint // restored state for a resumed job
+	checkpoint *matchsim.Checkpoint // captured when a run is interrupted
+
+	cancel        context.CancelFunc // non-nil while running
+	userCancelled bool               // DELETE (vs shutdown) requested the cancel
+	persistPath   string             // checkpoint file backing a restored job
+
+	events []api.Event
+	subs   map[int]chan api.Event
+	subCtr int
+}
+
+// Manager owns the job store, queue, worker pool and result cache.
+type Manager struct {
+	opts Options
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	closed bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	cache *resultCache
+
+	// counters (guarded by mu).
+	submitted         uint64
+	cacheHits         uint64
+	cacheMisses       uint64
+	solvesTotal       uint64
+	solveSecondsTotal float64
+	stateCount        map[string]int
+}
+
+// New starts a Manager and its worker pool.
+func New(opts Options) *Manager {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:       opts,
+		jobs:       make(map[string]*job),
+		queue:      make(chan *job, opts.QueueCapacity),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		cache:      newResultCache(opts.CacheCapacity),
+		stateCount: make(map[string]int),
+	}
+	for w := 0; w < opts.Workers; w++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.runJob(j)
+			}
+		}()
+	}
+	return m
+}
+
+// Key computes the content address of a submission: a SHA-256 over the
+// canonical re-marshalled instance (so formatting and field-order noise in
+// the client's JSON does not defeat caching), the solver name and the
+// options document.
+func Key(p *matchsim.Problem, solver string, opts api.SolverOptions) (string, error) {
+	var canonical bytes.Buffer
+	if err := p.WriteInstance(&canonical); err != nil {
+		return "", err
+	}
+	ob, err := json.Marshal(opts)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(canonical.Bytes())
+	h.Write([]byte{0})
+	h.Write([]byte(solver))
+	h.Write([]byte{0})
+	h.Write(ob)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back on the clock; collisions are checked at registration.
+		return fmt.Sprintf("j%016x", time.Now().UnixNano())
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// Submit validates a request, consults the result cache, and either
+// answers it immediately (cache hit: the job is created already done,
+// having performed zero new evaluations) or enqueues it. ErrQueueFull and
+// ErrShuttingDown report backpressure; other errors are invalid requests.
+func (m *Manager) Submit(req api.SubmitRequest) (api.JobInfo, error) {
+	if err := validSolver(req.Solver); err != nil {
+		return api.JobInfo{}, err
+	}
+	if len(req.Instance) == 0 {
+		return api.JobInfo{}, fmt.Errorf("jobs: submission carries no instance")
+	}
+	problem, err := matchsim.ReadProblem(bytes.NewReader(req.Instance))
+	if err != nil {
+		return api.JobInfo{}, fmt.Errorf("jobs: invalid instance: %w", err)
+	}
+	key, err := Key(problem, req.Solver, req.Options)
+	if err != nil {
+		return api.JobInfo{}, err
+	}
+	j := &job{
+		id:      newJobID(),
+		key:     key,
+		solver:  req.Solver,
+		req:     req,
+		problem: problem,
+		created: time.Now(),
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return api.JobInfo{}, ErrShuttingDown
+	}
+	for m.jobs[j.id] != nil { // vanishingly unlikely; regenerate
+		j.id = newJobID()
+	}
+	m.submitted++
+
+	if cached, ok := m.cache.get(key); ok {
+		m.cacheHits++
+		j.state = api.StateDone
+		j.started = j.created
+		j.finished = j.created
+		j.cacheHit = true
+		res := cached // copy; mark the serving, not the solving
+		res.CacheHit = true
+		j.result = &res
+		j.events = []api.Event{
+			{Kind: string(trace.KindStart), Solver: j.solver, Tasks: problem.NumTasks(), Seed: req.Options.Seed},
+			endEvent(&res),
+		}
+		m.register(j)
+		return m.infoLocked(j), nil
+	}
+	m.cacheMisses++
+
+	select {
+	case m.queue <- j:
+	default:
+		return api.JobInfo{}, ErrQueueFull
+	}
+	j.state = api.StateQueued
+	m.register(j)
+	return m.infoLocked(j), nil
+}
+
+func validSolver(s string) error {
+	switch s {
+	case api.SolverMaTCH, api.SolverManyToOne, api.SolverGA, api.SolverDistributed,
+		api.SolverRandom, api.SolverGreedy, api.SolverLocal, api.SolverAnneal:
+		return nil
+	}
+	return fmt.Errorf("jobs: unknown solver %q", s)
+}
+
+// register files the job in the store. Caller holds mu.
+func (m *Manager) register(j *job) {
+	m.jobs[j.id] = j
+	m.stateCount[j.state]++
+}
+
+// setState moves a job between lifecycle states. Caller holds mu.
+func (m *Manager) setState(j *job, state string) {
+	m.stateCount[j.state]--
+	j.state = state
+	m.stateCount[state]++
+}
+
+// Info returns a job's status document.
+func (m *Manager) Info(id string) (api.JobInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return api.JobInfo{}, ErrUnknownJob
+	}
+	return m.infoLocked(j), nil
+}
+
+func (m *Manager) infoLocked(j *job) api.JobInfo {
+	return api.JobInfo{
+		ID:       j.id,
+		State:    j.state,
+		Solver:   j.solver,
+		Key:      j.key,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Error:    j.errMsg,
+		CacheHit: j.cacheHit,
+		Resumed:  j.resumed,
+	}
+}
+
+// Result returns a finished job's result. ErrNotDone carries the job's
+// current state for jobs that are still queued/running or ended without a
+// result (failed, cancelled).
+func (m *Manager) Result(id string) (api.JobResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return api.JobResult{}, ErrUnknownJob
+	}
+	if j.result == nil || j.state != api.StateDone {
+		return api.JobResult{}, fmt.Errorf("%w (state %s)", ErrNotDone, j.state)
+	}
+	return *j.result, nil
+}
+
+// Cancel stops a job: a queued job is finalised immediately, a running
+// job's context is cancelled (the solver stops within one iteration).
+// Cancelling a terminal job is a no-op. The returned info reflects the
+// state at return — a running job may still briefly report "running".
+func (m *Manager) Cancel(id string) (api.JobInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return api.JobInfo{}, ErrUnknownJob
+	}
+	switch j.state {
+	case api.StateQueued:
+		j.userCancelled = true
+		m.finalizeLocked(j, api.StateCancelled, "cancelled while queued")
+	case api.StateRunning:
+		j.userCancelled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return m.infoLocked(j), nil
+}
+
+// Subscribe attaches a live event stream to a job: buffered history is
+// replayed first, then events arrive as the solver emits them, and the
+// channel closes when the job reaches a terminal state. The returned
+// cancel function detaches the subscriber (safe to call twice). A slow
+// subscriber that fills its buffer loses intermediate events rather than
+// stalling the solver.
+func (m *Manager) Subscribe(id string) (<-chan api.Event, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, nil, ErrUnknownJob
+	}
+	ch := make(chan api.Event, len(j.events)+256)
+	for _, e := range j.events {
+		ch <- e
+	}
+	if api.TerminalState(j.state) {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	if j.subs == nil {
+		j.subs = make(map[int]chan api.Event)
+	}
+	idx := j.subCtr
+	j.subCtr++
+	j.subs[idx] = ch
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			if _, live := j.subs[idx]; live {
+				delete(j.subs, idx)
+				close(ch)
+			}
+		})
+	}
+	return ch, cancel, nil
+}
+
+// emit buffers an event, fans it out to subscribers and mirrors it to the
+// shared trace stream. Caller holds mu.
+func (m *Manager) emitLocked(j *job, e api.Event) {
+	j.events = append(j.events, e)
+	for _, ch := range j.subs {
+		select {
+		case ch <- e:
+		default: // slow subscriber: drop rather than stall the solver
+		}
+	}
+	if m.opts.TraceWriter != nil {
+		m.opts.TraceWriter.Emit(traceEvent(e))
+	}
+}
+
+// finalizeLocked moves a job into a terminal state, emits the end event
+// and closes every subscriber. Caller holds mu.
+func (m *Manager) finalizeLocked(j *job, state, stopReason string) {
+	m.setState(j, state)
+	j.finished = time.Now()
+	end := api.Event{Kind: string(trace.KindEnd), StopReason: stopReason}
+	if j.result != nil {
+		end = endEvent(j.result)
+	} else {
+		if state == api.StateFailed {
+			end.StopReason = "failed"
+		}
+		end.Iterations = 0
+	}
+	m.emitLocked(j, end)
+	for idx, ch := range j.subs {
+		delete(j.subs, idx)
+		close(ch)
+	}
+}
+
+func endEvent(r *api.JobResult) api.Event {
+	return api.Event{
+		Kind:        string(trace.KindEnd),
+		Exec:        r.Exec,
+		Iterations:  r.Iterations,
+		Evaluations: r.Evaluations,
+		MappingTime: r.MappingTime,
+		StopReason:  r.StopReason,
+	}
+}
+
+func traceEvent(e api.Event) trace.Event {
+	return trace.Event{
+		Kind:        trace.EventKind(e.Kind),
+		Solver:      e.Solver,
+		Tasks:       e.Tasks,
+		Seed:        e.Seed,
+		Iter:        e.Iter,
+		Gamma:       e.Gamma,
+		Best:        e.Best,
+		Mean:        e.Mean,
+		BestSoFar:   e.BestSoFar,
+		Exec:        e.Exec,
+		Iterations:  e.Iterations,
+		Evaluations: e.Evaluations,
+		MappingTime: e.MappingTime,
+		StopReason:  e.StopReason,
+	}
+}
+
+// runJob executes one dequeued job on a pool worker.
+func (m *Manager) runJob(j *job) {
+	m.mu.Lock()
+	if j.state != api.StateQueued || m.closed {
+		// Cancelled while queued, or the manager began shutting down
+		// before the job started: leave it for Shutdown to persist.
+		m.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+	j.cancel = cancel
+	m.setState(j, api.StateRunning)
+	j.started = time.Now()
+	m.emitLocked(j, api.Event{
+		Kind:   string(trace.KindStart),
+		Solver: j.solver,
+		Tasks:  j.problem.NumTasks(),
+		Seed:   j.req.Options.Seed,
+	})
+	m.mu.Unlock()
+
+	onIter := func(tr matchsim.IterationTrace) {
+		m.mu.Lock()
+		m.emitLocked(j, api.Event{
+			Kind:      string(trace.KindIteration),
+			Iter:      tr.Iteration,
+			Gamma:     tr.Gamma,
+			Best:      tr.Best,
+			Mean:      tr.Mean,
+			BestSoFar: tr.BestSoFar,
+		})
+		m.mu.Unlock()
+	}
+
+	result, checkpoint, err := m.solve(ctx, j, onIter)
+
+	m.mu.Lock()
+	j.cancel = nil
+	j.checkpoint = checkpoint
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		m.finalizeLocked(j, api.StateCancelled, "cancelled")
+	case err != nil:
+		j.errMsg = err.Error()
+		m.finalizeLocked(j, api.StateFailed, "failed")
+	case result.StopReason == matchsim.StopCancelled:
+		// The solver returned its best-so-far when the context fired;
+		// the job is cancelled, the checkpoint (if any) preserves it.
+		m.finalizeLocked(j, api.StateCancelled, "cancelled")
+	default:
+		j.result = result
+		m.solvesTotal++
+		m.solveSecondsTotal += time.Since(j.started).Seconds()
+		m.cache.put(j.key, *result)
+		m.finalizeLocked(j, api.StateDone, result.StopReason)
+	}
+	persistDone := api.TerminalState(j.state) && !m.closed
+	path := j.persistPath
+	m.mu.Unlock()
+
+	if persistDone && path != "" {
+		// The restored job ran to a terminal state on its own: its
+		// checkpoint file is spent.
+		removePersisted(path)
+	}
+}
+
+// Stats is a point-in-time snapshot of the manager's gauges and counters.
+type Stats struct {
+	QueueDepth    int
+	QueueCapacity int
+	Workers       int
+	JobsByState   map[string]int
+	Submitted     uint64
+	CacheHits     uint64
+	CacheMisses   uint64
+	CacheEntries  int
+	CacheCapacity int
+	SolvesTotal   uint64
+	// SolveSecondsTotal accumulates wall-clock solve latency; divide by
+	// SolvesTotal for the mean.
+	SolveSecondsTotal float64
+}
+
+// Stats snapshots the manager counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byState := make(map[string]int, len(m.stateCount))
+	for s, c := range m.stateCount {
+		if c > 0 {
+			byState[s] = c
+		}
+	}
+	return Stats{
+		QueueDepth:        len(m.queue),
+		QueueCapacity:     m.opts.QueueCapacity,
+		Workers:           m.opts.Workers,
+		JobsByState:       byState,
+		Submitted:         m.submitted,
+		CacheHits:         m.cacheHits,
+		CacheMisses:       m.cacheMisses,
+		CacheEntries:      m.cache.len(),
+		CacheCapacity:     m.opts.CacheCapacity,
+		SolvesTotal:       m.solvesTotal,
+		SolveSecondsTotal: m.solveSecondsTotal,
+	}
+}
+
+// Closed reports whether Shutdown has begun.
+func (m *Manager) Closed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// Shutdown drains the manager: submissions are refused, running jobs are
+// cancelled (each stops within one solver iteration), and—when a
+// checkpoint directory is configured—interrupted and still-queued jobs
+// are persisted so Restore can pick them up after a restart. It returns
+// once every worker has stopped or ctx expires.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	m.baseCancel() // interrupt running jobs
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: shutdown timed out: %w", ctx.Err())
+	}
+
+	if m.opts.CheckpointDir == "" {
+		return nil
+	}
+	return m.persistInterrupted()
+}

@@ -1,0 +1,111 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+
+	"matchsim"
+	"matchsim/api"
+)
+
+// solve dispatches a job to the matchsim solver named in its request. It
+// runs outside the manager lock on a pool worker. For the MaTCH solver it
+// additionally returns the run's checkpoint so an interrupted job can be
+// persisted and resumed after a restart.
+func (m *Manager) solve(ctx context.Context, j *job, onIter func(matchsim.IterationTrace)) (*api.JobResult, *matchsim.Checkpoint, error) {
+	o := j.req.Options
+	var (
+		sol *matchsim.Solution
+		err error
+	)
+	switch j.solver {
+	case api.SolverMaTCH:
+		opts := matchsim.MaTCHOptions{
+			SampleSize:       o.SampleSize,
+			Rho:              o.Rho,
+			Zeta:             o.Zeta,
+			StallC:           o.StallC,
+			GammaStallWindow: o.GammaStallWindow,
+			MaxIterations:    o.MaxIterations,
+			Workers:          o.Workers,
+			Seed:             o.Seed,
+			Polish:           o.Polish,
+			Context:          ctx,
+			OnIteration:      onIter,
+		}
+		if j.resumeFrom != nil {
+			sol, err = matchsim.ResumeMaTCH(j.problem, j.resumeFrom, opts)
+		} else {
+			sol, err = matchsim.SolveMaTCH(j.problem, opts)
+		}
+	case api.SolverManyToOne:
+		sol, err = matchsim.SolveMaTCHManyToOne(j.problem, matchsim.MaTCHOptions{
+			SampleSize:       o.SampleSize,
+			Rho:              o.Rho,
+			Zeta:             o.Zeta,
+			StallC:           o.StallC,
+			GammaStallWindow: o.GammaStallWindow,
+			MaxIterations:    o.MaxIterations,
+			Workers:          o.Workers,
+			Seed:             o.Seed,
+			Context:          ctx,
+			OnIteration:      onIter,
+		})
+	case api.SolverGA:
+		sol, err = matchsim.SolveGA(j.problem, matchsim.GAOptions{
+			PopulationSize: o.PopulationSize,
+			Generations:    o.Generations,
+			CrossoverProb:  o.CrossoverProb,
+			MutationProb:   o.MutationProb,
+			Workers:        o.Workers,
+			Seed:           o.Seed,
+			Context:        ctx,
+			OnGeneration:   onIter,
+		})
+	case api.SolverDistributed:
+		sol, err = matchsim.SolveDistributed(j.problem, matchsim.DistributedOptions{
+			NumAgents:     o.NumAgents,
+			SampleSize:    o.SampleSize,
+			Rho:           o.Rho,
+			Zeta:          o.Zeta,
+			StallC:        o.StallC,
+			MaxIterations: o.MaxIterations,
+			Seed:          o.Seed,
+			Context:       ctx,
+		})
+	case api.SolverRandom:
+		budget := o.Budget
+		if budget <= 0 {
+			budget = 10000
+		}
+		sol, err = matchsim.SolveRandomContext(ctx, j.problem, budget, o.Seed)
+	case api.SolverGreedy:
+		sol, err = matchsim.SolveGreedy(j.problem)
+	case api.SolverLocal:
+		restarts := o.Restarts
+		if restarts <= 0 {
+			restarts = 5
+		}
+		sol, err = matchsim.SolveLocalSearchContext(ctx, j.problem, restarts, o.Seed)
+	case api.SolverAnneal:
+		sol, err = matchsim.SolveAnnealing(j.problem, matchsim.AnnealingOptions{
+			Steps:   o.Steps,
+			Seed:    o.Seed,
+			Context: ctx,
+		})
+	default:
+		return nil, nil, fmt.Errorf("jobs: unknown solver %q", j.solver)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return &api.JobResult{
+		Mapping:     sol.Mapping,
+		Exec:        sol.Exec,
+		Iterations:  sol.Iterations,
+		Evaluations: sol.Evaluations,
+		MappingTime: sol.MappingTime,
+		Solver:      sol.Solver,
+		StopReason:  sol.StopReason,
+	}, sol.Checkpoint(), nil
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -52,9 +53,12 @@ type Event struct {
 	StopReason  string        `json:"stop_reason,omitempty"`
 }
 
-// Writer streams events as JSON lines. Not safe for concurrent use; a
-// solver emits events from its coordinating goroutine only.
+// Writer streams events as JSON lines. It is safe for concurrent use:
+// each event is encoded and written under an internal mutex, so multiple
+// jobs may interleave whole events on one shared log stream (the matchd
+// daemon funnels every job's telemetry through a single Writer).
 type Writer struct {
+	mu  sync.Mutex
 	w   *bufio.Writer
 	enc *json.Encoder
 }
@@ -65,11 +69,14 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bw, enc: json.NewEncoder(bw)}
 }
 
-// Emit appends one event.
+// Emit appends one event atomically with respect to concurrent Emit and
+// Flush calls.
 func (t *Writer) Emit(e Event) error {
 	if e.Kind == "" {
 		return fmt.Errorf("trace: event without kind")
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.enc.Encode(e)
 }
 
@@ -92,7 +99,11 @@ func (t *Writer) End(exec float64, iterations int, evaluations int64, mappingTim
 }
 
 // Flush writes buffered events through to the underlying writer.
-func (t *Writer) Flush() error { return t.w.Flush() }
+func (t *Writer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Flush()
+}
 
 // Run is one replayed run.
 type Run struct {

@@ -1,8 +1,11 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -154,5 +157,64 @@ func TestBackToBackRunsWithoutEnd(t *testing.T) {
 	}
 	if runs[1].End == nil || runs[1].Start.Solver != "b" {
 		t.Fatalf("second run: %+v", runs[1])
+	}
+}
+
+// TestConcurrentEmit hammers one Writer from many goroutines — the
+// matchd daemon's usage pattern, where every job shares a single trace
+// stream. Run under -race it proves the Writer's locking; the decode pass
+// proves events interleave whole, never torn mid-line.
+func TestConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const (
+		writers        = 8
+		eventsPerGorou = 200
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < eventsPerGorou; i++ {
+				if err := w.Iteration(i, 1, 2, 3, 4); err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+				if i%50 == 0 {
+					if err := w.Flush(); err != nil {
+						t.Errorf("writer %d flush: %v", g, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every line must decode as one whole event.
+	scanner := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	lines := 0
+	for scanner.Scan() {
+		if len(scanner.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(scanner.Bytes(), &e); err != nil {
+			t.Fatalf("torn event on line %d: %v\n%s", lines+1, err, scanner.Bytes())
+		}
+		if e.Kind != KindIteration {
+			t.Fatalf("unexpected kind %q on line %d", e.Kind, lines+1)
+		}
+		lines++
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if want := writers * eventsPerGorou; lines != want {
+		t.Fatalf("decoded %d events, want %d", lines, want)
 	}
 }

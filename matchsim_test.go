@@ -2,6 +2,8 @@ package matchsim
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -297,5 +299,90 @@ func TestDuplicateInteractionRejected(t *testing.T) {
 	}
 	if err := tg.AddInteraction(0, 0, 1); err == nil {
 		t.Fatal("self-interaction accepted")
+	}
+}
+
+// TestSolveMaTCHContextCancellation pins the public cancellation
+// contract: a context cancelled mid-run yields a best-so-far Solution
+// with StopReason "cancelled" and a non-nil, resumable Checkpoint; a
+// context cancelled before the first iteration yields the context error.
+func TestSolveMaTCHContextCancellation(t *testing.T) {
+	p, err := GeneratePaper(44, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel after a few iterations via the telemetry callback.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sol, err := SolveMaTCH(p, MaTCHOptions{
+		Seed: 3, Workers: 1, MaxIterations: 100000, StallC: 100000, GammaStallWindow: 100000,
+		Context: ctx,
+		OnIteration: func(tr IterationTrace) {
+			if tr.Iteration >= 3 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("cancelled run errored: %v", err)
+	}
+	if sol.StopReason != StopCancelled {
+		t.Fatalf("StopReason = %q, want %q", sol.StopReason, StopCancelled)
+	}
+	if sol.Iterations == 0 || sol.Iterations > 5 {
+		t.Errorf("cancelled after %d iterations, want a handful", sol.Iterations)
+	}
+	if _, err := p.Exec(sol.Mapping); err != nil {
+		t.Errorf("best-so-far mapping invalid: %v", err)
+	}
+	ckpt := sol.Checkpoint()
+	if ckpt == nil {
+		t.Fatal("cancelled run has no checkpoint")
+	}
+
+	// The checkpoint resumes to completion.
+	resumed, err := ResumeMaTCH(p, ckpt, MaTCHOptions{Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatalf("ResumeMaTCH: %v", err)
+	}
+	if resumed.Exec > sol.Exec {
+		t.Errorf("resumed exec %v worse than checkpointed incumbent %v", resumed.Exec, sol.Exec)
+	}
+
+	// Pre-cancelled context: no iteration ever completes, ctx error out.
+	dead, deadCancel := context.WithCancel(context.Background())
+	deadCancel()
+	if _, err := SolveMaTCH(p, MaTCHOptions{Seed: 3, Workers: 1, Context: dead}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestSolveGAContextCancellation pins the GA's generation-granular
+// cancellation.
+func TestSolveGAContextCancellation(t *testing.T) {
+	p, err := GeneratePaper(45, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sol, err := SolveGA(p, GAOptions{
+		Seed: 1, Workers: 1, PopulationSize: 40, Generations: 100000,
+		Context: ctx,
+		OnGeneration: func(tr IterationTrace) {
+			if tr.Iteration >= 3 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("cancelled GA errored: %v", err)
+	}
+	if sol.StopReason != StopCancelled {
+		t.Fatalf("StopReason = %q, want %q", sol.StopReason, StopCancelled)
+	}
+	if _, err := p.Exec(sol.Mapping); err != nil {
+		t.Errorf("best-so-far mapping invalid: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package matchsim
 
 import (
+	"context"
 	"time"
 
 	"matchsim/internal/agents"
@@ -26,6 +27,41 @@ type Solution struct {
 	Evaluations int64
 	// Solver names the algorithm that produced the solution.
 	Solver string
+	// StopReason records why the run ended: "completed" for solvers that
+	// ran to their natural termination, "cancelled" when the options'
+	// Context cut the run short, or the CE-specific reasons
+	// ("distribution-converged", "gamma-stall", "max-iterations").
+	StopReason string
+
+	// coreRes retains the CE engine state of a SolveMaTCH/ResumeMaTCH run
+	// so Checkpoint can extract a resumable snapshot.
+	coreRes *core.Result
+}
+
+// StopCancelled is the Solution.StopReason of a run cut short by its
+// options' Context.
+const StopCancelled = string(ce.StopCancelled)
+
+// Checkpoint is a resumable snapshot of a MaTCH (CE) run: the stochastic
+// matrix, the eq. 12 stability bookkeeping and the incumbent mapping. It
+// serialises with Encode and restores with DecodeCheckpoint + ResumeMaTCH.
+type Checkpoint = core.Checkpoint
+
+// DecodeCheckpoint parses and validates a checkpoint produced by
+// (*Checkpoint).Encode.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	return core.DecodeCheckpoint(data)
+}
+
+// Checkpoint extracts a resumable snapshot from a MaTCH solution —
+// including one returned early by a cancelled Context. It returns nil for
+// solutions produced by other solvers (GA, baselines, many-to-one), which
+// carry no CE state.
+func (s *Solution) Checkpoint() *Checkpoint {
+	if s.coreRes == nil {
+		return nil
+	}
+	return core.CheckpointFrom(s.coreRes)
 }
 
 // IterationTrace is per-iteration telemetry passed to option callbacks.
@@ -51,6 +87,11 @@ type MaTCHOptions struct {
 	Zeta float64
 	// StallC is the eq. (12) stability constant.
 	StallC int
+	// GammaStallWindow is the generic CE quantile-stall stop (default
+	// 25 iterations without gamma improving). Raise it together with
+	// StallC and MaxIterations for effectively unbounded runs that end
+	// only by convergence or cancellation.
+	GammaStallWindow int
 	// MaxIterations caps the CE loop (default 1000).
 	MaxIterations int
 	// Workers parallelises sampling and scoring (default GOMAXPROCS).
@@ -64,6 +105,12 @@ type MaTCHOptions struct {
 	// Polish runs 2-swap local descent on the best mapping after the CE
 	// loop ends (hybrid extension; only applies to SolveMaTCH).
 	Polish bool
+	// Context, when non-nil, cancels the run: the solver stops within at
+	// most one iteration. A run with at least one completed iteration
+	// returns its best-so-far Solution with StopReason "cancelled" (and,
+	// for SolveMaTCH, a non-nil Checkpoint); earlier cancellation returns
+	// the context's error.
+	Context context.Context
 	// OnIteration, when non-nil, receives telemetry each iteration.
 	OnIteration func(IterationTrace)
 }
@@ -76,6 +123,21 @@ func SolveMaTCH(p *Problem, opts MaTCHOptions) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	return matchSolution(res), nil
+}
+
+// ResumeMaTCH continues a checkpointed MaTCH run on the same problem. The
+// returned Solution's effort counters cover only the new iterations, but
+// its Mapping/Exec incorporate the checkpoint's incumbent.
+func ResumeMaTCH(p *Problem, c *Checkpoint, opts MaTCHOptions) (*Solution, error) {
+	res, err := core.Resume(p.evaluator(), c, coreOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return matchSolution(res), nil
+}
+
+func matchSolution(res *core.Result) *Solution {
 	return &Solution{
 		Mapping:     res.Mapping,
 		Exec:        res.Exec,
@@ -83,7 +145,9 @@ func SolveMaTCH(p *Problem, opts MaTCHOptions) (*Solution, error) {
 		Iterations:  res.Iterations,
 		Evaluations: res.Evaluations,
 		Solver:      "MaTCH",
-	}, nil
+		StopReason:  string(res.StopReason),
+		coreRes:     res,
+	}
 }
 
 // SolveMaTCHManyToOne runs the generalised MaTCH that permits any number
@@ -100,20 +164,23 @@ func SolveMaTCHManyToOne(p *Problem, opts MaTCHOptions) (*Solution, error) {
 		Iterations:  res.Iterations,
 		Evaluations: res.Evaluations,
 		Solver:      "MaTCH-many-to-one",
+		StopReason:  string(res.StopReason),
 	}, nil
 }
 
 func coreOptions(opts MaTCHOptions) core.Options {
 	o := core.Options{
-		SampleSize:    opts.SampleSize,
-		Rho:           opts.Rho,
-		Zeta:          opts.Zeta,
-		StallC:        opts.StallC,
-		MaxIterations: opts.MaxIterations,
-		Workers:       opts.Workers,
-		Seed:          opts.Seed,
-		WarmStart:     opts.WarmStart,
-		Polish:        opts.Polish,
+		SampleSize:       opts.SampleSize,
+		Rho:              opts.Rho,
+		Zeta:             opts.Zeta,
+		StallC:           opts.StallC,
+		GammaStallWindow: opts.GammaStallWindow,
+		MaxIterations:    opts.MaxIterations,
+		Workers:          opts.Workers,
+		Seed:             opts.Seed,
+		WarmStart:        opts.WarmStart,
+		Polish:           opts.Polish,
+		Context:          opts.Context,
 	}
 	if opts.OnIteration != nil {
 		cb := opts.OnIteration
@@ -142,6 +209,9 @@ type GAOptions struct {
 	// Workers parallelises fitness evaluation (default GOMAXPROCS).
 	Workers int
 	Seed    uint64
+	// Context, when non-nil, cancels the run at generation granularity
+	// (same contract as MaTCHOptions.Context).
+	Context context.Context
 	// OnGeneration, when non-nil, receives telemetry each generation.
 	OnGeneration func(IterationTrace)
 }
@@ -155,6 +225,7 @@ func SolveGA(p *Problem, opts GAOptions) (*Solution, error) {
 		MutationProb:   opts.MutationProb,
 		Workers:        opts.Workers,
 		Seed:           opts.Seed,
+		Context:        opts.Context,
 	}
 	if opts.OnGeneration != nil {
 		cb := opts.OnGeneration
@@ -172,6 +243,10 @@ func SolveGA(p *Problem, opts GAOptions) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
+	stop := "completed"
+	if res.Cancelled {
+		stop = StopCancelled
+	}
 	return &Solution{
 		Mapping:     res.Mapping,
 		Exec:        res.Exec,
@@ -179,6 +254,7 @@ func SolveGA(p *Problem, opts GAOptions) (*Solution, error) {
 		Iterations:  res.Generations,
 		Evaluations: res.Evaluations,
 		Solver:      "FastMap-GA",
+		StopReason:  stop,
 	}, nil
 }
 
@@ -193,6 +269,9 @@ type DistributedOptions struct {
 	StallC        int
 	MaxIterations int
 	Seed          uint64
+	// Context, when non-nil, cancels the protocol at round granularity
+	// (same contract as MaTCHOptions.Context).
+	Context context.Context
 }
 
 // SolveDistributed runs the message-passing agent implementation of
@@ -207,9 +286,14 @@ func SolveDistributed(p *Problem, opts DistributedOptions) (*Solution, error) {
 		StallC:        opts.StallC,
 		MaxIterations: opts.MaxIterations,
 		Seed:          opts.Seed,
+		Context:       opts.Context,
 	})
 	if err != nil {
 		return nil, err
+	}
+	stop := "completed"
+	if res.Cancelled {
+		stop = StopCancelled
 	}
 	return &Solution{
 		Mapping:     res.Mapping,
@@ -218,12 +302,19 @@ func SolveDistributed(p *Problem, opts DistributedOptions) (*Solution, error) {
 		Iterations:  res.Iterations,
 		Evaluations: res.Evaluations,
 		Solver:      "MaTCH-distributed",
+		StopReason:  stop,
 	}, nil
 }
 
 // SolveRandom draws `samples` uniform random mappings and keeps the best.
 func SolveRandom(p *Problem, samples int, seed uint64) (*Solution, error) {
-	res, err := heuristics.RandomSearch(p.evaluator(), samples, seed)
+	return SolveRandomContext(context.Background(), p, samples, seed)
+}
+
+// SolveRandomContext is SolveRandom with cancellation: ctx aborts the
+// search between draws.
+func SolveRandomContext(ctx context.Context, p *Problem, samples int, seed uint64) (*Solution, error) {
+	res, err := heuristics.RandomSearch(ctx, p.evaluator(), samples, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +333,13 @@ func SolveGreedy(p *Problem) (*Solution, error) {
 // SolveLocalSearch runs steepest-descent 2-swap hill climbing with the
 // given number of random restarts.
 func SolveLocalSearch(p *Problem, restarts int, seed uint64) (*Solution, error) {
-	res, err := heuristics.LocalSearch(p.evaluator(), restarts, seed)
+	return SolveLocalSearchContext(context.Background(), p, restarts, seed)
+}
+
+// SolveLocalSearchContext is SolveLocalSearch with cancellation: ctx
+// aborts the search between descent steps.
+func SolveLocalSearchContext(ctx context.Context, p *Problem, restarts int, seed uint64) (*Solution, error) {
+	res, err := heuristics.LocalSearch(ctx, p.evaluator(), restarts, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -256,6 +353,8 @@ type AnnealingOptions struct {
 	CoolingRate float64
 	Steps       int
 	Seed        uint64
+	// Context, when non-nil, cancels the schedule between moves.
+	Context context.Context
 }
 
 // SolveAnnealing runs Metropolis simulated annealing over 2-swap moves.
@@ -265,6 +364,7 @@ func SolveAnnealing(p *Problem, opts AnnealingOptions) (*Solution, error) {
 		CoolingRate: opts.CoolingRate,
 		Steps:       opts.Steps,
 		Seed:        opts.Seed,
+		Context:     opts.Context,
 	})
 	if err != nil {
 		return nil, err
@@ -279,5 +379,6 @@ func baselineSolution(res *heuristics.Result, name string) *Solution {
 		MappingTime: res.MappingTime,
 		Evaluations: res.Evaluations,
 		Solver:      name,
+		StopReason:  "completed",
 	}
 }
