@@ -49,7 +49,11 @@ type SolverOptions struct {
 	GammaStallWindow int  `json:"gamma_stall_window,omitempty"`
 	MaxIterations    int  `json:"max_iterations,omitempty"`
 	Polish           bool `json:"polish,omitempty"`
-	NumAgents        int  `json:"num_agents,omitempty"` // distributed only
+	// UnprunedScoring disables gamma-pruned scoring and evaluates every
+	// draw exactly; the mapping is identical either way (an escape hatch
+	// and benchmarking knob, not a quality setting).
+	UnprunedScoring bool `json:"unpruned_scoring,omitempty"`
+	NumAgents       int  `json:"num_agents,omitempty"` // distributed only
 
 	// GA knobs.
 	PopulationSize int     `json:"population_size,omitempty"`

@@ -202,6 +202,7 @@ func BenchmarkGenPerm(b *testing.B) {
 	}
 	for name, m := range matrices {
 		cdf := stochmat.NewRowCDF(m)
+		at := stochmat.NewAliasTable(m)
 		s := stochmat.NewSampler(n)
 		dst := make([]int, n)
 		b.Run("linear/"+name, func(b *testing.B) {
@@ -220,10 +221,18 @@ func BenchmarkGenPerm(b *testing.B) {
 				}
 			}
 		})
-		b.Run("fast/"+name, func(b *testing.B) {
+		b.Run("fast-cdf/"+name, func(b *testing.B) {
 			rng := xrand.New(1)
 			for i := 0; i < b.N; i++ {
-				if err := s.SamplePermutationFast(m, cdf, rng, dst, nil); err != nil {
+				if err := s.SamplePermutationFast(m, cdf, nil, rng, dst, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("fast-alias/"+name, func(b *testing.B) {
+			rng := xrand.New(1)
+			for i := 0; i < b.N; i++ {
+				if err := s.SamplePermutationFast(m, nil, at, rng, dst, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -254,7 +263,7 @@ func BenchmarkFusedScore(b *testing.B) {
 	const n = 64
 	eval := benchEval(b, 2005, n)
 	m := stochmat.NewUniform(n, n)
-	cdf := stochmat.NewRowCDF(m)
+	at := stochmat.NewAliasTable(m)
 	s := stochmat.NewSampler(n)
 	dst := make([]int, n)
 	b.Run("fused", func(b *testing.B) {
@@ -264,7 +273,7 @@ func BenchmarkFusedScore(b *testing.B) {
 		var sink float64
 		for i := 0; i < b.N; i++ {
 			ss.Reset()
-			if err := s.SamplePermutationFast(m, cdf, rng, dst, place); err != nil {
+			if err := s.SamplePermutationFast(m, nil, at, rng, dst, place); err != nil {
 				b.Fatal(err)
 			}
 			sink = ss.Makespan()
@@ -276,7 +285,7 @@ func BenchmarkFusedScore(b *testing.B) {
 		scratch := make([]float64, n)
 		var sink float64
 		for i := 0; i < b.N; i++ {
-			if err := s.SamplePermutationFast(m, cdf, rng, dst, nil); err != nil {
+			if err := s.SamplePermutationFast(m, nil, at, rng, dst, nil); err != nil {
 				b.Fatal(err)
 			}
 			sink = eval.ExecInto(cost.Mapping(dst), scratch)

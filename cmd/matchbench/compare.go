@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// regressionTolerance is how much slower (ns/op) a kernel may measure
+// against the committed baseline before the CI guard fails. 25% absorbs
+// scheduler noise on shared runners while still catching real constant-
+// factor regressions, which historically show up as 2x+.
+const regressionTolerance = 1.25
+
+// regressionSlackNs is an absolute grace on top of the relative
+// tolerance: timer granularity and benchloop overhead jitter by a few
+// hundred nanoseconds regardless of kernel size, which is invisible on a
+// 20µs kernel but half the measurement on a 500ns one.
+const regressionSlackNs = 500.0
+
+// compareKernel checks freshly measured kernel micro-benchmarks against a
+// committed BENCH_kernel.json. Benchmarks present only on one side are
+// reported but never fail the guard (renames and new kernels must not
+// break CI); a missing baseline file skips the whole check so the guard
+// is a no-op on branches that predate the artefact.
+func compareKernel(recs []benchRecord, path string, quiet bool) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		fmt.Printf("bench-compare: baseline %s missing; skipping regression check\n", path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench-compare: parse %s: %w", path, err)
+	}
+	baseline := make(map[string]int64, len(base.Records))
+	for _, r := range base.Records {
+		if r.NsPerOp > 0 {
+			baseline[r.Name] = r.NsPerOp
+		}
+	}
+
+	var regressions []string
+	for _, r := range recs {
+		was, ok := baseline[r.Name]
+		if !ok {
+			if !quiet {
+				fmt.Printf("bench-compare: %-24s no baseline entry; skipped\n", r.Name)
+			}
+			continue
+		}
+		ratio := float64(r.NsPerOp) / float64(was)
+		status := "ok"
+		if ratio > regressionTolerance &&
+			float64(r.NsPerOp) > float64(was)*regressionTolerance+regressionSlackNs {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d ns/op vs baseline %d (%.2fx)", r.Name, r.NsPerOp, was, ratio))
+		}
+		fmt.Printf("bench-compare: %-24s %12d ns/op  baseline %12d  %5.2fx  %s\n",
+			r.Name, r.NsPerOp, was, ratio, status)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench-compare: %d kernel(s) regressed >%.0f%%:\n  %s",
+			len(regressions), (regressionTolerance-1)*100, joinLines(regressions))
+	}
+	fmt.Printf("bench-compare: %d kernel(s) within %.0f%% of %s\n",
+		len(recs), (regressionTolerance-1)*100, path)
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

@@ -72,7 +72,7 @@ type kernelBench struct {
 // baselineNs, when non-zero, is a reference ns/op (e.g. the pre-fusion
 // end-to-end measurement) used to annotate the end-to-end records with
 // speedups.
-func runKernel(seed uint64, quick, jsonOut bool, baselineNs int64, quiet bool) error {
+func runKernel(seed uint64, quick, jsonOut bool, baselineNs int64, quiet bool, compare string) error {
 	const n = 64
 	inst, err := gen.PaperInstance(seed, n, gen.DefaultPaperConfig())
 	if err != nil {
@@ -84,6 +84,7 @@ func runKernel(seed uint64, quick, jsonOut bool, baselineNs int64, quiet bool) e
 	}
 	uniform := stochmat.NewUniform(n, n)
 	cdf := stochmat.NewRowCDF(uniform)
+	alias := stochmat.NewAliasTable(uniform)
 
 	micro := []kernelBench{
 		{"genperm-linear", func(b *testing.B) {
@@ -97,31 +98,70 @@ func runKernel(seed uint64, quick, jsonOut bool, baselineNs int64, quiet bool) e
 				}
 			}
 		}},
-		{"genperm-fast", func(b *testing.B) {
+		{"genperm-fast-cdf", func(b *testing.B) {
 			b.ReportAllocs()
 			s := stochmat.NewSampler(n)
 			rng := xrand.New(1)
 			dst := make([]int, n)
 			for i := 0; i < b.N; i++ {
-				if err := s.SamplePermutationFast(uniform, cdf, rng, dst, nil); err != nil {
+				if err := s.SamplePermutationFast(uniform, cdf, nil, rng, dst, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
+		{"genperm-fast-alias", func(b *testing.B) {
+			b.ReportAllocs()
+			s := stochmat.NewSampler(n)
+			rng := xrand.New(1)
+			dst := make([]int, n)
+			for i := 0; i < b.N; i++ {
+				if err := s.SamplePermutationFast(uniform, nil, alias, rng, dst, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"alias-rebuild", func(b *testing.B) {
+			b.ReportAllocs()
+			at := stochmat.NewAliasTable(uniform)
+			for i := 0; i < b.N; i++ {
+				at.Rebuild(uniform)
+			}
+		}},
 		{"fused-sample-score", func(b *testing.B) {
+			// The production fused path: sample a full permutation, then
+			// score it with one edge-list sweep (no pruning threshold).
 			b.ReportAllocs()
 			s := stochmat.NewSampler(n)
 			rng := xrand.New(1)
 			dst := make([]int, n)
 			ss := cost.NewStreamScorer(eval)
-			place := ss.Place
 			var sink float64
 			for i := 0; i < b.N; i++ {
-				ss.Reset()
-				if err := s.SamplePermutationFast(uniform, cdf, rng, dst, place); err != nil {
+				if err := s.SamplePermutationFast(uniform, nil, alias, rng, dst, nil); err != nil {
 					b.Fatal(err)
 				}
-				sink = ss.Makespan()
+				sink = ss.ScoreMapping(dst)
+			}
+			_ = sink
+		}},
+		{"fused-sample-score-pruned", func(b *testing.B) {
+			// Same kernel with a tight gamma installed: most draws prove
+			// themselves over-threshold during the sweep's tail and skip
+			// the remaining blocks, bounding the per-draw saving the
+			// pruning threshold yields in a converged CE run.
+			b.ReportAllocs()
+			s := stochmat.NewSampler(n)
+			rng := xrand.New(1)
+			dst := make([]int, n)
+			ss := cost.NewStreamScorer(eval)
+			gamma := calibrateGamma(eval, uniform, alias)
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				if err := s.SamplePermutationFast(uniform, nil, alias, rng, dst, nil); err != nil {
+					b.Fatal(err)
+				}
+				ss.SetGamma(gamma)
+				sink = ss.ScoreMapping(dst)
 			}
 			_ = sink
 		}},
@@ -133,7 +173,7 @@ func runKernel(seed uint64, quick, jsonOut bool, baselineNs int64, quiet bool) e
 			scratch := make([]float64, n)
 			var sink float64
 			for i := 0; i < b.N; i++ {
-				if err := s.SamplePermutationFast(uniform, cdf, rng, dst, nil); err != nil {
+				if err := s.SamplePermutationFast(uniform, nil, alias, rng, dst, nil); err != nil {
 					b.Fatal(err)
 				}
 				sink = eval.ExecInto(cost.Mapping(dst), scratch)
@@ -168,9 +208,20 @@ func runKernel(seed uint64, quick, jsonOut bool, baselineNs int64, quiet bool) e
 		}},
 	}
 
+	// Min-of-reps per kernel: a single testing.Benchmark pass on a noisy
+	// shared core can land 30%+ high (frequency ramps, page faults),
+	// which would trip the -compare regression gate spuriously. The
+	// committed artefact and the CI measurement must use the same
+	// estimator for the 25% tolerance to mean anything.
+	const microReps = 3
 	var kernelRecs []benchRecord
 	for _, kb := range micro {
 		res := testing.Benchmark(kb.fn)
+		for r := 1; r < microReps; r++ {
+			if rr := testing.Benchmark(kb.fn); rr.NsPerOp() < res.NsPerOp() {
+				res = rr
+			}
+		}
 		kernelRecs = append(kernelRecs, benchRecord{
 			Name:        kb.name,
 			Size:        n,
@@ -184,6 +235,14 @@ func runKernel(seed uint64, quick, jsonOut bool, baselineNs int64, quiet bool) e
 		}
 	}
 
+	if compare != "" {
+		// Regression-guard mode: check the micro measurements against the
+		// committed baseline and stop — the end-to-end solves are too
+		// noisy for a hard CI gate and the guard must not rewrite the
+		// artefacts it compares against.
+		return compareKernel(kernelRecs, compare, quiet)
+	}
+
 	iters := 120
 	if quick {
 		iters = 20
@@ -193,7 +252,7 @@ func runKernel(seed uint64, quick, jsonOut bool, baselineNs int64, quiet bool) e
 		name    string
 		unfused bool
 	}{{"solve-fused", false}, {"solve-unfused", true}} {
-		res := testing.Benchmark(func(b *testing.B) {
+		bench := func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Solve(eval, core.Options{
@@ -202,7 +261,15 @@ func runKernel(seed uint64, quick, jsonOut bool, baselineNs int64, quiet bool) e
 					b.Fatal(err)
 				}
 			}
-		})
+		}
+		// Same min-of-reps estimator as the micros: the first full solve
+		// in a fresh process otherwise absorbs warmup costs.
+		res := testing.Benchmark(bench)
+		for r := 1; r < microReps; r++ {
+			if rr := testing.Benchmark(bench); rr.NsPerOp() < res.NsPerOp() {
+				res = rr
+			}
+		}
 		rec := benchRecord{
 			Name:        arm.name,
 			Size:        n,
@@ -240,6 +307,26 @@ func runKernel(seed uint64, quick, jsonOut bool, baselineNs int64, quiet bool) e
 		}
 	}
 	return nil
+}
+
+// calibrateGamma derives a realistic pruning threshold for the pruned
+// kernel benchmark: the 5th-percentile makespan of 200 draws from m — the
+// rho = 0.05 elite quantile a CE iteration would install.
+func calibrateGamma(eval *cost.Evaluator, m *stochmat.Matrix, at *stochmat.AliasTable) float64 {
+	const draws = 200
+	s := stochmat.NewSampler(m.Rows())
+	rng := xrand.New(17)
+	dst := make([]int, m.Rows())
+	scratch := make([]float64, eval.NumResources())
+	scores := make([]float64, 0, draws)
+	for i := 0; i < draws; i++ {
+		if err := s.SamplePermutationFast(m, nil, at, rng, dst, nil); err != nil {
+			return 0
+		}
+		scores = append(scores, eval.ExecInto(cost.Mapping(dst), scratch))
+	}
+	sort.Float64s(scores)
+	return scores[draws/20]
 }
 
 // benchEliteSelect measures elite extraction from a CE-iteration-sized

@@ -13,20 +13,29 @@
 //	matchbench -exp table1 -csv   # machine-readable output
 //	matchbench -exp table1 -json  # also write BENCH_table1.json
 //	matchbench -exp kernel -json  # hot-path micro-benchmarks -> BENCH_kernel.json + BENCH_fused.json
+//	matchbench -exp scale -json   # large-n wall-clock scaling  -> BENCH_scale.json
+//	matchbench -exp kernel -compare BENCH_kernel.json  # CI regression guard
 //
 // Experiments: table1, table2, table3 (with post-hoc Welch tests; -size
 // overrides the instance size), fig3, fig7, fig8, fig9, convergence,
 // scaling, simcheck, overset, kernel (sample-and-score micro-benchmarks
 // plus the end-to-end fused vs unfused Solve; -baseline annotates
-// speedups against a reference ns/op), ablation-rho, ablation-zeta,
+// speedups against a reference ns/op; -compare regression-checks the
+// micros against a committed baseline), scale (end-to-end Solve wall
+// clock at n = 64/128/256, pruned vs unpruned, against the recorded
+// pre-optimisation baseline), ablation-rho, ablation-zeta,
 // ablation-samples, ablation-workers, ablation-selection,
 // ablation-warmstart, baselines, all.
+//
+// -cpuprofile/-memprofile write pprof profiles covering the whole run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"matchsim/internal/core"
@@ -36,18 +45,49 @@ import (
 
 func main() {
 	var (
-		expName  = flag.String("exp", "all", "experiment to run")
-		seed     = flag.Uint64("seed", 2005, "master seed")
-		size     = flag.Int("size", 0, "instance size override for table3 (paper: 10)")
-		quick    = flag.Bool("quick", false, "reduced budgets (seconds instead of minutes)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of formatted tables")
-		jsonOut  = flag.Bool("json", false, "also write BENCH_<name>.json artefacts (table1, kernel)")
-		baseline = flag.Int64("baseline", 0, "reference ns/op for kernel speedup annotations (e.g. a pre-optimisation end-to-end run)")
-		quiet    = flag.Bool("q", false, "suppress progress output")
+		expName    = flag.String("exp", "all", "experiment to run")
+		seed       = flag.Uint64("seed", 2005, "master seed")
+		size       = flag.Int("size", 0, "instance size override for table3 (paper: 10)")
+		quick      = flag.Bool("quick", false, "reduced budgets (seconds instead of minutes)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		jsonOut    = flag.Bool("json", false, "also write BENCH_<name>.json artefacts (table1, kernel, scale)")
+		baseline   = flag.Int64("baseline", 0, "reference ns/op for kernel speedup annotations (e.g. a pre-optimisation end-to-end run)")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		compare    = flag.String("compare", "", "BENCH_kernel.json baseline to regression-check the kernel micro-benchmarks against (exit 1 on >25% ns/op regression; silently skipped when the file is missing)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
-	if err := run(*expName, *seed, *size, *quick, *csv, *jsonOut, *baseline, *quiet); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matchbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "matchbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	err := run(*expName, *seed, *size, *quick, *csv, *jsonOut, *baseline, *quiet, *compare)
+
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr == nil {
+			runtime.GC() // materialise only live heap in the profile
+			ferr = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "matchbench: memprofile: %v\n", ferr)
+		}
+	}
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "matchbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -70,7 +110,7 @@ func sweepConfig(seed uint64, quick, quiet bool) exp.SweepConfig {
 	return cfg
 }
 
-func run(expName string, seed uint64, size int, quick, csv, jsonOut bool, baseline int64, quiet bool) error {
+func run(expName string, seed uint64, size int, quick, csv, jsonOut bool, baseline int64, quiet bool, compare string) error {
 	show := func(t *exp.Table) {
 		if csv {
 			fmt.Print(t.CSV())
@@ -80,7 +120,10 @@ func run(expName string, seed uint64, size int, quick, csv, jsonOut bool, baseli
 	}
 
 	if expName == "kernel" {
-		return runKernel(seed, quick, jsonOut, baseline, quiet)
+		return runKernel(seed, quick, jsonOut, baseline, quiet, compare)
+	}
+	if expName == "scale" {
+		return runScale(seed, quick, jsonOut, quiet)
 	}
 
 	needsSweep := map[string]bool{"table1": true, "table2": true, "fig7": true, "fig8": true, "fig9": true, "all": true}
@@ -291,7 +334,7 @@ func run(expName string, seed uint64, size int, quick, csv, jsonOut bool, baseli
 		ran = true
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of table1 table2 table3 fig3 fig7 fig8 fig9 kernel %s baselines overset simcheck scaling convergence all)",
+		return fmt.Errorf("unknown experiment %q (want one of table1 table2 table3 fig3 fig7 fig8 fig9 kernel scale %s baselines overset simcheck scaling convergence all)",
 			expName, strings.Join([]string{"ablation-rho", "ablation-zeta", "ablation-samples", "ablation-workers", "ablation-selection", "ablation-warmstart"}, " "))
 	}
 	return nil

@@ -9,6 +9,7 @@
 //
 //	matchd [-listen 127.0.0.1:8080] [-queue 64] [-workers N]
 //	       [-cache 128] [-checkpoint-dir DIR] [-trace FILE]
+//	       [-pprof 127.0.0.1:6060]
 //
 // See the README's "Running matchd" section for the API walkthrough.
 package main
@@ -22,6 +23,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +51,7 @@ func run(args []string, stdout io.Writer) error {
 		checkpointDir = fs.String("checkpoint-dir", "", "directory for shutdown checkpoints (empty disables persistence)")
 		traceFile     = fs.String("trace", "", "append every job's trace events to this JSONL file")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for running jobs on shutdown")
+		pprofAddr     = fs.String("pprof", "", "serve net/http/pprof on this side address (empty disables; keep it loopback-only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +81,30 @@ func run(args []string, stdout io.Writer) error {
 		logger.Printf("restore: %v (restored %d jobs anyway)", err, restored)
 	} else if restored > 0 {
 		logger.Printf("restored %d checkpointed job(s) from %s", restored, *checkpointDir)
+	}
+
+	if *pprofAddr != "" {
+		// The profiler gets its own listener and mux so the job API's
+		// handler (and its auth posture) never exposes the debug
+		// endpoints. Best-effort: profiling must not take the service
+		// down, so serve errors only log.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+		defer pln.Close()
 	}
 
 	// Listen before announcing readiness so -listen :0 reports the real

@@ -24,10 +24,12 @@
 // floor(rho*N) samples: gamma_k is the rho-quantile of scores in the
 // improving direction. EXPERIMENTS.md records the discrepancy.
 //
-// Sampling and scoring fan out across a worker pool; each worker owns a
-// split RNG stream and reusable solution buffers, so results are
-// deterministic for a fixed (seed, worker count) pair and the hot loop
-// does not allocate.
+// Sampling and scoring run on a persistent work-stealing pool (see
+// samplePool): Workers long-lived goroutines claim small work units from
+// an atomic cursor, and every unit's RNG stream is keyed to (seed,
+// iteration, unit index), so results are deterministic for a fixed seed
+// regardless of the worker count or the stealing schedule, and the hot
+// loop does not allocate.
 package ce
 
 import (
@@ -36,7 +38,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 )
 import "matchsim/internal/xrand"
 
@@ -79,6 +80,28 @@ type SampleScorer[S any] interface {
 	SampleScore(rng *xrand.RNG, dst S) (float64, error)
 }
 
+// GammaPruner is the optional score-pruning extension of the fused path.
+// A Problem that also implements it (alongside SampleScorer) accepts the
+// previous iteration's elite threshold and may cut a draw's scoring short
+// once the score provably cannot reach the threshold. Contract:
+//
+//   - dst must still receive a complete draw consuming exactly the RNG
+//     stream an unpruned call would (sampling is never cut short, only
+//     the score accumulation), so the sample sequence is unchanged.
+//   - A pruned draw's reported score must be the run direction's worst
+//     infinity (+Inf when minimising), and its true score must provably
+//     be strictly worse than the installed gamma.
+//   - Unpruned draws score exactly as without pruning.
+//
+// Run installs gamma_k after each Update and, when an iteration's elite
+// boundary could reach into pruned draws (gamma_{k+1} may exceed
+// gamma_k), re-scores the pinned draws exactly via Score — so the elite
+// sets, telemetry gamma/best, and final mapping are identical to an
+// unpruned run. Config.UnprunedScoring disables the whole mechanism.
+type GammaPruner interface {
+	SetPruneGamma(gamma float64)
+}
+
 // Config tunes one CE run. Zero-valued fields take the documented
 // defaults via (*Config).withDefaults.
 type Config struct {
@@ -105,9 +128,10 @@ type Config struct {
 	// MaxIterations caps the loop regardless of convergence; default 1000.
 	MaxIterations int
 	// Workers sets the sampling/scoring parallelism; default GOMAXPROCS.
-	// Workers = 1 gives a fully sequential run.
+	// Workers = 1 gives a fully sequential run. The worker count does not
+	// affect results: RNG streams are keyed to work units, not workers.
 	Workers int
-	// Seed makes the run deterministic together with Workers.
+	// Seed makes the run deterministic (for any Workers value).
 	Seed uint64
 	// Minimize selects the optimisation direction; MaTCH minimises.
 	Minimize bool
@@ -116,6 +140,11 @@ type Config struct {
 	// and for A/B-testing the fused path; both paths consume identical
 	// RNG streams and must produce identical results.
 	UnfusedScoring bool
+	// UnprunedScoring disables gamma-pruned scoring even when the problem
+	// implements GammaPruner. Pruning never changes results (see
+	// GammaPruner), so this exists as an escape hatch and for
+	// A/B-benchmarking the pruned path.
+	UnprunedScoring bool
 	// Context, when non-nil, cancels the run: workers poll it while
 	// sampling and the loop checks it at iteration boundaries, so a
 	// cancelled run stops within (at most) one iteration. If at least one
@@ -170,15 +199,21 @@ func (c Config) validate() error {
 	return nil
 }
 
-// IterStats is per-iteration telemetry.
+// IterStats is per-iteration telemetry. When gamma pruning is active,
+// Worst and Mean are computed over the unpruned draws only (pruned draws
+// have no exact score to aggregate); Gamma, Best and BestSoFar are always
+// exact and identical to an unpruned run's.
 type IterStats struct {
 	Iter       int
 	Gamma      float64 // elite threshold gamma_k
 	Best       float64 // best score this iteration
-	Worst      float64 // worst score this iteration
-	Mean       float64 // mean score this iteration
+	Worst      float64 // worst (unpruned) score this iteration
+	Mean       float64 // mean (unpruned) score this iteration
 	BestSoFar  float64
 	EliteCount int
+	// Pruned counts the draws whose scoring was cut short by the gamma
+	// threshold this iteration (before any rescue re-scoring).
+	Pruned int
 }
 
 // StopReason explains why a run ended.
@@ -231,11 +266,16 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 	if eliteCount < 1 {
 		eliteCount = 1
 	}
-
-	root := xrand.New(cfg.Seed)
-	workerRNGs := make([]*xrand.RNG, cfg.Workers)
-	for w := range workerRNGs {
-		workerRNGs[w] = root.Split()
+	// The pruning threshold is the 2*eliteCount quantile, not gamma itself:
+	// iteration-to-iteration noise in how many draws land under the old
+	// gamma (~±sqrt(eliteCount)) would otherwise leave the elite boundary
+	// inside the pruned mass almost every iteration, forcing the exact
+	// rescue re-scoring that pruning is meant to avoid. The 2x headroom
+	// makes rescue a rare safety net while still pruning everything worse
+	// than the previous iteration's ~2*rho quantile.
+	pruneCount := 2 * eliteCount
+	if pruneCount > n {
+		pruneCount = n
 	}
 
 	res := Result[S]{Best: p.NewSolution()}
@@ -253,9 +293,20 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 	}
 
 	// Fused fast path: if the problem can sample and score in one pass,
-	// use it unless explicitly disabled.
+	// use it unless explicitly disabled. Gamma pruning rides on the fused
+	// path only — the unfused path scores materialised solutions exactly.
 	sampleScorer, _ := any(p).(SampleScorer[S])
 	fused := sampleScorer != nil && !cfg.UnfusedScoring
+	if !fused {
+		sampleScorer = nil
+	}
+	pruner, _ := any(p).(GammaPruner)
+	usePrune := fused && pruner != nil && !cfg.UnprunedScoring
+	// The sentinel score a pruned draw reports: the direction's worst value.
+	prunedSentinel := math.Inf(1)
+	if !cfg.Minimize {
+		prunedSentinel = math.Inf(-1)
+	}
 
 	ctx := cfg.Context
 	if ctx == nil {
@@ -272,95 +323,86 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 		return res, nil
 	}
 
+	pool := newSamplePool(p, sampleScorer, cfg.Workers, cfg.Seed, solutions, scores, done)
+	defer pool.close()
+
 	var (
 		prevGamma  float64
 		stallRuns  int
 		haveGamma  bool
-		sampleErrs = make([]error, cfg.Workers)
+		pruneGamma float64 // last threshold handed to the pruner
 	)
 
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
 		if ctx.Err() != nil {
 			return cancelled()
 		}
-		// Fan out: each worker samples and scores a contiguous chunk.
-		var wg sync.WaitGroup
-		chunk := (n + cfg.Workers - 1) / cfg.Workers
-		for w := 0; w < cfg.Workers; w++ {
-			lo := w * chunk
-			if lo >= n {
-				break
-			}
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				rng := workerRNGs[w]
-				if fused {
-					for i := lo; i < hi; i++ {
-						if i&63 == 0 {
-							select {
-							case <-done:
-								return
-							default:
-							}
-						}
-						score, err := sampleScorer.SampleScore(rng, solutions[i])
-						if err != nil {
-							sampleErrs[w] = err
-							return
-						}
-						scores[i] = score
-					}
-					return
-				}
-				for i := lo; i < hi; i++ {
-					if i&63 == 0 {
-						select {
-						case <-done:
-							return
-						default:
-						}
-					}
-					if err := p.Sample(rng, solutions[i]); err != nil {
-						sampleErrs[w] = err
-						return
-					}
-					scores[i] = p.Score(solutions[i])
-				}
-			}(w, lo, hi)
-		}
-		wg.Wait()
+		pool.runIteration(iter)
 		if ctx.Err() != nil {
 			// The iteration's sample set may be torn; discard it and fall
 			// back on the incumbent from completed iterations.
 			return cancelled()
 		}
-		for _, err := range sampleErrs {
-			if err != nil {
-				return zero, fmt.Errorf("ce: sampling failed at iteration %d: %w", iter, err)
-			}
+		if err := pool.firstErr(); err != nil {
+			return zero, fmt.Errorf("ce: sampling failed at iteration %d: %w", iter, err)
 		}
 		res.Evaluations += int64(n)
 
-		// Extract the elite by partial selection: only the best eliteCount
-		// samples ever need ranking, so a full sort of all N scores is
-		// wasted work. Worst and mean come from one streaming pass.
+		// Gamma-pruned draws carry the sentinel score. Pruning is only
+		// sound against gamma_k if the elite threshold never rises — but
+		// gamma_{k+1} > gamma_k is possible, so check whether enough draws
+		// scored within the *old* threshold to pin down the new elite; if
+		// not, the boundary could reach into pruned draws and they are
+		// re-scored exactly (the draws themselves are always complete).
+		prunedCount := 0
+		if usePrune {
+			for _, s := range scores {
+				if s == prunedSentinel {
+					prunedCount++
+				}
+			}
+			if prunedCount > 0 {
+				within := 0
+				for _, s := range scores {
+					if s != prunedSentinel && !better(pruneGamma, s) {
+						within++
+					}
+				}
+				if within < eliteCount {
+					for i, s := range scores {
+						if s == prunedSentinel {
+							scores[i] = p.Score(solutions[i])
+						}
+					}
+				}
+			}
+		}
+
+		// Extract the elite by partial selection: only the best pruneCount
+		// (>= eliteCount) samples ever need ranking, so a full sort of all
+		// N scores is wasted work. Worst and mean come from one streaming
+		// pass over the unpruned draws.
+		selCount := eliteCount
+		if usePrune {
+			selCount = pruneCount
+		}
 		for i := range order {
 			order[i] = i
 		}
-		SelectElite(order, scores, eliteCount, cfg.Minimize)
+		SelectElite(order, scores, selCount, cfg.Minimize)
 
-		worst := scores[0]
+		worst := scores[order[0]]
 		total := 0.0
+		scored := 0
 		for _, s := range scores {
+			if usePrune && s == prunedSentinel {
+				continue
+			}
 			if better(worst, s) {
 				worst = s
 			}
 			total += s
+			scored++
 		}
 
 		gamma := scores[order[eliteCount-1]]
@@ -370,7 +412,8 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 			Best:       scores[order[0]],
 			Worst:      worst,
 			EliteCount: eliteCount,
-			Mean:       total / float64(n),
+			Mean:       total / float64(scored),
+			Pruned:     prunedCount,
 		}
 
 		if better(scores[order[0]], res.BestScore) {
@@ -396,6 +439,15 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 		}
 		if err := p.Update(elite, zeta); err != nil {
 			return zero, fmt.Errorf("ce: parameter update failed at iteration %d: %w", iter, err)
+		}
+		if usePrune {
+			// Install the loosened threshold (see pruneCount above). If even
+			// the pruneCount-th best is a pruned sentinel, pruning over-fired
+			// this iteration; installing the sentinel (+/-Inf) disables
+			// pruning for the next iteration, which re-scores everything
+			// exactly and self-corrects the threshold after that.
+			pruneGamma = scores[order[selCount-1]]
+			pruner.SetPruneGamma(pruneGamma)
 		}
 
 		if cfg.OnIteration != nil {

@@ -19,7 +19,9 @@ type PermutationProblem struct {
 	n        int
 	p        *stochmat.Matrix
 	q        *stochmat.Matrix
-	cdf      *stochmat.RowCDF // prefix sums of p for the fast sampler
+	cdf      *stochmat.RowCDF     // prefix sums of p for the fallback sampler
+	alias    *stochmat.AliasTable // O(1) row draws for the rejection fast path
+	counts   []float64            // Update scratch: elite assignment frequencies
 	score    func([]int) float64
 	samplers sync.Pool
 	// DegenerateThresh: converged when every row's maximum exceeds it.
@@ -43,6 +45,8 @@ func NewPermutationProblem(n int, score func([]int) float64) (*PermutationProble
 		DegenerateThresh: 0.95,
 	}
 	pp.cdf = stochmat.NewRowCDF(pp.p)
+	pp.alias = stochmat.NewAliasTable(pp.p)
+	pp.counts = make([]float64, n*n)
 	pp.samplers.New = func() any { return stochmat.NewSampler(n) }
 	return pp, nil
 }
@@ -56,11 +60,12 @@ func (pp *PermutationProblem) NewSolution() []int { return make([]int, pp.n) }
 // Copy implements Problem.
 func (pp *PermutationProblem) Copy(dst, src []int) { copy(dst, src) }
 
-// Sample implements Problem via GenPerm, using the CDF-accelerated
-// sampler (the prefix-sum table is rebuilt after every Update).
+// Sample implements Problem via GenPerm, using the alias-accelerated
+// sampler (the alias and prefix-sum tables are rebuilt after every
+// Update).
 func (pp *PermutationProblem) Sample(rng *xrand.RNG, dst []int) error {
 	s := pp.samplers.Get().(*stochmat.Sampler)
-	err := s.SamplePermutationFast(pp.p, pp.cdf, rng, dst, nil)
+	err := s.SamplePermutationFast(pp.p, pp.cdf, pp.alias, rng, dst, nil)
 	pp.samplers.Put(s)
 	return err
 }
@@ -74,7 +79,10 @@ func (pp *PermutationProblem) Update(elite [][]int, zeta float64) error {
 	if len(elite) == 0 {
 		return fmt.Errorf("ce: empty elite set")
 	}
-	counts := make([]float64, pp.n*pp.n)
+	counts := pp.counts
+	for i := range counts {
+		counts[i] = 0
+	}
 	inv := 1 / float64(len(elite))
 	for _, perm := range elite {
 		for i, j := range perm {
@@ -90,6 +98,7 @@ func (pp *PermutationProblem) Update(elite [][]int, zeta float64) error {
 		return err
 	}
 	pp.cdf.Rebuild(pp.p)
+	pp.alias.Rebuild(pp.p)
 	return nil
 }
 

@@ -1,0 +1,153 @@
+package ce
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"matchsim/internal/xrand"
+)
+
+// unitDraws is the work-unit granularity of the sampling runtime: workers
+// claim batches of this many consecutive draws from an atomic cursor. The
+// unit is deliberately small — the hybrid rejection sampler's cost varies
+// wildly between draws as rows degenerate (a draw resolving through the
+// compact fallback costs O(n) per task, one resolving by rejection O(1)),
+// so large static chunks leave workers idle at every iteration barrier.
+// Per-unit overhead (one atomic add, one keyed reseed, one cancellation
+// poll) is tens of nanoseconds against tens of microseconds of sampling.
+const unitDraws = 32
+
+// samplePool is the persistent work-stealing runtime behind Run: Workers
+// long-lived goroutines spawned once per run, fed one iteration at a time.
+// Within an iteration each worker claims work units (unitDraws consecutive
+// draw slots) from an atomic cursor until the iteration is exhausted —
+// dynamic stealing instead of static contiguous chunks.
+//
+// Determinism does not depend on the stealing schedule: the RNG stream of
+// every unit is keyed to (run seed, iteration, unit index) via
+// xrand.ReseedKeyed, and results land in slots keyed to the draw index.
+// Any worker claiming any unit in any order therefore produces the same
+// samples, which also makes runs reproducible across *different* worker
+// counts — a strictly stronger guarantee than the per-(seed, workers)
+// reproducibility of the earlier static-chunk runtime.
+type samplePool[S any] struct {
+	problem   Problem[S]
+	scorer    SampleScorer[S] // nil on the unfused path
+	seed      uint64
+	solutions []S
+	scores    []float64
+	done      <-chan struct{}
+
+	numUnits int
+	iter     uint64       // written by the main loop before release; read by workers
+	cursor   atomic.Int64 // next unclaimed unit of the current iteration
+	errs     []error      // first sampling error per worker goroutine
+
+	tokens chan struct{} // one token per worker per iteration; closed to stop
+	wg     sync.WaitGroup
+}
+
+// newSamplePool spawns the worker goroutines. Callers must stop the pool
+// with close() (idempotent via sync.Once is unnecessary — Run owns it).
+func newSamplePool[S any](p Problem[S], scorer SampleScorer[S], workers int, seed uint64, solutions []S, scores []float64, done <-chan struct{}) *samplePool[S] {
+	n := len(scores)
+	pl := &samplePool[S]{
+		problem:   p,
+		scorer:    scorer,
+		seed:      seed,
+		solutions: solutions,
+		scores:    scores,
+		done:      done,
+		numUnits:  (n + unitDraws - 1) / unitDraws,
+		errs:      make([]error, workers),
+		tokens:    make(chan struct{}, workers),
+	}
+	for w := 0; w < workers; w++ {
+		go pl.worker(w)
+	}
+	return pl
+}
+
+// worker is one long-lived sampling goroutine. Consuming a token admits it
+// to the current iteration; it then drains units until the cursor runs
+// out. Token accounting is per-iteration, not per-goroutine: if a fast
+// worker consumes two of an iteration's tokens (its second admission finds
+// no units left) the WaitGroup still balances, so the barrier is correct
+// under any scheduling.
+func (pl *samplePool[S]) worker(w int) {
+	rng := &xrand.RNG{} // reseeded per unit; zero state never drawn from
+	for range pl.tokens {
+		pl.drainIteration(w, rng)
+		pl.wg.Done()
+	}
+}
+
+// drainIteration claims and processes units until the iteration is done,
+// the context is cancelled, or sampling fails.
+func (pl *samplePool[S]) drainIteration(w int, rng *xrand.RNG) {
+	n := len(pl.scores)
+	for {
+		u := pl.cursor.Add(1) - 1
+		if u >= int64(pl.numUnits) {
+			return
+		}
+		select {
+		case <-pl.done:
+			return
+		default:
+		}
+		rng.ReseedKeyed(pl.seed, pl.iter, uint64(u))
+		lo := int(u) * unitDraws
+		hi := lo + unitDraws
+		if hi > n {
+			hi = n
+		}
+		if pl.scorer != nil {
+			for i := lo; i < hi; i++ {
+				score, err := pl.scorer.SampleScore(rng, pl.solutions[i])
+				if err != nil {
+					pl.errs[w] = err
+					return
+				}
+				pl.scores[i] = score
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				if err := pl.problem.Sample(rng, pl.solutions[i]); err != nil {
+					pl.errs[w] = err
+					return
+				}
+				pl.scores[i] = pl.problem.Score(pl.solutions[i])
+			}
+		}
+	}
+}
+
+// runIteration samples and scores all draw slots for iteration iter,
+// blocking until the barrier completes. The token sends happen-before the
+// workers' reads of pl.iter, and the workers' slot writes happen-before
+// wg.Wait returns, so no other synchronisation is needed.
+func (pl *samplePool[S]) runIteration(iter int) {
+	workers := cap(pl.tokens)
+	pl.iter = uint64(iter)
+	pl.cursor.Store(0)
+	pl.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		pl.tokens <- struct{}{}
+	}
+	pl.wg.Wait()
+}
+
+// firstErr returns the first worker error of the last iteration, if any.
+func (pl *samplePool[S]) firstErr() error {
+	for _, err := range pl.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// close stops the worker goroutines. The pool must be idle (no iteration
+// in flight).
+func (pl *samplePool[S]) close() { close(pl.tokens) }

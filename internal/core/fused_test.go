@@ -31,7 +31,11 @@ func TestSolveFusedUnfusedBitIdentical(t *testing.T) {
 		workers int
 	}{{7, 1}, {3, 4}} {
 		eval := fusedTestEval(t, 42, 16)
-		opts := Options{Seed: c.seed, Workers: c.workers, MaxIterations: 80}
+		// Pruning is disabled on both arms: the unfused path always scores
+		// exactly, so Worst/Mean (aggregated over unpruned draws only) would
+		// legitimately differ. TestSolvePrunedUnprunedInvariant covers the
+		// pruned path's guarantees.
+		opts := Options{Seed: c.seed, Workers: c.workers, MaxIterations: 80, UnprunedScoring: true}
 
 		fused, err := Solve(eval, opts)
 		if err != nil {
@@ -66,43 +70,97 @@ func TestSolveFusedUnfusedBitIdentical(t *testing.T) {
 	}
 }
 
-// TestSolveDeterminismPinned pins complete runs for fixed (seed, workers)
-// pairs. Any change to the sampling order, RNG consumption, elite
-// selection, score accumulation, or smoothing arithmetic shows up here as
-// a changed execution time, iteration count, or mapping. The values were
-// recorded from the fused path; the unfused path must reproduce them too
-// (see TestSolveFusedUnfusedBitIdentical).
+// TestSolvePrunedUnprunedInvariant: gamma pruning is a pure strength
+// reduction — it skips provably-over-threshold score accumulation and the
+// CE loop rescues any draw the elite boundary could reach — so the entire
+// search trajectory (gamma sequence, per-iteration best, elite-driven
+// updates, final mapping, stop) must be identical with pruning on or off.
+// Only Worst/Mean may differ (aggregated over unpruned draws only) and
+// Pruned must actually fire, or the optimisation is dead code.
+func TestSolvePrunedUnprunedInvariant(t *testing.T) {
+	for _, c := range []struct {
+		seed    uint64
+		workers int
+	}{{7, 1}, {3, 4}, {11, 3}} {
+		eval := fusedTestEval(t, 42, 16)
+		opts := Options{Seed: c.seed, Workers: c.workers, MaxIterations: 80}
+		pruned, err := Solve(eval, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.UnprunedScoring = true
+		exact, err := Solve(eval, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pruned.Exec != exact.Exec || !equalInts(pruned.Mapping, exact.Mapping) {
+			t.Fatalf("seed=%d workers=%d: pruned %v %v != unpruned %v %v",
+				c.seed, c.workers, pruned.Exec, pruned.Mapping, exact.Exec, exact.Mapping)
+		}
+		if pruned.Iterations != exact.Iterations || pruned.StopReason != exact.StopReason {
+			t.Fatalf("seed=%d workers=%d: trajectory diverges: %d/%s vs %d/%s",
+				c.seed, c.workers, pruned.Iterations, pruned.StopReason,
+				exact.Iterations, exact.StopReason)
+		}
+		totalPruned := 0
+		for i := range pruned.History {
+			a, b := pruned.History[i], exact.History[i]
+			if a.Gamma != b.Gamma || a.Best != b.Best || a.BestSoFar != b.BestSoFar {
+				t.Fatalf("seed=%d workers=%d iteration %d: search stats diverge: %+v vs %+v",
+					c.seed, c.workers, i, a, b)
+			}
+			if b.Pruned != 0 {
+				t.Fatalf("iteration %d: unpruned run reports %d pruned draws", i, b.Pruned)
+			}
+			totalPruned += a.Pruned
+		}
+		if totalPruned == 0 {
+			t.Fatalf("seed=%d workers=%d: pruning never fired", c.seed, c.workers)
+		}
+	}
+}
+
+// TestSolveDeterminismPinned pins complete runs for fixed seeds. Any
+// change to the sampling order, RNG consumption, elite selection, score
+// accumulation, or smoothing arithmetic shows up here as a changed
+// execution time, iteration count, or mapping. Since the work-stealing
+// runtime keys RNG streams to (seed, iteration, work unit) rather than to
+// workers, every worker count must reproduce the same pinned run — each
+// case is checked at two counts. The values were recorded from the fused
+// pruned path; the unfused and unpruned paths must reproduce them too
+// (see the invariance tests above).
 func TestSolveDeterminismPinned(t *testing.T) {
 	cases := []struct {
 		seed     uint64
-		workers  int
 		wantExec float64
 		wantIter int
 		wantStop string
 		wantMap  []int
 	}{
-		{7, 1, 6494, 43, "distribution-converged",
-			[]int{12, 6, 3, 0, 5, 15, 1, 8, 11, 2, 10, 7, 9, 14, 4, 13}},
-		{3, 4, 6448, 44, "distribution-converged",
-			[]int{0, 7, 5, 12, 13, 6, 4, 3, 15, 1, 10, 2, 11, 8, 9, 14}},
+		{7, 6432, 49, "distribution-converged",
+			[]int{0, 13, 5, 12, 10, 14, 4, 8, 15, 1, 3, 2, 11, 7, 9, 6}},
+		{3, 6621, 46, "distribution-converged",
+			[]int{2, 15, 3, 11, 9, 6, 10, 14, 5, 0, 4, 13, 1, 7, 12, 8}},
 	}
 	for _, c := range cases {
-		eval := fusedTestEval(t, 42, 16)
-		res, err := Solve(eval, Options{Seed: c.seed, Workers: c.workers, MaxIterations: 80})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.Exec != c.wantExec {
-			t.Errorf("seed=%d workers=%d: exec %v, want %v", c.seed, c.workers, res.Exec, c.wantExec)
-		}
-		if res.Iterations != c.wantIter {
-			t.Errorf("seed=%d workers=%d: iterations %d, want %d", c.seed, c.workers, res.Iterations, c.wantIter)
-		}
-		if string(res.StopReason) != c.wantStop {
-			t.Errorf("seed=%d workers=%d: stop %s, want %s", c.seed, c.workers, res.StopReason, c.wantStop)
-		}
-		if !equalInts(res.Mapping, c.wantMap) {
-			t.Errorf("seed=%d workers=%d: mapping %v, want %v", c.seed, c.workers, res.Mapping, c.wantMap)
+		for _, workers := range []int{1, 4} {
+			eval := fusedTestEval(t, 42, 16)
+			res, err := Solve(eval, Options{Seed: c.seed, Workers: workers, MaxIterations: 80})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Exec != c.wantExec {
+				t.Errorf("seed=%d workers=%d: exec %v, want %v", c.seed, workers, res.Exec, c.wantExec)
+			}
+			if res.Iterations != c.wantIter {
+				t.Errorf("seed=%d workers=%d: iterations %d, want %d", c.seed, workers, res.Iterations, c.wantIter)
+			}
+			if string(res.StopReason) != c.wantStop {
+				t.Errorf("seed=%d workers=%d: stop %s, want %s", c.seed, workers, res.StopReason, c.wantStop)
+			}
+			if !equalInts(res.Mapping, c.wantMap) {
+				t.Errorf("seed=%d workers=%d: mapping %v, want %v", c.seed, workers, res.Mapping, c.wantMap)
+			}
 		}
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -39,17 +40,18 @@ func ManyToOne(eval *cost.Evaluator, opts Options) (*Result, error) {
 		}
 	}
 	cfg := ce.Config{
-		SampleSize:     opts.SampleSize,
-		Rho:            opts.Rho,
-		Zeta:           opts.Zeta,
-		StallWindow:    opts.GammaStallWindow,
-		MaxIterations:  opts.MaxIterations,
-		Workers:        opts.Workers,
-		Seed:           opts.Seed,
-		Minimize:       true,
-		UnfusedScoring: opts.UnfusedScoring,
-		Context:        opts.Context,
-		OnIteration:    opts.OnIteration,
+		SampleSize:      opts.SampleSize,
+		Rho:             opts.Rho,
+		Zeta:            opts.Zeta,
+		StallWindow:     opts.GammaStallWindow,
+		MaxIterations:   opts.MaxIterations,
+		Workers:         opts.Workers,
+		Seed:            opts.Seed,
+		Minimize:        true,
+		UnfusedScoring:  opts.UnfusedScoring,
+		UnprunedScoring: opts.UnprunedScoring,
+		Context:         opts.Context,
+		OnIteration:     opts.OnIteration,
 	}
 
 	start := time.Now()
@@ -87,9 +89,15 @@ type manyToOneProblem struct {
 	resources int
 	p         *stochmat.Matrix
 	q         *stochmat.Matrix
-	cdf       *stochmat.RowCDF // per-row prefix sums, rebuilt with p
+	cdf       *stochmat.RowCDF     // per-row prefix sums, rebuilt with p
+	alias     *stochmat.AliasTable // O(1) row draws, rebuilt with p
+	counts    []float64            // Update scratch: elite assignment frequencies
 	scratch   sync.Pool
-	fused     sync.Pool // *fusedState (sampler unused; scorer + bound Place)
+	fused     sync.Pool // *fusedState (sampler unused; edge-sweep scorer)
+
+	// pruneGamma is the fused scorers' pruning threshold (+Inf disables);
+	// see problem.pruneGamma.
+	pruneGamma float64
 
 	stallC     int
 	prevArgmax []int
@@ -111,8 +119,11 @@ func newManyToOneProblem(eval *cost.Evaluator, stallC, snapshotEvery int) *manyT
 		stallC:        stallC,
 		snapshotEvery: snapshotEvery,
 		prevArgmax:    make([]int, tasks),
+		counts:        make([]float64, tasks*resources),
+		pruneGamma:    math.Inf(1),
 	}
 	pr.cdf = stochmat.NewRowCDF(pr.p)
+	pr.alias = stochmat.NewAliasTable(pr.p)
 	for i := range pr.prevArgmax {
 		pr.prevArgmax[i] = -1
 	}
@@ -121,9 +132,7 @@ func newManyToOneProblem(eval *cost.Evaluator, stallC, snapshotEvery int) *manyT
 		return &buf
 	}
 	pr.fused.New = func() any {
-		fs := &fusedState{scorer: cost.NewStreamScorer(eval)}
-		fs.place = fs.scorer.Place
-		return fs
+		return &fusedState{scorer: cost.NewStreamScorer(eval)}
 	}
 	if snapshotEvery > 0 {
 		pr.snapshots = append(pr.snapshots, Snapshot{Iter: 0, Matrix: pr.p.Clone()})
@@ -158,6 +167,7 @@ func (pr *manyToOneProblem) applyWarmStart(warm cost.Mapping, bias float64) erro
 		pr.snapshots[0] = Snapshot{Iter: 0, Matrix: pr.p.Clone()}
 	}
 	pr.cdf.Rebuild(pr.p)
+	pr.alias.Rebuild(pr.p)
 	return nil
 }
 
@@ -166,28 +176,15 @@ func (pr *manyToOneProblem) NewSolution() []int { return make([]int, pr.tasks) }
 func (pr *manyToOneProblem) Copy(dst, src []int) { copy(dst, src) }
 
 // sampleInto draws each task's resource independently from its row — the
-// unconstrained generation of eq. (8) — as one inverse-CDF binary search
-// per task over the shared prefix-sum table (O(log |Vr|) instead of the
-// linear roulette walk). onAssign, when non-nil, observes each placement;
-// the fused path hooks the streaming scorer there. Both the fused and
-// unfused paths route through this helper, so they consume identical RNG
-// streams.
+// unconstrained generation of eq. (8) — as one O(1) alias-table draw per
+// task (one uniform variate each; no search, no clamping: zero-weight
+// columns carry no slot mass, and a degenerate zero-mass row degrades to
+// a uniform draw by the table's construction). onAssign, when non-nil,
+// observes each placement. Both the fused and unfused paths route through
+// this helper, so they consume identical RNG streams.
 func (pr *manyToOneProblem) sampleInto(rng *xrand.RNG, dst []int, onAssign func(task, col int)) {
 	for task := 0; task < pr.tasks; task++ {
-		row := pr.cdf.Row(task)
-		total := row[pr.resources-1]
-		x := rng.Float64() * total
-		choice := pr.cdf.SearchRow(task, x)
-		if choice >= pr.resources {
-			// Rounding pushed x to (or past) the row total: clamp to the
-			// last positive-probability column, as the linear walk does.
-			for j := pr.resources - 1; j >= 0; j-- {
-				if pr.p.At(task, j) > 0 {
-					choice = j
-					break
-				}
-			}
-		}
+		choice := pr.alias.Sample(task, rng)
 		dst[task] = choice
 		if onAssign != nil {
 			onAssign(task, choice)
@@ -201,16 +198,20 @@ func (pr *manyToOneProblem) Sample(rng *xrand.RNG, dst []int) error {
 	return nil
 }
 
-// SampleScore implements ce.SampleScorer: the makespan accumulates while
-// the mapping is drawn, so scoring needs no second pass.
+// SampleScore implements ce.SampleScorer: draw the mapping, then score it
+// with one gamma-pruned edge-list sweep (see the permutation problem's
+// SampleScore for the rationale).
 func (pr *manyToOneProblem) SampleScore(rng *xrand.RNG, dst []int) (float64, error) {
 	fs := pr.fused.Get().(*fusedState)
-	fs.scorer.Reset()
-	pr.sampleInto(rng, dst, fs.place)
-	score := fs.scorer.Makespan()
+	fs.scorer.SetGamma(pr.pruneGamma)
+	pr.sampleInto(rng, dst, nil)
+	score := fs.scorer.ScoreMapping(dst)
 	pr.fused.Put(fs)
 	return score, nil
 }
+
+// SetPruneGamma implements ce.GammaPruner.
+func (pr *manyToOneProblem) SetPruneGamma(gamma float64) { pr.pruneGamma = gamma }
 
 func (pr *manyToOneProblem) Score(m []int) float64 {
 	buf := pr.scratch.Get().(*[]float64)
@@ -224,7 +225,10 @@ func (pr *manyToOneProblem) Update(elite [][]int, zeta float64) error {
 		return fmt.Errorf("core: empty elite set")
 	}
 	pr.iter++
-	counts := make([]float64, pr.tasks*pr.resources)
+	counts := pr.counts
+	for i := range counts {
+		counts[i] = 0
+	}
 	inv := 1 / float64(len(elite))
 	for _, m := range elite {
 		for task, res := range m {
@@ -240,6 +244,7 @@ func (pr *manyToOneProblem) Update(elite [][]int, zeta float64) error {
 		return err
 	}
 	pr.cdf.Rebuild(pr.p)
+	pr.alias.Rebuild(pr.p)
 	stable := true
 	for i := 0; i < pr.tasks; i++ {
 		col, _ := pr.p.MaxRow(i)

@@ -27,6 +27,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -88,6 +89,14 @@ type Options struct {
 	// paths draw from identical RNG streams and produce identical results;
 	// the switch exists for A/B benchmarking and as an escape hatch.
 	UnfusedScoring bool
+	// UnprunedScoring disables gamma-pruned scoring on the fused path.
+	// Pruning cuts a draw's cost accumulation short once the makespan
+	// provably exceeds the previous iteration's elite threshold; the CE
+	// loop re-scores any draw the elite boundary could reach, so elite
+	// sets, telemetry and the final mapping are identical either way (see
+	// ce.GammaPruner). The switch exists for A/B benchmarking and as an
+	// escape hatch.
+	UnprunedScoring bool
 	// Context, when non-nil, cancels the run: the CE loop stops within at
 	// most one iteration of cancellation. If at least one iteration
 	// completed, Solve returns the best-so-far Result with StopReason
@@ -162,11 +171,22 @@ type problem struct {
 	p    *stochmat.Matrix
 	q    *stochmat.Matrix // elite counts buffer, reused each iteration
 
-	// cdf caches per-row prefix sums of p for the fast GenPerm sampler.
-	// It is rebuilt after every mutation of p (all of which happen on a
+	// cdf and alias cache per-row lookup tables of p for the fast GenPerm
+	// sampler: the alias table serves the O(1) rejection fast path, the
+	// prefix-sum table the compact fallback and external CDF consumers.
+	// Both are rebuilt after every mutation of p (all of which happen on a
 	// single goroutine between sampling phases) and read concurrently by
 	// the sampling workers.
-	cdf *stochmat.RowCDF
+	cdf   *stochmat.RowCDF
+	alias *stochmat.AliasTable
+
+	counts []float64 // Update scratch: elite assignment frequencies
+
+	// pruneGamma is the elite threshold the fused scorers prune against
+	// (+Inf disables). Written by ce.Run between iterations via
+	// SetPruneGamma, read by the sampling workers; the pool's iteration
+	// barrier orders the accesses.
+	pruneGamma float64
 
 	samplers sync.Pool // *stochmat.Sampler, for the unfused Sample path
 	scratch  sync.Pool // *[]float64 load buffers, for the unfused Score path
@@ -184,13 +204,11 @@ type problem struct {
 }
 
 // fusedState is the per-goroutine scratch of the fused sample-and-score
-// path: the GenPerm sampler, the streaming cost accumulator it feeds, and
-// the pre-bound Place callback (bound once at construction so the hot
-// loop does not allocate a method value per draw).
+// path: the GenPerm sampler and the gamma-pruning scorer that evaluates
+// each finished draw with a single edge-list sweep.
 type fusedState struct {
 	sampler *stochmat.Sampler
 	scorer  *cost.StreamScorer
-	place   func(task, col int)
 }
 
 func newProblem(eval *cost.Evaluator, stallC, snapshotEvery int) *problem {
@@ -203,8 +221,11 @@ func newProblem(eval *cost.Evaluator, stallC, snapshotEvery int) *problem {
 		stallC:        stallC,
 		snapshotEvery: snapshotEvery,
 		prevArgmax:    make([]int, n),
+		counts:        make([]float64, n*n),
+		pruneGamma:    math.Inf(1),
 	}
 	pr.cdf = stochmat.NewRowCDF(pr.p)
+	pr.alias = stochmat.NewAliasTable(pr.p)
 	for i := range pr.prevArgmax {
 		pr.prevArgmax[i] = -1
 	}
@@ -214,12 +235,10 @@ func newProblem(eval *cost.Evaluator, stallC, snapshotEvery int) *problem {
 		return &buf
 	}
 	pr.fused.New = func() any {
-		fs := &fusedState{
+		return &fusedState{
 			sampler: stochmat.NewSampler(n),
 			scorer:  cost.NewStreamScorer(eval),
 		}
-		fs.place = fs.scorer.Place
-		return fs
 	}
 	if snapshotEvery > 0 {
 		pr.snapshots = append(pr.snapshots, Snapshot{Iter: 0, Matrix: pr.p.Clone()})
@@ -227,9 +246,13 @@ func newProblem(eval *cost.Evaluator, stallC, snapshotEvery int) *problem {
 	return pr
 }
 
-// refreshCDF re-derives the sampler's prefix-sum table after p changed.
-// Callers must ensure no sampling worker is running concurrently.
-func (pr *problem) refreshCDF() { pr.cdf.Rebuild(pr.p) }
+// refreshCDF re-derives the sampler's lookup tables (prefix sums and
+// alias) after p changed. Callers must ensure no sampling worker is
+// running concurrently.
+func (pr *problem) refreshCDF() {
+	pr.cdf.Rebuild(pr.p)
+	pr.alias.Rebuild(pr.p)
+}
 
 // applyWarmStart re-initialises P_0 with bias mass on the warm mapping's
 // columns: p_ij = bias + (1-bias)/n for j = warm[i], (1-bias)/n otherwise.
@@ -269,31 +292,38 @@ func (pr *problem) NewSolution() []int { return make([]int, pr.n) }
 func (pr *problem) Copy(dst, src []int) { copy(dst, src) }
 
 // Sample implements ce.Problem: one GenPerm draw from the current matrix.
-// It uses the same CDF-based fast sampler as SampleScore so the fused and
-// unfused paths consume identical RNG streams and stay bit-for-bit
-// interchangeable.
+// It uses the same alias-accelerated fast sampler as SampleScore so the
+// fused and unfused paths consume identical RNG streams and stay
+// bit-for-bit interchangeable.
 func (pr *problem) Sample(rng *xrand.RNG, dst []int) error {
 	s := pr.samplers.Get().(*stochmat.Sampler)
-	err := s.SamplePermutationFast(pr.p, pr.cdf, rng, dst, nil)
+	err := s.SamplePermutationFast(pr.p, pr.cdf, pr.alias, rng, dst, nil)
 	pr.samplers.Put(s)
 	return err
 }
 
-// SampleScore implements ce.SampleScorer: one GenPerm draw whose makespan
-// is accumulated while the permutation is built — each assignment charges
-// its compute time and the edges to already-placed neighbours — so no
-// second pass over the mapping (or the TIG) is needed.
+// SampleScore implements ce.SampleScorer: one GenPerm draw scored in
+// place by a single gamma-pruned edge-list sweep (cost.ScoreMapping) —
+// each TIG edge is touched exactly once, half the memory traffic of a
+// placement-order adjacency walk, and provably over-threshold draws
+// return PrunedScore early. Sampling itself always runs to completion so
+// the RNG stream is identical with pruning on or off (see ce.GammaPruner).
 func (pr *problem) SampleScore(rng *xrand.RNG, dst []int) (float64, error) {
 	fs := pr.fused.Get().(*fusedState)
-	fs.scorer.Reset()
-	err := fs.sampler.SamplePermutationFast(pr.p, pr.cdf, rng, dst, fs.place)
-	score := fs.scorer.Makespan()
+	fs.scorer.SetGamma(pr.pruneGamma)
+	err := fs.sampler.SamplePermutationFast(pr.p, pr.cdf, pr.alias, rng, dst, nil)
+	score := fs.scorer.ScoreMapping(dst)
 	pr.fused.Put(fs)
 	if err != nil {
 		return 0, err
 	}
 	return score, nil
 }
+
+// SetPruneGamma implements ce.GammaPruner: install the elite threshold the
+// fused scorers prune against from the next iteration on. Called from the
+// CE loop's single-threaded update phase.
+func (pr *problem) SetPruneGamma(gamma float64) { pr.pruneGamma = gamma }
 
 // Score implements ce.Problem: the application execution time.
 func (pr *problem) Score(m []int) float64 {
@@ -312,20 +342,21 @@ func (pr *problem) Update(elite [][]int, zeta float64) error {
 	}
 	pr.iter++
 	// q_ij = (# elite with X_i = j) / |elite|. Each elite mapping assigns
-	// every task exactly once, so rows of Q sum to 1 by construction.
-	counts := make([][]float64, pr.n)
-	rowBuf := make([]float64, pr.n*pr.n)
+	// every task exactly once, so rows of Q sum to 1 by construction. The
+	// counts buffer is reused across iterations; at n = 256 the old
+	// per-iteration allocation was a 512 KiB garbage churn per update.
+	counts := pr.counts
 	for i := range counts {
-		counts[i] = rowBuf[i*pr.n : (i+1)*pr.n]
+		counts[i] = 0
 	}
 	inv := 1 / float64(len(elite))
 	for _, m := range elite {
 		for task, res := range m {
-			counts[task][res] += inv
+			counts[task*pr.n+res] += inv
 		}
 	}
 	for i := 0; i < pr.n; i++ {
-		if err := pr.q.SetRow(i, counts[i]); err != nil {
+		if err := pr.q.SetRow(i, counts[i*pr.n:(i+1)*pr.n]); err != nil {
 			return fmt.Errorf("core: update row %d: %w", i, err)
 		}
 	}
@@ -388,17 +419,18 @@ func solveFromProblem(eval *cost.Evaluator, opts Options, init func(*problem) er
 		}
 	}
 	cfg := ce.Config{
-		SampleSize:     opts.SampleSize,
-		Rho:            opts.Rho,
-		Zeta:           opts.Zeta,
-		StallWindow:    opts.GammaStallWindow,
-		MaxIterations:  opts.MaxIterations,
-		Workers:        opts.Workers,
-		Seed:           opts.Seed,
-		Minimize:       true,
-		UnfusedScoring: opts.UnfusedScoring,
-		Context:        opts.Context,
-		OnIteration:    opts.OnIteration,
+		SampleSize:      opts.SampleSize,
+		Rho:             opts.Rho,
+		Zeta:            opts.Zeta,
+		StallWindow:     opts.GammaStallWindow,
+		MaxIterations:   opts.MaxIterations,
+		Workers:         opts.Workers,
+		Seed:            opts.Seed,
+		Minimize:        true,
+		UnfusedScoring:  opts.UnfusedScoring,
+		UnprunedScoring: opts.UnprunedScoring,
+		Context:         opts.Context,
+		OnIteration:     opts.OnIteration,
 	}
 
 	start := time.Now()

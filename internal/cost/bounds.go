@@ -32,15 +32,8 @@ func LowerBound(e *Evaluator) float64 {
 	}
 	lb1 := 0.0 // total cheapest compute spread perfectly
 	lb2 := 0.0 // heaviest task on its cheapest resource
-	minCompute := make([]float64, e.n)
-	for t := 0; t < e.n; t++ {
-		best := math.Inf(1)
-		for s := 0; s < e.r; s++ {
-			if v := e.tcp[t*e.r+s]; v < best {
-				best = v
-			}
-		}
-		minCompute[t] = best
+	minCompute := PerTaskMinCompute(e)
+	for _, best := range minCompute {
 		lb1 += best
 		if best > lb2 {
 			lb2 = best
@@ -71,6 +64,25 @@ func LowerBound(e *Evaluator) float64 {
 		}
 	}
 	return math.Max(lb1, math.Max(lb2, lb3))
+}
+
+// PerTaskMinCompute returns min_s Tcp[t][s] for every task t — the
+// cheapest possible compute charge each task adds to *some* resource under
+// any mapping. It is the per-task floor all three LowerBound relaxations
+// build on, exported separately so the gamma-pruned streaming scorer can
+// derive its remaining-work bound from the same quantity.
+func PerTaskMinCompute(e *Evaluator) []float64 {
+	minCompute := make([]float64, e.n)
+	for t := 0; t < e.n; t++ {
+		best := math.Inf(1)
+		for s := 0; s < e.r; s++ {
+			if v := e.tcp[t*e.r+s]; v < best {
+				best = v
+			}
+		}
+		minCompute[t] = best
+	}
+	return minCompute
 }
 
 // ManyToOneLowerBound returns a lower bound valid when several tasks may

@@ -1,6 +1,10 @@
 package cost
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"sort"
+)
 
 // StreamScorer accumulates the execution-time model of eqs. (1)-(2)
 // *while a mapping is being constructed*: as each task is placed on a
@@ -29,6 +33,29 @@ import "fmt"
 // A StreamScorer holds per-goroutine scratch state: create one per worker
 // (or pool them) and Reset it before each draw. Not safe for concurrent
 // use.
+//
+// # Gamma pruning
+//
+// SetGamma installs an elite threshold: once the partial accumulation
+// *proves* the final makespan must exceed it, Place stops accumulating
+// (the edge scans of all remaining placements are skipped) and Makespan
+// returns PrunedScore instead of the true value. Two sound tests drive
+// the proof, both monotone under the model's non-negative charges:
+//
+//  1. Busiest-resource test: the just-placed resource's running load
+//     already exceeds gamma — checked once per placement. Floating-point
+//     safe as-is — later non-negative adds cannot shrink a rounded sum,
+//     so the final load is >= the partial.
+//  2. Remaining-work test (the LB1 relaxation of bounds.LowerBound): the
+//     total charge so far plus the smallest possible compute of the
+//     still-unplaced tasks, spread perfectly over all resources, exceeds
+//     gamma. Guarded by a relative slack so accumulated rounding error
+//     can never prune a sample whose true score ties the threshold.
+//
+// Both tests prove "final makespan > gamma", so a pruned sample can never
+// enter an elite set thresholded at gamma; callers that need exact scores
+// for pruned draws (the CE rescue path) re-score the materialised mapping.
+// The zero threshold state (+Inf) disables pruning entirely.
 type StreamScorer struct {
 	eval *Evaluator
 
@@ -43,7 +70,32 @@ type StreamScorer struct {
 	// placedRes[t] is the resource of task t in the current draw, or the
 	// sentinel r while t is unplaced.
 	placedRes []int
+
+	// Gamma-pruning state. gamma is +Inf when pruning is disabled.
+	gamma     float64
+	pruned    bool
+	placedCnt int
+	totalLoad float64 // sum of all charges so far (compute + both comm halves)
+	// minTail[k] is a lower bound on the total compute the n-k tasks still
+	// unplaced after k placements must add: the sum of the n-k smallest
+	// per-task minimum compute times (bounds.PerTaskMinCompute), built
+	// lazily on the first SetGamma with a finite threshold.
+	minTail []float64
+	invR    float64
 }
+
+// PrunedScore is the pinned score Makespan reports for a draw whose true
+// makespan was proven to exceed the installed gamma threshold. It compares
+// worse than every real score, so pruned samples sort after all exact ones.
+var PrunedScore = math.Inf(1)
+
+// pruneSlack is the relative safety margin of the remaining-work test: the
+// bound must exceed gamma by this fraction before pruning. It dominates
+// the worst-case relative rounding error of the O(n^2)-term accumulation
+// (~n^2 * 2^-52), so a sample whose exact score equals gamma is never
+// mispruned; for the paper's integer-weight instances any true gap is
+// >= 1, which the slack never masks.
+const pruneSlack = 1e-9
 
 // NewStreamScorer returns a scorer for mappings evaluated by e.
 func NewStreamScorer(e *Evaluator) *StreamScorer {
@@ -52,6 +104,8 @@ func NewStreamScorer(e *Evaluator) *StreamScorer {
 		loads:     make([]float64, e.r+1),
 		linkPad:   make([]float64, e.r*(e.r+1)),
 		placedRes: make([]int, e.n),
+		gamma:     math.Inf(1),
+		invR:      1 / float64(e.r),
 	}
 	for s := 0; s < e.r; s++ {
 		copy(ss.linkPad[s*(e.r+1):s*(e.r+1)+e.r], e.link[s*e.r:(s+1)*e.r])
@@ -62,7 +116,30 @@ func NewStreamScorer(e *Evaluator) *StreamScorer {
 	return ss
 }
 
-// Reset prepares the scorer for a new draw.
+// SetGamma installs the pruning threshold (see the type comment); +Inf
+// disables pruning. It applies from the next Reset onwards.
+func (ss *StreamScorer) SetGamma(gamma float64) {
+	ss.gamma = gamma
+	if !math.IsInf(gamma, 1) && ss.minTail == nil {
+		minCompute := PerTaskMinCompute(ss.eval)
+		sort.Float64s(minCompute)
+		// minTail[k] = sum of the (n-k) smallest entries; minTail[n] = 0.
+		tail := make([]float64, ss.eval.n+1)
+		acc := 0.0
+		for i, v := range minCompute {
+			acc += v
+			tail[ss.eval.n-1-i] = acc
+		}
+		ss.minTail = tail
+	}
+}
+
+// Pruned reports whether the current draw was cut short by the gamma
+// threshold.
+func (ss *StreamScorer) Pruned() bool { return ss.pruned }
+
+// Reset prepares the scorer for a new draw. The gamma threshold persists
+// across draws; only per-draw accumulation state clears.
 func (ss *StreamScorer) Reset() {
 	for i := range ss.loads {
 		ss.loads[i] = 0
@@ -71,14 +148,21 @@ func (ss *StreamScorer) Reset() {
 	for i := range ss.placedRes {
 		ss.placedRes[i] = r
 	}
+	ss.pruned = false
+	ss.placedCnt = 0
+	ss.totalLoad = 0
 }
 
 // Place records that task t has been assigned to resource s, charging
 // t's compute time to s and, for every already-placed neighbour, the
 // edge's communication time to both endpoints' resources (eq. 1). Cost is
-// O(deg(t)). Placing the same task twice in one draw is a caller bug and
-// double-counts; the CE samplers assign each task exactly once.
+// O(deg(t)) — or O(1) once the draw has been gamma-pruned. Placing the
+// same task twice in one draw is a caller bug and double-counts; the CE
+// samplers assign each task exactly once.
 func (ss *StreamScorer) Place(t, s int) {
+	if ss.pruned {
+		return
+	}
 	e := ss.eval
 	loads := ss.loads
 	placed := ss.placedRes
@@ -87,24 +171,73 @@ func (ss *StreamScorer) Place(t, s int) {
 	// Accumulate this resource's share in a register; a neighbour hosted
 	// on s itself contributes exactly zero (the diagonal), so the single
 	// write-back at the end observes the same addition order.
-	ls := loads[s] + e.tcp[t*e.r+s]
-	for _, nb := range e.tig.Neighbors(t) {
+	oldLs := loads[s]
+	tcp := e.tcp[t*e.r+s]
+	// Two accumulators break the floating-point add dependency chain:
+	// consecutive edge charges land in alternating registers, so the adds
+	// overlap instead of serialising on FP latency. Each accumulator sums
+	// integer-exact terms on the paper generator's instances, so the split
+	// leaves those scores bit-identical; float instances stay within the
+	// few-ULP envelope the type comment documents.
+	ls0 := oldLs + tcp
+	ls1 := 0.0
+	nbs := e.tig.Neighbors(t)
+	i := 0
+	for ; i+1 < len(nbs); i += 2 {
+		nb0, nb1 := nbs[i], nbs[i+1]
+		// b == r (unplaced): linkRow[r] is the zero pad column, and
+		// the charge lands in the loads[r] spill slot.
+		b0 := placed[nb0.To]
+		b1 := placed[nb1.To]
+		c0 := nb0.Weight * linkRow[b0]
+		c1 := nb1.Weight * linkRow[b1]
+		ls0 += c0
+		loads[b0] += c0
+		ls1 += c1
+		loads[b1] += c1
+	}
+	if i < len(nbs) {
+		nb := nbs[i]
 		b := placed[nb.To]
-		// b == r (unplaced): linkRow[r] is the zero pad column, and the
-		// charge lands in the loads[r] spill slot.
 		c := nb.Weight * linkRow[b]
-		ls += c
+		ls0 += c
 		loads[b] += c
 	}
+	ls := ls0 + ls1
 	loads[s] = ls
 	placed[t] = s
+	gamma := ss.gamma
+	if math.IsInf(gamma, 1) {
+		return
+	}
+	ss.placedCnt++
+	// Busiest-resource test on the placed resource. (Checking far
+	// endpoints per edge is not worth its inner-loop branch: on the paper
+	// instances loads grow near-linearly, so over-gamma draws only become
+	// provably so in the last few placements either way.)
+	if ls > gamma {
+		ss.pruned = true
+		return
+	}
+	// delta = compute + this task's half of the new comm charges; the
+	// far halves double the comm term. Spill-slot charges are exact
+	// zeros, so they do not inflate the total.
+	delta := ls - oldLs
+	ss.totalLoad += 2*delta - tcp
+	if (ss.totalLoad+ss.minTail[ss.placedCnt])*ss.invR > gamma*(1+pruneSlack) {
+		ss.pruned = true
+	}
 }
 
 // Makespan returns Exec(M) for the placements made since the last Reset:
-// one O(|Vr|) scan of the accumulated loads. With every task placed it
-// equals Evaluator.Exec of the same mapping (exactly so for integer-
-// weight instances; see the type comment).
+// one O(|Vr|) scan of the accumulated loads — or PrunedScore when the
+// draw was gamma-pruned (the true makespan provably exceeds the
+// threshold). With every task placed it equals Evaluator.Exec of the same
+// mapping (exactly so for integer-weight instances; see the type comment).
 func (ss *StreamScorer) Makespan() float64 {
+	if ss.pruned {
+		return PrunedScore
+	}
 	maxLoad := 0.0
 	for _, l := range ss.loads[:ss.eval.r] {
 		if l > maxLoad {
@@ -112,6 +245,101 @@ func (ss *StreamScorer) Makespan() float64 {
 		}
 	}
 	return maxLoad
+}
+
+// ScoreMapping scores a complete mapping in one pass: compute charges in
+// task order, then a single sweep over the edge list — each edge is
+// touched once, versus twice for Place's placement-order adjacency walk
+// (where an edge's first visit always multiplies by the zero pad column).
+// On the CE hot path the permutation is fully known by scoring time, so
+// this sweep does the same floating-point additions as Evaluator.Loads in
+// the same order (co-located edges add an exact 0.0 through the link
+// diagonal instead of branching) and the result is bit-identical to
+// ExecInto on every instance.
+//
+// The installed gamma threshold prunes the sweep at block granularity:
+// after every pruneBlockEdges edges the current busiest load is scanned,
+// and since loads only grow, a scan exceeding gamma proves the final
+// makespan does — PrunedScore is returned and the remaining blocks are
+// skipped. Every over-threshold mapping is caught (the last scan sees the
+// final loads), the per-edge loop body carries no extra compare, and the
+// accumulation is identical with pruning on or off. ScoreMapping is
+// independent of the streaming Reset/Place protocol and sets only the
+// Pruned flag.
+func (ss *StreamScorer) ScoreMapping(m []int) float64 {
+	e := ss.eval
+	loads := ss.loads[:e.r]
+	for i := range loads {
+		loads[i] = 0
+	}
+	ss.pruned = false
+	r := e.r
+	for t, s := range m {
+		loads[s] += e.tcp[t*r+s]
+	}
+	gamma := ss.gamma
+	link := e.link
+	edges := e.edges
+	// Scans only make sense once enough charge has accumulated for a
+	// crossing to be provable: on near-threshold draws (the common case —
+	// gamma is an elite quantile of the same distribution) loads grow
+	// roughly linearly, so crossings cluster in the sweep's tail.
+	scanFrom := len(edges) - len(edges)/4
+	if math.IsInf(gamma, 1) {
+		scanFrom = len(edges) // never scan mid-sweep
+	}
+	for base := 0; base < len(edges); {
+		end := base + pruneBlockEdges
+		if end > len(edges) {
+			end = len(edges)
+		}
+		for _, edge := range edges[base:end] {
+			su, sv := m[edge.u], m[edge.v]
+			// Co-located: the link diagonal is zero, so both adds are
+			// exact no-ops — same sums as the branchy formulation.
+			c := edge.w * link[su*r+sv]
+			loads[su] += c
+			loads[sv] += c
+		}
+		base = end
+		if base >= scanFrom && base < len(edges) {
+			if maxLoads(loads) > gamma {
+				ss.pruned = true
+				return PrunedScore
+			}
+		}
+	}
+	maxLoad := maxLoads(loads)
+	if ss.gamma < maxLoad { // false when gamma is +Inf
+		ss.pruned = true
+		return PrunedScore
+	}
+	return maxLoad
+}
+
+// pruneBlockEdges is ScoreMapping's gamma-check granularity: edges per
+// block between busiest-load scans. Large enough that the O(|Vr|) scans
+// add only a few percent to the sweep, small enough that a crossing near
+// the end of the walk still skips some tail work.
+const pruneBlockEdges = 256
+
+// maxLoads is a branch-free four-lane max reduction: the builtin max
+// lowers to hardware max instructions, and four accumulators break the
+// latency chain a single running maximum would serialise every element
+// behind.
+func maxLoads(loads []float64) float64 {
+	var m0, m1, m2, m3 float64
+	i := 0
+	for ; i+3 < len(loads); i += 4 {
+		m0 = max(m0, loads[i])
+		m1 = max(m1, loads[i+1])
+		m2 = max(m2, loads[i+2])
+		m3 = max(m3, loads[i+3])
+	}
+	for ; i < len(loads); i++ {
+		m0 = max(m0, loads[i])
+	}
+	return max(max(m0, m1), max(m2, m3))
 }
 
 // Score is the convenience one-shot form: Reset, Place every task of m in

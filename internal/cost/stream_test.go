@@ -2,6 +2,7 @@ package cost
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"matchsim/internal/gen"
@@ -285,6 +286,126 @@ func BenchmarkStreamScore64(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := ss.Score(m); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestScoreMappingBitIdenticalToExec: the edge-list sweep performs the
+// same float64 additions in the same order as Evaluator.Loads (co-located
+// edges add an exact 0.0 through the link diagonal instead of branching),
+// so with pruning disabled its score must be bit-identical to ExecInto on
+// every instance — arbitrary float weights included, a strictly stronger
+// guarantee than the placement-order accumulator's 1e-9 agreement.
+func TestScoreMappingBitIdenticalToExec(t *testing.T) {
+	rng := xrand.New(41)
+	for _, n := range []int{4, 16, 64} {
+		e := randomFloatInstance(t, rng, n, n)
+		ss := NewStreamScorer(e)
+		scratch := make([]float64, n)
+		for trial := 0; trial < 100; trial++ {
+			m := randomPermutation(rng, n)
+			got := ss.ScoreMapping(m)
+			if want := e.ExecInto(m, scratch); got != want {
+				t.Fatalf("n=%d bijective trial %d: sweep %v != exec %v (must be bit-identical)", n, trial, got, want)
+			}
+			if ss.Pruned() {
+				t.Fatalf("n=%d trial %d: pruned with gamma disabled", n, trial)
+			}
+		}
+		r := n/2 + 1
+		e2 := randomFloatInstance(t, rng, n, r)
+		ss2 := NewStreamScorer(e2)
+		scratch2 := make([]float64, r)
+		for trial := 0; trial < 100; trial++ {
+			m := randomManyToOne(rng, n, r)
+			got := ss2.ScoreMapping(m)
+			if want := e2.ExecInto(m, scratch2); got != want {
+				t.Fatalf("n=%d many-to-one trial %d: sweep %v != exec %v", n, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestScoreMappingPruning: with a finite gamma every strictly-over-
+// threshold mapping must come back as PrunedScore with the Pruned flag
+// set, and every mapping at or under gamma must come back exactly — the
+// same bits as the unpruned sweep, since pruning must not perturb the
+// accumulation it observes.
+func TestScoreMappingPruning(t *testing.T) {
+	rng := xrand.New(42)
+	e := randomFloatInstance(t, rng, 48, 48)
+	exact := NewStreamScorer(e)
+	pruned := NewStreamScorer(e)
+
+	const trials = 200
+	maps := make([]Mapping, trials)
+	scores := make([]float64, trials)
+	for i := range maps {
+		maps[i] = randomPermutation(rng, 48)
+		scores[i] = exact.ScoreMapping(maps[i])
+	}
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	gamma := sorted[trials/2] // median: both outcomes well populated
+
+	pruned.SetGamma(gamma)
+	kept, cut := 0, 0
+	for i, m := range maps {
+		got := pruned.ScoreMapping(m)
+		if scores[i] > gamma {
+			cut++
+			if got != PrunedScore || !pruned.Pruned() {
+				t.Fatalf("trial %d: score %v > gamma %v but not pruned (got %v)", i, scores[i], gamma, got)
+			}
+		} else {
+			kept++
+			if got != scores[i] {
+				t.Fatalf("trial %d: score %v <= gamma %v must return exactly, got %v", i, scores[i], gamma, got)
+			}
+			if pruned.Pruned() {
+				t.Fatalf("trial %d: under-threshold draw flagged pruned", i)
+			}
+		}
+	}
+	if kept == 0 || cut == 0 {
+		t.Fatalf("degenerate split: %d kept, %d cut", kept, cut)
+	}
+
+	// The boundary case: gamma equal to a mapping's exact score must not
+	// prune it (the test is strict >).
+	for i, m := range maps {
+		pruned.SetGamma(scores[i])
+		if got := pruned.ScoreMapping(m); got != scores[i] {
+			t.Fatalf("trial %d: gamma == score %v was pruned (got %v)", i, scores[i], got)
+		}
+		break
+	}
+}
+
+// TestScoreMappingPrunedScoresStayExactOnRescore: a pruned draw re-scored
+// with pruning disabled (the CE rescue path) recovers the exact value.
+func TestScoreMappingPrunedScoresStayExactOnRescore(t *testing.T) {
+	rng := xrand.New(43)
+	inst, err := gen.PaperInstance(6, 32, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := NewStreamScorer(e)
+	scratch := make([]float64, 32)
+	for trial := 0; trial < 50; trial++ {
+		m := randomPermutation(rng, 32)
+		want := e.ExecInto(m, scratch)
+		ss.SetGamma(want - 1) // integer weights: strictly below the score
+		if got := ss.ScoreMapping(m); got != PrunedScore {
+			t.Fatalf("trial %d: gamma below score did not prune (got %v)", trial, got)
+		}
+		ss.SetGamma(math.Inf(1))
+		if got := ss.ScoreMapping(m); got != want {
+			t.Fatalf("trial %d: rescore %v != exact %v", trial, got, want)
 		}
 	}
 }

@@ -30,6 +30,7 @@ func (m *Manager) solve(ctx context.Context, j *job, onIter func(matchsim.Iterat
 			Workers:          o.Workers,
 			Seed:             o.Seed,
 			Polish:           o.Polish,
+			UnprunedScoring:  o.UnprunedScoring,
 			Context:          ctx,
 			OnIteration:      onIter,
 		}
@@ -48,6 +49,7 @@ func (m *Manager) solve(ctx context.Context, j *job, onIter func(matchsim.Iterat
 			MaxIterations:    o.MaxIterations,
 			Workers:          o.Workers,
 			Seed:             o.Seed,
+			UnprunedScoring:  o.UnprunedScoring,
 			Context:          ctx,
 			OnIteration:      onIter,
 		})

@@ -1,0 +1,159 @@
+package stochmat
+
+import (
+	"fmt"
+
+	"matchsim/internal/xrand"
+)
+
+// AliasTable holds a Walker/Vose alias structure for every row of a
+// Matrix, giving O(1) categorical draws from the full (unmasked) row
+// distribution — the fast path of the GenPerm rejection sampler, replacing
+// the O(log n) binary search over RowCDF. Like RowCDF it is rebuilt once
+// per CE iteration (after the eq. 13 smoothing update) and then read
+// concurrently by every sampling worker; the O(n) per-row build is
+// amortised over the N = 2n^2 draws of the iteration.
+//
+// Each draw consumes exactly one uniform variate: the integer part of
+// u = U[0,1) * cols picks a slot, the fractional part decides between the
+// slot's own column and its alias. Columns with zero probability receive
+// zero slot mass and are never aliased to, so they are never drawn.
+//
+// The alias method resolves the same distribution as the inverse-CDF
+// search but maps uniform variates to columns differently, so switching a
+// sampler between the two changes its draw stream (not its distribution);
+// see the package EXPERIMENTS notes on seed-stream compatibility.
+type AliasTable struct {
+	rows, cols int
+	slots      []aliasSlot // slots[i*cols+j]: slot j of row i
+	total      []float64   // per-row weight totals (for degenerate-row detection)
+
+	// build scratch, reused across Rebuild calls.
+	scaled []float64
+	small  []int32
+	large  []int32
+}
+
+// aliasSlot packs a slot's acceptance threshold and fallback column into
+// 16 bytes, so a draw's threshold compare and (on rejection) alias lookup
+// touch one cache line instead of two separate arrays.
+type aliasSlot struct {
+	prob  float64
+	alias int32
+	_     int32
+}
+
+// NewAliasTable builds the alias structure of m.
+func NewAliasTable(m *Matrix) *AliasTable {
+	a := &AliasTable{}
+	a.Rebuild(m)
+	return a
+}
+
+// Rows returns the number of rows.
+func (a *AliasTable) Rows() int { return a.rows }
+
+// Cols returns the number of columns.
+func (a *AliasTable) Cols() int { return a.cols }
+
+// RowTotal returns the total weight of row i as accumulated during the
+// build — the same left-to-right sum the CDF path's last prefix entry
+// holds, used to detect (numerically) empty rows.
+func (a *AliasTable) RowTotal(i int) float64 { return a.total[i] }
+
+// Rebuild refreshes the table from m, reallocating only on shape change.
+// It must not run concurrently with readers; the CE loop calls it from the
+// single-threaded Update step, right after RowCDF.Rebuild.
+func (a *AliasTable) Rebuild(m *Matrix) {
+	if a.rows != m.rows || a.cols != m.cols {
+		a.rows, a.cols = m.rows, m.cols
+		a.slots = make([]aliasSlot, m.rows*m.cols)
+		a.total = make([]float64, m.rows)
+		a.scaled = make([]float64, m.cols)
+		a.small = make([]int32, 0, m.cols)
+		a.large = make([]int32, 0, m.cols)
+	}
+	for i := 0; i < m.rows; i++ {
+		a.buildRow(i, m.Row(i))
+	}
+}
+
+// buildRow runs Vose's construction for one row. The small/large worklists
+// are processed in ascending-column order, so the table (and therefore
+// every draw stream) is deterministic for given row data.
+func (a *AliasTable) buildRow(i int, row []float64) {
+	n := a.cols
+	slots := a.slots[i*n : (i+1)*n]
+
+	total := 0.0
+	for _, v := range row {
+		total += v
+	}
+	a.total[i] = total
+	if total <= 0 {
+		// Degenerate row: samplers detect this via RowTotal and fall back
+		// to a uniform draw, but keep the table well-formed regardless.
+		for j := 0; j < n; j++ {
+			slots[j] = aliasSlot{prob: 1, alias: int32(j)}
+		}
+		return
+	}
+
+	scaled := a.scaled[:n]
+	small := a.small[:0]
+	large := a.large[:0]
+	scale := float64(n) / total
+	for j, v := range row {
+		scaled[j] = v * scale
+		if scaled[j] < 1 {
+			small = append(small, int32(j))
+		} else {
+			large = append(large, int32(j))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		slots[s] = aliasSlot{prob: scaled[s], alias: l}
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers hold (up to rounding) exactly unit mass: they always accept.
+	for _, l := range large {
+		slots[l] = aliasSlot{prob: 1, alias: l}
+	}
+	for _, s := range small {
+		slots[s] = aliasSlot{prob: 1, alias: s}
+	}
+	a.small = small[:0]
+	a.large = large[:0]
+}
+
+// Sample draws one column from row i's distribution using a single
+// uniform variate. Zero-weight columns are never returned (their slots
+// carry zero acceptance mass and no alias points at them).
+func (a *AliasTable) Sample(i int, rng *xrand.RNG) int {
+	base := i * a.cols
+	u := rng.Float64() * float64(a.cols)
+	j := int(u)
+	if j >= a.cols { // unreachable for cols < 2^52, kept as a cheap guard
+		j = a.cols - 1
+	}
+	slot := a.slots[base+j]
+	if u-float64(j) < slot.prob {
+		return j
+	}
+	return int(slot.alias)
+}
+
+// checkShape validates the table against a matrix it is expected to mirror.
+func (a *AliasTable) checkShape(m *Matrix) error {
+	if a.rows != m.rows || a.cols != m.cols {
+		return fmt.Errorf("stochmat: alias table shape %dx%d for matrix %dx%d", a.rows, a.cols, m.rows, m.cols)
+	}
+	return nil
+}

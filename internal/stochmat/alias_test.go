@@ -1,0 +1,131 @@
+package stochmat
+
+import (
+	"math"
+	"testing"
+
+	"matchsim/internal/xrand"
+)
+
+// TestAliasSampleFrequencies: alias draws must follow each row's
+// distribution. 20k draws per row against a 3-sigma binomial tolerance —
+// loose enough to never flake on a fixed seed, tight enough that a wrong
+// table (swapped alias, unnormalised probs) fails by a wide margin.
+func TestAliasSampleFrequencies(t *testing.T) {
+	m, err := NewFromRows([][]float64{
+		{1, 2, 3, 4},
+		{10, 0, 0, 1},
+		{1, 1, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := NewAliasTable(m)
+	rng := xrand.New(99)
+	const draws = 20000
+	for i := 0; i < m.Rows(); i++ {
+		counts := make([]int, m.Cols())
+		for k := 0; k < draws; k++ {
+			counts[at.Sample(i, rng)]++
+		}
+		for j := 0; j < m.Cols(); j++ {
+			p := m.At(i, j)
+			want := p * draws
+			// 3 sigma of Binomial(draws, p), plus 1 for the p=0 case.
+			tol := 3*math.Sqrt(draws*p*(1-p)) + 1
+			if diff := math.Abs(float64(counts[j]) - want); diff > tol {
+				t.Errorf("row %d col %d: %d draws, want %.0f±%.0f", i, j, counts[j], want, tol)
+			}
+		}
+	}
+}
+
+// TestAliasZeroWeightNeverDrawn: zero-probability columns receive no slot
+// mass and no alias points at them, so they must never come out — the
+// property SamplePermutationFast's inlined alias path relies on when it
+// skips the row-weight re-check.
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	m, err := NewFromRows([][]float64{{5, 0, 3, 0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := NewAliasTable(m)
+	rng := xrand.New(7)
+	for k := 0; k < 50000; k++ {
+		if j := at.Sample(0, rng); j == 1 || j == 3 {
+			t.Fatalf("draw %d returned zero-weight column %d", k, j)
+		}
+	}
+}
+
+// TestAliasDeterministicStream: the build is deterministic for given row
+// data, so two tables over the same matrix must produce identical draw
+// sequences from identically seeded RNGs.
+func TestAliasDeterministicStream(t *testing.T) {
+	m := NewUniform(6, 6)
+	a1, a2 := NewAliasTable(m), NewAliasTable(m)
+	r1, r2 := xrand.New(5), xrand.New(5)
+	for k := 0; k < 1000; k++ {
+		row := k % 6
+		if x, y := a1.Sample(row, r1), a2.Sample(row, r2); x != y {
+			t.Fatalf("draw %d: %d vs %d", k, x, y)
+		}
+	}
+}
+
+// TestAliasDegenerateRow: a zero-mass row keeps a well-formed table
+// (uniform draws) and reports RowTotal 0 so samplers can detect it.
+func TestAliasDegenerateRow(t *testing.T) {
+	m := NewUniform(2, 4)
+	zero := m.Row(1)
+	for j := range zero {
+		zero[j] = 0
+	}
+	at := NewAliasTable(m)
+	if at.RowTotal(1) != 0 {
+		t.Fatalf("degenerate row total %v, want 0", at.RowTotal(1))
+	}
+	if at.RowTotal(0) <= 0 {
+		t.Fatalf("live row total %v, want > 0", at.RowTotal(0))
+	}
+	rng := xrand.New(3)
+	seen := make(map[int]bool)
+	for k := 0; k < 1000; k++ {
+		j := at.Sample(1, rng)
+		if j < 0 || j >= 4 {
+			t.Fatalf("degenerate row drew out-of-range column %d", j)
+		}
+		seen[j] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("degenerate row draws covered %d/4 columns", len(seen))
+	}
+}
+
+// TestAliasRebuildShapeChange: Rebuild must follow the matrix across a
+// shape change and keep draws in the new range.
+func TestAliasRebuildShapeChange(t *testing.T) {
+	at := NewAliasTable(NewUniform(3, 3))
+	big := NewUniform(8, 8)
+	at.Rebuild(big)
+	if at.Rows() != 8 || at.Cols() != 8 {
+		t.Fatalf("shape %dx%d after rebuild, want 8x8", at.Rows(), at.Cols())
+	}
+	rng := xrand.New(11)
+	for k := 0; k < 500; k++ {
+		if j := at.Sample(k%8, rng); j < 0 || j >= 8 {
+			t.Fatalf("out-of-range draw %d", j)
+		}
+	}
+}
+
+// TestAliasRebuildNoAllocSameShape: the per-iteration Rebuild on the CE
+// hot path must reuse its buffers when the shape is unchanged.
+func TestAliasRebuildNoAllocSameShape(t *testing.T) {
+	m := NewUniform(32, 32)
+	at := NewAliasTable(m)
+	allocs := testing.AllocsPerRun(50, func() { at.Rebuild(m) })
+	if allocs != 0 {
+		t.Fatalf("Rebuild allocates %.1f objects/op at fixed shape, want 0", allocs)
+	}
+}

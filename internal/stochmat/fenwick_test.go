@@ -199,13 +199,13 @@ func TestFastSamplerValidAndDeterministic(t *testing.T) {
 			sa, sb := NewSampler(n), NewSampler(n)
 			da, db := make([]int, n), make([]int, n)
 			for draw := 0; draw < 100; draw++ {
-				if err := sa.SamplePermutationFast(m, cdf, rngA, da, nil); err != nil {
+				if err := sa.SamplePermutationFast(m, cdf, nil, rngA, da, nil); err != nil {
 					t.Fatal(err)
 				}
 				if !isPermutation(da) {
 					t.Fatalf("n=%d %s draw %d: not a permutation: %v", n, name, draw, da)
 				}
-				if err := sb.SamplePermutationFast(m, cdf, rngB, db, nil); err != nil {
+				if err := sb.SamplePermutationFast(m, cdf, nil, rngB, db, nil); err != nil {
 					t.Fatal(err)
 				}
 				for i := range da {
@@ -228,7 +228,7 @@ func TestFastSamplerOnAssignOrder(t *testing.T) {
 	rng := xrand.New(11)
 	dst := make([]int, n)
 	got := make(map[int]int)
-	err := s.SamplePermutationFast(m, cdf, rng, dst, func(task, col int) {
+	err := s.SamplePermutationFast(m, cdf, nil, rng, dst, func(task, col int) {
 		if _, dup := got[task]; dup {
 			t.Fatalf("task %d assigned twice", task)
 		}
@@ -281,7 +281,7 @@ func TestFastSamplerFrequencies(t *testing.T) {
 		return sLin.SamplePermutation(m, rng, dst)
 	}, 21)
 	fast := count(func(rng *xrand.RNG, dst []int) error {
-		return sFast.SamplePermutationFast(m, cdf, rng, dst, nil)
+		return sFast.SamplePermutationFast(m, cdf, nil, rng, dst, nil)
 	}, 22)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {

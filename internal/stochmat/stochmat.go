@@ -313,20 +313,33 @@ func (s *Sampler) SamplePermutationFenwick(m *Matrix, rng *xrand.RNG, dst []int)
 	return nil
 }
 
-// fastSampleMaxRejects bounds the rejection loop of SamplePermutationFast
-// before it falls back to the exact O(remaining) compact draw. Rejection
-// wins while the unassigned columns hold a reasonable fraction of the
-// row's mass (early in a draw, and for most tasks of a near-degenerate
-// matrix); the cap is deliberately small because the fallback is cheap —
-// linear only in the columns still unassigned, not the full row.
+// fastSampleMaxRejects is the rejection budget of SamplePermutationFast
+// before it falls back to the exact O(remaining) compact draw. A small
+// fixed cap measures best: on a converged (near-degenerate) matrix the
+// first try almost always lands, and on a near-uniform one a larger
+// budget just burns extra RNG draws on tries whose acceptance probability
+// the fallback's compact walk beats anyway — the late-draw fallbacks sum
+// to well under the edge-scoring work per draw.
+//
+// The effective budget additionally adapts *within* a draw: after a task
+// exhausts its tries without a hit, subsequent tasks get a single try
+// until one hits again. A full miss is strong evidence the draw has
+// entered the crowded regime (most of the row's mass on already-assigned
+// columns) where each further try is almost surely wasted, while on a
+// converged matrix the single try still hits nearly always and instantly
+// restores the full budget. The draw-local state keeps sampling
+// deterministic for a fixed RNG stream.
 const fastSampleMaxRejects = 3
 
 // SamplePermutationFast draws one GenPerm permutation using the shared
-// per-row prefix-sum table cdf (built once per CE iteration from the same
-// matrix m). Each task first tries rejection: an O(log n) binary search
-// over its full-row CDF, redrawing when the sampled column is already
-// assigned. After fastSampleMaxRejects misses it switches to the exact
-// masked draw, evaluated compactly over the unassigned columns only —
+// per-row lookup tables built once per CE iteration from the same matrix
+// m: the alias table at (when non-nil) or the prefix-sum table cdf. Each
+// task first tries rejection from its full-row distribution — an O(1)
+// alias draw, or an O(log n) binary search over the CDF when no alias
+// table is supplied — redrawing when the sampled column is already
+// assigned. After fastSampleMaxRejects misses it
+// switches to the exact masked draw, evaluated compactly over the
+// unassigned columns only —
 // O(remaining) via a swap-removed free list, not O(n) over the full row.
 // A near-degenerate matrix resolves almost every task on the first try;
 // a near-uniform one degrades to the compact draw whose total cost over a
@@ -334,18 +347,27 @@ const fastSampleMaxRejects = 3
 // the linear reference's work, with no per-column masking branches. Both
 // regimes beat the O(n^2) reference walk by 2-3x at n = 64.
 //
-// The rejection loop consumes a variable number of RNG variates, so the
-// fast stream differs from the linear/Fenwick stream; within the fast
-// path, draws remain fully deterministic for a fixed RNG stream.
+// The rejection loop consumes a variable number of RNG variates, and the
+// alias method maps each variate to a different column than the
+// inverse-CDF search would, so the fast stream differs from the
+// linear/Fenwick stream and the alias stream differs from the CDF stream.
+// Within one configuration, draws remain fully deterministic for a fixed
+// RNG stream. Exactly one of at and cdf may be nil.
 //
 // onAssign, when non-nil, is invoked as each task is assigned — the hook
 // the fused sample-and-score path uses to accumulate the makespan while
 // the permutation is still being built.
-func (s *Sampler) SamplePermutationFast(m *Matrix, cdf *RowCDF, rng *xrand.RNG, dst []int, onAssign func(task, col int)) error {
+func (s *Sampler) SamplePermutationFast(m *Matrix, cdf *RowCDF, at *AliasTable, rng *xrand.RNG, dst []int, onAssign func(task, col int)) error {
 	if err := s.checkSquare(m, dst); err != nil {
 		return err
 	}
-	if cdf.rows != m.rows || cdf.cols != m.cols {
+	if at != nil {
+		if err := at.checkShape(m); err != nil {
+			return err
+		}
+	} else if cdf == nil {
+		return fmt.Errorf("stochmat: SamplePermutationFast needs an alias table or a CDF")
+	} else if cdf.rows != m.rows || cdf.cols != m.cols {
 		return fmt.Errorf("stochmat: CDF shape %dx%d for matrix %dx%d", cdf.rows, cdf.cols, m.rows, m.cols)
 	}
 	s.beginDraw(m.rows, rng)
@@ -355,13 +377,38 @@ func (s *Sampler) SamplePermutationFast(m *Matrix, cdf *RowCDF, rng *xrand.RNG, 
 		s.pos[j] = j
 	}
 	k := m.cols // unassigned column count
+	budget := fastSampleMaxRejects
 	for _, task := range s.order {
-		row := m.Row(task)
-		crow := cdf.Row(task)
-		total := crow[m.cols-1]
 		choice := -1
-		if total > 1e-300 {
-			for try := 0; try < fastSampleMaxRejects; try++ {
+		if at != nil {
+			if at.total[task] > 1e-300 {
+				// Alias draws inlined: one uniform variate and at most
+				// two (adjacent-index) table reads per try. No
+				// row[j] > 0 re-check — the alias table gives
+				// zero-weight columns no slot mass, so they are never
+				// drawn, and re-reading the row would cost an extra
+				// random access per try.
+				base := task * m.cols
+				slots := at.slots[base : base+m.cols]
+				for try := 0; try < budget; try++ {
+					u := rng.Float64() * float64(m.cols)
+					j := int(u)
+					if j >= m.cols { // unreachable for cols < 2^52
+						j = m.cols - 1
+					}
+					slot := slots[j]
+					if u-float64(j) >= slot.prob {
+						j = int(slot.alias)
+					}
+					if !s.masked[j] {
+						choice = j
+						break
+					}
+				}
+			}
+		} else if total := cdf.Row(task)[m.cols-1]; total > 1e-300 {
+			row := m.Row(task)
+			for try := 0; try < budget; try++ {
 				x := rng.Float64() * total
 				j := cdf.SearchRow(task, x)
 				if j < m.cols && !s.masked[j] && row[j] > 0 {
@@ -373,31 +420,36 @@ func (s *Sampler) SamplePermutationFast(m *Matrix, cdf *RowCDF, rng *xrand.RNG, 
 		var freeIdx int
 		if choice >= 0 {
 			freeIdx = s.pos[choice]
+			budget = fastSampleMaxRejects
 		} else {
-			// Exact masked draw over the unassigned columns only.
-			acc := 0.0
+			budget = 1
+			// Exact masked draw over the unassigned columns only: one
+			// pass for the remaining mass, then a second that stops at
+			// the first prefix sum exceeding x — the same column the
+			// prefix-table binary search would select, for the same
+			// variate, without its stores or its unpredictable probes.
+			row := m.Row(task)
+			total := 0.0
 			for idx := 0; idx < k; idx++ {
-				acc += row[free[idx]]
-				s.scratch[idx] = acc
+				total += row[free[idx]]
 			}
-			if acc > 1e-300 {
-				x := rng.Float64() * acc
-				lo, hi := 0, k
-				for lo < hi {
-					mid := int(uint(lo+hi) >> 1)
-					if s.scratch[mid] > x {
-						hi = mid
-					} else {
-						lo = mid + 1
+			if total > 1e-300 {
+				x := rng.Float64() * total
+				acc := 0.0
+				freeIdx = -1
+				for idx := 0; idx < k; idx++ {
+					acc += row[free[idx]]
+					if acc > x {
+						freeIdx = idx
+						break
 					}
 				}
-				if lo >= k {
+				if freeIdx < 0 {
 					// x rounded to (or past) the total: clamp to the last
 					// positive-weight unassigned column.
-					for lo = k - 1; lo > 0 && row[free[lo]] <= 0; lo-- {
+					for freeIdx = k - 1; freeIdx > 0 && row[free[freeIdx]] <= 0; freeIdx-- {
 					}
 				}
-				freeIdx = lo
 			} else {
 				// No mass left on unassigned columns: uniform fallback.
 				freeIdx = rng.Intn(k)

@@ -89,6 +89,39 @@ func (r *RNG) Split() *RNG {
 	return New(seed)
 }
 
+// mix64 is the splitmix64 finaliser: a bijective avalanche over uint64
+// used to derive addressable stream seeds.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ReseedKeyed resets r to the stream addressed by the (seed, a, b) tuple.
+// Unlike Split — whose children depend on how many variates the parent has
+// already drawn — keyed streams are pure functions of their address, so a
+// work unit can be claimed by any worker in any order and still draw the
+// same variates. The CE runtime keys its sampling streams by
+// (run seed, iteration, unit index); determinism then holds not just for a
+// fixed (seed, workers) pair but independently of the worker count and of
+// the work-stealing schedule. Each key component passes through the
+// splitmix64 finaliser before being folded in, so adjacent (iteration,
+// unit) addresses yield statistically unrelated streams.
+func (r *RNG) ReseedKeyed(seed, a, b uint64) {
+	h := mix64(seed + 0x9e3779b97f4a7c15)
+	h = mix64(h ^ (a + 0x9e3779b97f4a7c15))
+	h = mix64(h ^ (b + 0x632be59bd9b4e019))
+	r.Reseed(h)
+}
+
+// NewKeyed returns a fresh generator on the keyed stream (seed, a, b); see
+// ReseedKeyed.
+func NewKeyed(seed, a, b uint64) *RNG {
+	r := &RNG{}
+	r.ReseedKeyed(seed, a, b)
+	return r
+}
+
 // Float64 returns a uniform float64 in [0, 1) with 53 random bits.
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

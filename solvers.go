@@ -105,6 +105,11 @@ type MaTCHOptions struct {
 	// Polish runs 2-swap local descent on the best mapping after the CE
 	// loop ends (hybrid extension; only applies to SolveMaTCH).
 	Polish bool
+	// UnprunedScoring disables the gamma-pruned fused scorer and scores
+	// every draw exactly. The search trajectory and result are identical
+	// either way (pruning is a pure strength reduction); the switch
+	// exists for benchmarking and as an escape hatch.
+	UnprunedScoring bool
 	// Context, when non-nil, cancels the run: the solver stops within at
 	// most one iteration. A run with at least one completed iteration
 	// returns its best-so-far Solution with StopReason "cancelled" (and,
@@ -180,6 +185,7 @@ func coreOptions(opts MaTCHOptions) core.Options {
 		Seed:             opts.Seed,
 		WarmStart:        opts.WarmStart,
 		Polish:           opts.Polish,
+		UnprunedScoring:  opts.UnprunedScoring,
 		Context:          opts.Context,
 	}
 	if opts.OnIteration != nil {
