@@ -145,16 +145,36 @@ type JobResult struct {
 // and one "end" event.
 type Event struct {
 	Kind string `json:"kind"` // "start" | "iter" | "end"
-	// Run identity (start events).
+	// Run identity (start events). Seed has no omitempty: 0 is a valid
+	// seed and must survive the wire round-trip.
 	Solver string `json:"solver,omitempty"`
 	Tasks  int    `json:"tasks,omitempty"`
-	Seed   uint64 `json:"seed,omitempty"`
-	// Per-iteration payload.
-	Iter      int     `json:"iter,omitempty"`
+	Seed   uint64 `json:"seed"`
+	// Per-iteration payload. Iter has no omitempty: resumed runs may
+	// re-emit iteration 0.
+	Iter      int     `json:"iter"`
 	Gamma     float64 `json:"gamma,omitempty"`
 	Best      float64 `json:"best,omitempty"`
+	Worst     float64 `json:"worst,omitempty"`
 	Mean      float64 `json:"mean,omitempty"`
 	BestSoFar float64 `json:"best_so_far,omitempty"`
+	// Elite is the size of the iteration's elite set.
+	Elite int `json:"elite,omitempty"`
+	// Solver internals (CE iterations; zero for other solvers): draw
+	// accounting, GenPerm sampler counters, gamma-pruning effectiveness,
+	// phase timings and worker-pool barrier behaviour. See the matching
+	// fields of the internal trace schema.
+	Draws         int    `json:"draws,omitempty"`
+	Pruned        int    `json:"pruned,omitempty"`
+	Rescored      int    `json:"rescored,omitempty"`
+	RejectTries   uint64 `json:"reject_tries,omitempty"`
+	FallbackDraws uint64 `json:"fallback_draws,omitempty"`
+	SkippedEdges  uint64 `json:"skipped_edges,omitempty"`
+	SampleNs      int64  `json:"sample_ns,omitempty"`
+	SelectNs      int64  `json:"select_ns,omitempty"`
+	UpdateNs      int64  `json:"update_ns,omitempty"`
+	StealUnits    int    `json:"steal_units,omitempty"`
+	IdleNs        int64  `json:"idle_ns,omitempty"`
 	// Run outcome (end events).
 	Exec        float64       `json:"exec,omitempty"`
 	Iterations  int           `json:"iterations,omitempty"`

@@ -173,6 +173,94 @@ func (c *Client) Events(ctx context.Context, id string, fn func(api.Event)) erro
 	return nil
 }
 
+// JobWatcher is a pull-based view of a job's SSE progress stream,
+// returned by WatchJob. Next blocks for the next event; after it returns
+// false, Err reports why the stream ended (nil on normal job completion).
+// Close releases the stream early; it is safe to call more than once and
+// concurrently with Next.
+type JobWatcher struct {
+	cancel context.CancelFunc
+	events chan api.Event
+	done   chan struct{}
+	err    error // written before done closes, read after
+}
+
+// WatchJob subscribes to a job's progress events as a typed iterator —
+// the pull-shaped counterpart of Events for consumers that drive their
+// own loop (matchtop renders from one of these):
+//
+//	w, err := c.WatchJob(ctx, id)
+//	if err != nil { ... }
+//	defer w.Close()
+//	for e, ok := w.Next(); ok; e, ok = w.Next() {
+//		render(e)
+//	}
+//	if err := w.Err(); err != nil { ... }
+//
+// The stream replays the job's buffered history first, then follows it
+// live until the job reaches a terminal state, ctx is cancelled, or the
+// connection breaks.
+func (c *Client) WatchJob(ctx context.Context, id string) (*JobWatcher, error) {
+	// Probe the job first so an unknown id fails here, typed, instead of
+	// surfacing from the first Next call.
+	if _, err := c.Info(ctx, id); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	w := &JobWatcher{
+		cancel: cancel,
+		events: make(chan api.Event),
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(w.done)
+		err := c.Events(ctx, id, func(e api.Event) {
+			select {
+			case w.events <- e:
+			case <-ctx.Done():
+			}
+		})
+		if err != nil && ctx.Err() == nil {
+			w.err = err
+		}
+	}()
+	return w, nil
+}
+
+// Next blocks until the next event arrives. ok is false once the stream
+// has ended — job finished, watcher closed, or transport failure (see Err).
+func (w *JobWatcher) Next() (e api.Event, ok bool) {
+	select {
+	case e = <-w.events:
+		return e, true
+	case <-w.done:
+		// Drain any event raced in before the stream goroutine exited.
+		select {
+		case e = <-w.events:
+			return e, true
+		default:
+			return api.Event{}, false
+		}
+	}
+}
+
+// Err reports why the stream ended: nil for normal completion or Close,
+// the transport/decode error otherwise. Valid after Next returns false.
+func (w *JobWatcher) Err() error {
+	select {
+	case <-w.done:
+		return w.err
+	default:
+		return nil
+	}
+}
+
+// Close detaches the watcher and releases the underlying connection.
+func (w *JobWatcher) Close() {
+	w.cancel()
+	<-w.done
+}
+
 // Healthy reports whether the daemon answers /healthz with 200.
 func (c *Client) Healthy(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)

@@ -9,6 +9,8 @@
 //	match -in inst.json -solver ga -pop 500 -gens 1000
 //	match -in inst.json -solver distributed -agents 4
 //	match -in inst.json -solver match -checkpoint run.ckpt
+//	match -top -job j00000001 -daemon http://127.0.0.1:8080
+//	match -top -tail run.jsonl
 //
 // Solvers: match (default, the paper's CE heuristic), ga (FastMap-GA),
 // distributed (agent-based MaTCH), random, greedy, local, anneal.
@@ -58,6 +60,13 @@ type config struct {
 	// checkpoint names a resumable snapshot file (MaTCH only): loaded at
 	// start when present, written on interrupt and on completion.
 	checkpoint string
+	// matchtop knobs (see top.go): -top switches the command into the live
+	// convergence view, fed either by a matchd job's SSE stream (-job,
+	// -daemon) or by tailing a trace file (-tail).
+	top      bool
+	daemon   string
+	topJob   string
+	tailFile string
 }
 
 func main() {
@@ -78,6 +87,10 @@ func main() {
 	flag.IntVar(&cfg.simulate, "simulate", 0, "after mapping, execute this many supersteps on the discrete-event simulator")
 	flag.StringVar(&cfg.traceFile, "trace", "", "write a JSONL run trace to this file")
 	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "MaTCH checkpoint file: resume from it if present, save on interrupt/finish")
+	flag.BoolVar(&cfg.top, "top", false, "matchtop: render a live convergence view instead of solving (needs -job or -tail)")
+	flag.StringVar(&cfg.daemon, "daemon", "http://127.0.0.1:8080", "matchd base URL for -top -job")
+	flag.StringVar(&cfg.topJob, "job", "", "matchd job ID to watch with -top")
+	flag.StringVar(&cfg.tailFile, "tail", "", "JSONL trace file to follow with -top")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -87,6 +100,9 @@ func main() {
 }
 
 func run(cfg config) error {
+	if cfg.top {
+		return runTop(cfg)
+	}
 	var rd io.Reader = os.Stdin
 	if cfg.in != "" {
 		f, err := os.Open(cfg.in)
@@ -111,12 +127,11 @@ func run(cfg config) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		tw = trace.NewWriter(f)
 		if err := tw.Start(cfg.solver, problem.NumTasks(), cfg.seed); err != nil {
 			return err
 		}
-		defer tw.Flush()
+		defer tw.Close()
 	}
 
 	var progress func(matchsim.IterationTrace)
@@ -127,7 +142,7 @@ func run(cfg config) error {
 					tr.Iteration, tr.Best, tr.Gamma, tr.BestSoFar)
 			}
 			if tw != nil {
-				tw.Iteration(tr.Iteration, tr.Gamma, tr.Best, tr.Mean, tr.BestSoFar)
+				tw.Iteration(traceEvent(tr))
 			}
 		}
 	}
@@ -199,6 +214,31 @@ func run(cfg config) error {
 		fmt.Printf("  total makespan:   %10.2f units (%d events)\n", rep.Makespan, rep.Events)
 	}
 	return nil
+}
+
+// traceEvent converts per-iteration solver telemetry to its trace-schema
+// record, carrying the solver-internals block through to the JSONL file.
+func traceEvent(tr matchsim.IterationTrace) trace.Event {
+	return trace.Event{
+		Iter:          tr.Iteration,
+		Gamma:         tr.Gamma,
+		Best:          tr.Best,
+		Worst:         tr.Worst,
+		Mean:          tr.Mean,
+		BestSoFar:     tr.BestSoFar,
+		Elite:         tr.EliteCount,
+		Draws:         tr.Draws,
+		Pruned:        tr.Pruned,
+		Rescored:      tr.Rescored,
+		RejectTries:   tr.RejectTries,
+		FallbackDraws: tr.FallbackDraws,
+		SkippedEdges:  tr.SkippedEdges,
+		SampleNs:      tr.SampleNs,
+		SelectNs:      tr.SelectNs,
+		UpdateNs:      tr.UpdateNs,
+		StealUnits:    tr.StealUnits,
+		IdleNs:        tr.IdleNs,
+	}
 }
 
 // runMatch runs the MaTCH solver with optional checkpointing: the run

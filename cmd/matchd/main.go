@@ -20,7 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -52,12 +52,23 @@ func run(args []string, stdout io.Writer) error {
 		traceFile     = fs.String("trace", "", "append every job's trace events to this JSONL file")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for running jobs on shutdown")
 		pprofAddr     = fs.String("pprof", "", "serve net/http/pprof on this side address (empty disables; keep it loopback-only)")
+		logJSON       = fs.Bool("log-json", false, "emit structured logs as JSON lines instead of logfmt text")
+		logLevel      = fs.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	logger := log.New(stdout, "matchd ", log.LstdFlags)
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("invalid -log-level %q: %w", *logLevel, err)
+	}
+	handlerOpts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(stdout, handlerOpts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(stdout, handlerOpts)
+	}
+	logger := slog.New(handler)
 
 	var tw *trace.Writer
 	if *traceFile != "" {
@@ -65,9 +76,14 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		tw = trace.NewWriter(f)
-		defer tw.Flush()
+		// Close flushes the final events once the drain completes and
+		// surfaces any write error the per-event emits swallowed.
+		defer func() {
+			if err := tw.Close(); err != nil {
+				logger.Error("trace writer", "file", *traceFile, "error", err)
+			}
+		}()
 	}
 
 	manager := jobs.New(jobs.Options{
@@ -76,11 +92,12 @@ func run(args []string, stdout io.Writer) error {
 		CacheCapacity: *cache,
 		CheckpointDir: *checkpointDir,
 		TraceWriter:   tw,
+		Logger:        logger,
 	})
 	if restored, err := manager.Restore(); err != nil {
-		logger.Printf("restore: %v (restored %d jobs anyway)", err, restored)
+		logger.Warn("restore failed", "error", err, "restored", restored)
 	} else if restored > 0 {
-		logger.Printf("restored %d checkpointed job(s) from %s", restored, *checkpointDir)
+		logger.Info("restored checkpointed jobs", "count", restored, "dir", *checkpointDir)
 	}
 
 	if *pprofAddr != "" {
@@ -98,22 +115,23 @@ func run(args []string, stdout io.Writer) error {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		logger.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		logger.Info("pprof enabled", "url", fmt.Sprintf("http://%s/debug/pprof/", pln.Addr()))
 		go func() {
 			if err := http.Serve(pln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
-				logger.Printf("pprof server: %v", err)
+				logger.Error("pprof server", "error", err)
 			}
 		}()
 		defer pln.Close()
 	}
 
 	// Listen before announcing readiness so -listen :0 reports the real
-	// port (the e2e tests depend on this line).
+	// port. The announcement is a plain line, not a structured record: it
+	// is the daemon's readiness contract (the e2e tests parse it).
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	logger.Printf("listening on http://%s", ln.Addr())
+	fmt.Fprintf(stdout, "matchd listening on http://%s\n", ln.Addr())
 
 	server := &http.Server{Handler: httpapi.New(manager)}
 	errCh := make(chan error, 1)
@@ -123,7 +141,7 @@ func run(args []string, stdout io.Writer) error {
 	defer stop()
 	select {
 	case <-ctx.Done():
-		logger.Printf("signal received; draining")
+		logger.Info("signal received; draining", "timeout", *drainTimeout)
 	case err := <-errCh:
 		return err
 	}
@@ -131,7 +149,7 @@ func run(args []string, stdout io.Writer) error {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := server.Shutdown(drainCtx); err != nil {
-		logger.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if err := manager.Shutdown(drainCtx); err != nil {
 		return err
@@ -139,6 +157,6 @@ func run(args []string, stdout io.Writer) error {
 	if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
 		return serveErr
 	}
-	logger.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -129,6 +130,25 @@ func TestEndToEndSmoke(t *testing.T) {
 		t.Errorf("resubmission state=%q cacheHit=%v, want done cache hit", again.State, again.CacheHit)
 	}
 
+	// The solve must have fed the telemetry registry: scrape /metrics and
+	// assert the solver-internals counters moved.
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, name := range []string{
+		"matchd_solver_iterations_total",
+		"matchd_solver_draws_total",
+		"matchd_solves_total",
+	} {
+		v, found := scrapeValue(metrics, name)
+		if !found {
+			t.Errorf("metrics missing %s:\n%s", name, metrics)
+		} else if v <= 0 {
+			t.Errorf("%s = %v, want > 0 after a solve", name, v)
+		}
+	}
+
 	// Graceful termination.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatalf("SIGTERM: %v", err)
@@ -136,6 +156,21 @@ func TestEndToEndSmoke(t *testing.T) {
 	if err := cmd.Wait(); err != nil {
 		t.Errorf("matchd exited uncleanly after SIGTERM: %v", err)
 	}
+}
+
+// scrapeValue finds an unlabelled sample in a Prometheus text exposition.
+func scrapeValue(text, name string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
 }
 
 // TestSIGTERMCheckpointAndResume restarts the daemon around an in-flight

@@ -39,7 +39,7 @@ func main() {
 	phase1, err := core.Solve(eval, core.Options{
 		Seed: 1, MaxIterations: 5, GammaStallWindow: 1000,
 		OnIteration: func(st ce.IterStats) {
-			tw.Iteration(st.Iter, st.Gamma, st.Best, st.Mean, st.BestSoFar)
+			tw.Iteration(trace.Event{Iter: st.Iter, Gamma: st.Gamma, Best: st.Best, Mean: st.Mean, BestSoFar: st.BestSoFar})
 		},
 	})
 	if err != nil {
@@ -65,7 +65,7 @@ func main() {
 	phase2, err := core.Resume(eval, restored, core.Options{
 		Seed: 2, MaxIterations: 500,
 		OnIteration: func(st ce.IterStats) {
-			tw.Iteration(st.Iter, st.Gamma, st.Best, st.Mean, st.BestSoFar)
+			tw.Iteration(trace.Event{Iter: st.Iter, Gamma: st.Gamma, Best: st.Best, Mean: st.Mean, BestSoFar: st.BestSoFar})
 		},
 	})
 	if err != nil {

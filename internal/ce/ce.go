@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 )
 import "matchsim/internal/xrand"
 
@@ -78,6 +79,32 @@ type Problem[S any] interface {
 // Score(dst) would report for the same solution.
 type SampleScorer[S any] interface {
 	SampleScore(rng *xrand.RNG, dst S) (float64, error)
+}
+
+// SampleStats aggregates per-iteration sampling telemetry a Problem may
+// expose: rejection-sampling behaviour and pruning work saved — the
+// acceptance diagnostics De Boer et al.'s CE tutorial watches alongside
+// the gamma trajectory.
+type SampleStats struct {
+	// RejectTries counts fast-path draws rejected because they landed on
+	// an already-assigned column.
+	RejectTries uint64
+	// FallbackDraws counts task assignments that exhausted the rejection
+	// budget and resolved through the exact compact draw.
+	FallbackDraws uint64
+	// SkippedEdges counts edge charges the gamma-pruned scorer never had
+	// to accumulate.
+	SkippedEdges uint64
+}
+
+// SampleStatsProvider is an optional Problem extension. When implemented,
+// Run calls TakeSampleStats once per iteration — after the sampling
+// barrier, from the coordinator goroutine — and folds the returned
+// counters into that iteration's IterStats. Implementations accumulate
+// across concurrent Sample/SampleScore calls (atomics are the usual
+// choice) and reset on Take.
+type SampleStatsProvider interface {
+	TakeSampleStats() SampleStats
 }
 
 // GammaPruner is the optional score-pruning extension of the fused path.
@@ -211,9 +238,43 @@ type IterStats struct {
 	Mean       float64 // mean (unpruned) score this iteration
 	BestSoFar  float64
 	EliteCount int
+	// Draws is the number of samples drawn this iteration (Config.SampleSize).
+	Draws int
 	// Pruned counts the draws whose scoring was cut short by the gamma
 	// threshold this iteration (before any rescue re-scoring).
 	Pruned int
+	// Rescored counts pruned draws the rescue path re-scored exactly
+	// because the elite boundary could have reached into them.
+	Rescored int
+
+	// Sampling counters from the problem's SampleStatsProvider (zero when
+	// the problem does not implement it).
+	RejectTries   uint64
+	FallbackDraws uint64
+	SkippedEdges  uint64
+
+	// Phase timings: the sample/score barrier, selection (rescue
+	// re-scoring, quantile extraction, aggregation), and the distribution
+	// update (eq. 13 smoothing plus lookup-table rebuilds).
+	SampleNs int64
+	SelectNs int64
+	UpdateNs int64
+
+	// Worker-pool behaviour during the sampling barrier: work units
+	// claimed beyond an even share (stolen from slower workers) and total
+	// worker idle time at the barrier.
+	StealUnits int
+	IdleNs     int64
+}
+
+// Search returns the stats with the wall-clock-dependent runtime fields
+// (phase timings, steal/idle accounting) zeroed, leaving only the search
+// trajectory — which is deterministic per seed, and identical across
+// worker counts. Determinism tests compare this projection.
+func (s IterStats) Search() IterStats {
+	s.SampleNs, s.SelectNs, s.UpdateNs = 0, 0, 0
+	s.StealUnits, s.IdleNs = 0, 0
+	return s
 }
 
 // StopReason explains why a run ended.
@@ -302,6 +363,7 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 	}
 	pruner, _ := any(p).(GammaPruner)
 	usePrune := fused && pruner != nil && !cfg.UnprunedScoring
+	statsProvider, _ := any(p).(SampleStatsProvider)
 	// The sentinel score a pruned draw reports: the direction's worst value.
 	prunedSentinel := math.Inf(1)
 	if !cfg.Minimize {
@@ -337,7 +399,9 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 		if ctx.Err() != nil {
 			return cancelled()
 		}
+		sampleStart := time.Now()
 		pool.runIteration(iter)
+		selectStart := time.Now()
 		if ctx.Err() != nil {
 			// The iteration's sample set may be torn; discard it and fall
 			// back on the incumbent from completed iterations.
@@ -354,7 +418,7 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 		// scored within the *old* threshold to pin down the new elite; if
 		// not, the boundary could reach into pruned draws and they are
 		// re-scored exactly (the draws themselves are always complete).
-		prunedCount := 0
+		prunedCount, rescored := 0, 0
 		if usePrune {
 			for _, s := range scores {
 				if s == prunedSentinel {
@@ -372,6 +436,7 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 					for i, s := range scores {
 						if s == prunedSentinel {
 							scores[i] = p.Score(solutions[i])
+							rescored++
 						}
 					}
 				}
@@ -412,8 +477,18 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 			Best:       scores[order[0]],
 			Worst:      worst,
 			EliteCount: eliteCount,
+			Draws:      n,
 			Mean:       total / float64(scored),
 			Pruned:     prunedCount,
+			Rescored:   rescored,
+			SampleNs:   selectStart.Sub(sampleStart).Nanoseconds(),
+		}
+		stats.StealUnits, stats.IdleNs = pool.lastIterStats()
+		if statsProvider != nil {
+			ss := statsProvider.TakeSampleStats()
+			stats.RejectTries = ss.RejectTries
+			stats.FallbackDraws = ss.FallbackDraws
+			stats.SkippedEdges = ss.SkippedEdges
 		}
 
 		if better(scores[order[0]], res.BestScore) {
@@ -421,8 +496,6 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 			p.Copy(res.Best, solutions[order[0]])
 		}
 		stats.BestSoFar = res.BestScore
-		res.History = append(res.History, stats)
-		res.Iterations = iter
 
 		// Elite set: every sample at least as good as gamma, capped at the
 		// quantile count (eq. 11 counts indicator hits S(X) <= gamma).
@@ -437,9 +510,14 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 				zeta = cfg.Zeta // iter == 1 gives full Zeta; guard tiny tails
 			}
 		}
+		updateStart := time.Now()
+		stats.SelectNs = updateStart.Sub(selectStart).Nanoseconds()
 		if err := p.Update(elite, zeta); err != nil {
 			return zero, fmt.Errorf("ce: parameter update failed at iteration %d: %w", iter, err)
 		}
+		stats.UpdateNs = time.Since(updateStart).Nanoseconds()
+		res.History = append(res.History, stats)
+		res.Iterations = iter
 		if usePrune {
 			// Install the loosened threshold (see pruneCount above). If even
 			// the pruneCount-th best is a pruned sentinel, pruning over-fired

@@ -89,7 +89,7 @@ func TestRunDeterministicForFixedSeedAndWorkers(t *testing.T) {
 		t.Fatalf("non-deterministic: %v/%d vs %v/%d", a.BestScore, a.Iterations, b.BestScore, b.Iterations)
 	}
 	for i := range a.History {
-		if a.History[i] != b.History[i] {
+		if a.History[i].Search() != b.History[i].Search() {
 			t.Fatalf("history diverges at iteration %d", i)
 		}
 	}

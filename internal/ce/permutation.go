@@ -3,6 +3,7 @@ package ce
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"matchsim/internal/stochmat"
 	"matchsim/internal/xrand"
@@ -24,6 +25,12 @@ type PermutationProblem struct {
 	counts   []float64            // Update scratch: elite assignment frequencies
 	score    func([]int) float64
 	samplers sync.Pool
+
+	// Sampling telemetry drained once per iteration via TakeSampleStats;
+	// only nonzero counters are flushed so converged matrices pay nothing.
+	statRejectTries   atomic.Uint64
+	statFallbackDraws atomic.Uint64
+
 	// DegenerateThresh: converged when every row's maximum exceeds it.
 	DegenerateThresh float64
 }
@@ -66,8 +73,25 @@ func (pp *PermutationProblem) Copy(dst, src []int) { copy(dst, src) }
 func (pp *PermutationProblem) Sample(rng *xrand.RNG, dst []int) error {
 	s := pp.samplers.Get().(*stochmat.Sampler)
 	err := s.SamplePermutationFast(pp.p, pp.cdf, pp.alias, rng, dst, nil)
+	if st := s.TakeStats(); st.RejectTries > 0 || st.FallbackDraws > 0 {
+		if st.RejectTries > 0 {
+			pp.statRejectTries.Add(st.RejectTries)
+		}
+		if st.FallbackDraws > 0 {
+			pp.statFallbackDraws.Add(st.FallbackDraws)
+		}
+	}
 	pp.samplers.Put(s)
 	return err
+}
+
+// TakeSampleStats implements SampleStatsProvider: drain and reset the
+// per-iteration sampling counters.
+func (pp *PermutationProblem) TakeSampleStats() SampleStats {
+	return SampleStats{
+		RejectTries:   pp.statRejectTries.Swap(0),
+		FallbackDraws: pp.statFallbackDraws.Swap(0),
+	}
 }
 
 // Score implements Problem.

@@ -3,6 +3,7 @@ package ce
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"matchsim/internal/xrand"
 )
@@ -45,6 +46,18 @@ type samplePool[S any] struct {
 
 	tokens chan struct{} // one token per worker per iteration; closed to stop
 	wg     sync.WaitGroup
+
+	// Per-iteration telemetry. iterStart and claimed are written by
+	// runIteration before the token sends (happens-before the workers'
+	// reads); claimed[w] is touched only by the goroutine holding worker
+	// id w; busyNs accumulates each admission's drain time atomically so a
+	// worker consuming two of an iteration's tokens still accounts once
+	// per token.
+	iterStart  time.Time
+	claimed    []int64      // units claimed per worker this iteration
+	busyNs     atomic.Int64 // summed per-token drain durations this iteration
+	stealUnits int
+	idleNs     int64
 }
 
 // newSamplePool spawns the worker goroutines. Callers must stop the pool
@@ -60,6 +73,7 @@ func newSamplePool[S any](p Problem[S], scorer SampleScorer[S], workers int, see
 		done:      done,
 		numUnits:  (n + unitDraws - 1) / unitDraws,
 		errs:      make([]error, workers),
+		claimed:   make([]int64, workers),
 		tokens:    make(chan struct{}, workers),
 	}
 	for w := 0; w < workers; w++ {
@@ -78,6 +92,7 @@ func (pl *samplePool[S]) worker(w int) {
 	rng := &xrand.RNG{} // reseeded per unit; zero state never drawn from
 	for range pl.tokens {
 		pl.drainIteration(w, rng)
+		pl.busyNs.Add(time.Since(pl.iterStart).Nanoseconds())
 		pl.wg.Done()
 	}
 }
@@ -91,6 +106,7 @@ func (pl *samplePool[S]) drainIteration(w int, rng *xrand.RNG) {
 		if u >= int64(pl.numUnits) {
 			return
 		}
+		pl.claimed[w]++
 		select {
 		case <-pl.done:
 			return
@@ -131,11 +147,42 @@ func (pl *samplePool[S]) runIteration(iter int) {
 	workers := cap(pl.tokens)
 	pl.iter = uint64(iter)
 	pl.cursor.Store(0)
+	for w := range pl.claimed {
+		pl.claimed[w] = 0
+	}
+	pl.busyNs.Store(0)
+	pl.iterStart = time.Now()
 	pl.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		pl.tokens <- struct{}{}
 	}
 	pl.wg.Wait()
+
+	// Barrier telemetry. "Idle" is the time workers spent waiting at the
+	// barrier after their last unit: tokens * wall - summed drain times.
+	// "Steals" are the units fast workers claimed beyond an even share —
+	// the load imbalance the dynamic cursor absorbed that a static split
+	// would have serialised.
+	wall := time.Since(pl.iterStart).Nanoseconds()
+	idle := int64(workers)*wall - pl.busyNs.Load()
+	if idle < 0 {
+		idle = 0
+	}
+	pl.idleNs = idle
+	fair := int64((pl.numUnits + workers - 1) / workers)
+	steals := int64(0)
+	for _, c := range pl.claimed {
+		if c > fair {
+			steals += c - fair
+		}
+	}
+	pl.stealUnits = int(steals)
+}
+
+// lastIterStats reports the steal/idle telemetry of the most recent
+// iteration. Call between iterations (the pool must be at the barrier).
+func (pl *samplePool[S]) lastIterStats() (stealUnits int, idleNs int64) {
+	return pl.stealUnits, pl.idleNs
 }
 
 // firstErr returns the first worker error of the last iteration, if any.

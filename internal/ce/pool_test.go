@@ -59,7 +59,7 @@ func TestRunIdenticalAcrossWorkerCounts(t *testing.T) {
 			}
 		}
 		for i := range ref.History {
-			if got.History[i] != ref.History[i] {
+			if got.History[i].Search() != ref.History[i].Search() {
 				t.Fatalf("workers=%d: history diverges at iteration %d: %+v vs %+v",
 					workers, i, got.History[i], ref.History[i])
 			}
@@ -82,7 +82,7 @@ func TestRunWorkersExceedUnits(t *testing.T) {
 			got.BestScore, got.Iterations, ref.BestScore, ref.Iterations)
 	}
 	for i := range ref.History {
-		if got.History[i] != ref.History[i] {
+		if got.History[i].Search() != ref.History[i].Search() {
 			t.Fatalf("history diverges at iteration %d", i)
 		}
 	}

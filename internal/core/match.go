@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"matchsim/internal/ce"
@@ -192,6 +193,14 @@ type problem struct {
 	scratch  sync.Pool // *[]float64 load buffers, for the unfused Score path
 	fused    sync.Pool // *fusedState, for the SampleScore path
 
+	// Sampling telemetry, accumulated by the workers and drained once per
+	// iteration by ce.Run (TakeSampleStats). Workers add only when a draw
+	// actually produced events, so on converged matrices — where rejection
+	// sampling almost never misses — the hot path pays no atomic traffic.
+	statRejectTries   atomic.Uint64
+	statFallbackDraws atomic.Uint64
+	statSkippedEdges  atomic.Uint64
+
 	// eq. 12 stopping state.
 	stallC     int
 	prevArgmax []int
@@ -298,8 +307,32 @@ func (pr *problem) Copy(dst, src []int) { copy(dst, src) }
 func (pr *problem) Sample(rng *xrand.RNG, dst []int) error {
 	s := pr.samplers.Get().(*stochmat.Sampler)
 	err := s.SamplePermutationFast(pr.p, pr.cdf, pr.alias, rng, dst, nil)
+	pr.drainSamplerStats(s)
 	pr.samplers.Put(s)
 	return err
+}
+
+// drainSamplerStats moves a sampler's local draw counters into the shared
+// atomics. Instrumentation only — never touches the RNG or the draw.
+func (pr *problem) drainSamplerStats(s *stochmat.Sampler) {
+	st := s.TakeStats()
+	if st.RejectTries > 0 {
+		pr.statRejectTries.Add(st.RejectTries)
+	}
+	if st.FallbackDraws > 0 {
+		pr.statFallbackDraws.Add(st.FallbackDraws)
+	}
+}
+
+// TakeSampleStats implements ce.SampleStatsProvider: drain and reset the
+// per-iteration sampling counters. Called from the CE loop's
+// single-threaded select phase, after the iteration barrier.
+func (pr *problem) TakeSampleStats() ce.SampleStats {
+	return ce.SampleStats{
+		RejectTries:   pr.statRejectTries.Swap(0),
+		FallbackDraws: pr.statFallbackDraws.Swap(0),
+		SkippedEdges:  pr.statSkippedEdges.Swap(0),
+	}
 }
 
 // SampleScore implements ce.SampleScorer: one GenPerm draw scored in
@@ -313,6 +346,10 @@ func (pr *problem) SampleScore(rng *xrand.RNG, dst []int) (float64, error) {
 	fs.scorer.SetGamma(pr.pruneGamma)
 	err := fs.sampler.SamplePermutationFast(pr.p, pr.cdf, pr.alias, rng, dst, nil)
 	score := fs.scorer.ScoreMapping(dst)
+	pr.drainSamplerStats(fs.sampler)
+	if skipped := fs.scorer.SkippedEdges(); skipped > 0 {
+		pr.statSkippedEdges.Add(uint64(skipped))
+	}
 	pr.fused.Put(fs)
 	if err != nil {
 		return 0, err

@@ -72,9 +72,13 @@ type StreamScorer struct {
 	placedRes []int
 
 	// Gamma-pruning state. gamma is +Inf when pruning is disabled.
-	gamma     float64
-	pruned    bool
-	placedCnt int
+	gamma float64
+	// skippedEdges is the edge-sweep work the last ScoreMapping call
+	// avoided by pruning — the per-draw saving the telemetry layer
+	// aggregates into a work-avoided counter.
+	skippedEdges int
+	pruned       bool
+	placedCnt    int
 	totalLoad float64 // sum of all charges so far (compute + both comm halves)
 	// minTail[k] is a lower bound on the total compute the n-k tasks still
 	// unplaced after k placements must add: the sum of the n-k smallest
@@ -137,6 +141,11 @@ func (ss *StreamScorer) SetGamma(gamma float64) {
 // Pruned reports whether the current draw was cut short by the gamma
 // threshold.
 func (ss *StreamScorer) Pruned() bool { return ss.pruned }
+
+// SkippedEdges reports how many edge charges the last ScoreMapping call
+// skipped thanks to gamma pruning (0 for unpruned draws and for draws
+// pruned only by the final check).
+func (ss *StreamScorer) SkippedEdges() int { return ss.skippedEdges }
 
 // Reset prepares the scorer for a new draw. The gamma threshold persists
 // across draws; only per-draw accumulation state clears.
@@ -273,6 +282,7 @@ func (ss *StreamScorer) ScoreMapping(m []int) float64 {
 		loads[i] = 0
 	}
 	ss.pruned = false
+	ss.skippedEdges = 0
 	r := e.r
 	for t, s := range m {
 		loads[s] += e.tcp[t*r+s]
@@ -305,6 +315,7 @@ func (ss *StreamScorer) ScoreMapping(m []int) float64 {
 		if base >= scanFrom && base < len(edges) {
 			if maxLoads(loads) > gamma {
 				ss.pruned = true
+				ss.skippedEdges = len(edges) - base
 				return PrunedScore
 			}
 		}

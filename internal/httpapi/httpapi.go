@@ -20,30 +20,96 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
+	"strconv"
+	"time"
 
 	"matchsim/api"
 	"matchsim/internal/jobs"
+	"matchsim/internal/telemetry"
 )
 
-// Server adapts a jobs.Manager to net/http.
+// Server adapts a jobs.Manager to net/http. Every route is wrapped in RED
+// middleware feeding the manager's telemetry registry: request count by
+// (route, method, code), error count, and a latency histogram per route.
 type Server struct {
 	manager *jobs.Manager
 	mux     *http.ServeMux
+
+	requests *telemetry.CounterVec
+	errors   *telemetry.CounterVec
+	latency  *telemetry.HistogramVec
 }
 
-// New builds the HTTP surface over m.
+// New builds the HTTP surface over m, instrumenting m.Registry().
 func New(m *jobs.Manager) *Server {
-	s := &Server{manager: m, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/jobs", s.submit)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
-	s.mux.HandleFunc("GET /healthz", s.healthz)
-	s.mux.HandleFunc("GET /metrics", s.metrics)
+	reg := m.Registry()
+	s := &Server{
+		manager: m,
+		mux:     http.NewServeMux(),
+		requests: reg.CounterVec("matchd_http_requests_total",
+			"HTTP requests served, by route pattern, method and status code.",
+			"route", "method", "code"),
+		errors: reg.CounterVec("matchd_http_request_errors_total",
+			"HTTP requests answered with a 4xx or 5xx status, by route pattern.",
+			"route"),
+		latency: reg.HistogramVec("matchd_http_request_seconds",
+			"HTTP request latency, by route pattern.",
+			telemetry.ExpBuckets(0.001, 4, 8), "route"),
+	}
+	s.handle("POST /v1/jobs", s.submit)
+	s.handle("GET /v1/jobs/{id}", s.status)
+	s.handle("GET /v1/jobs/{id}/result", s.result)
+	s.handle("DELETE /v1/jobs/{id}", s.cancel)
+	s.handle("GET /v1/jobs/{id}/events", s.events)
+	s.handle("GET /healthz", s.healthz)
+	s.handle("GET /metrics", s.metrics)
 	return s
 }
+
+// handle registers h under the mux pattern, wrapped in the RED middleware.
+// The route label is the pattern itself — a bounded set, immune to the
+// path-cardinality explosion raw URLs would cause.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	log := s.manager.Logger()
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		var rw http.ResponseWriter = rec
+		if f, ok := w.(http.Flusher); ok {
+			// Preserve streaming: the SSE handler requires http.Flusher.
+			rw = &flushingRecorder{statusRecorder: rec, flusher: f}
+		}
+		h(rw, r)
+		elapsed := time.Since(start)
+		s.requests.With(pattern, r.Method, strconv.Itoa(rec.code)).Inc()
+		if rec.code >= 400 {
+			s.errors.With(pattern).Inc()
+			log.Warn("request failed", "route", pattern, "code", rec.code,
+				"duration", elapsed, "remote", r.RemoteAddr)
+		}
+		s.latency.With(pattern).Observe(elapsed.Seconds())
+	})
+}
+
+// statusRecorder captures the response status for the RED middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// flushingRecorder is a statusRecorder over a streaming-capable writer; it
+// forwards Flush so wrapped handlers still pass the http.Flusher check.
+type flushingRecorder struct {
+	*statusRecorder
+	flusher http.Flusher
+}
+
+func (fr *flushingRecorder) Flush() { fr.flusher.Flush() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -168,39 +234,11 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// metrics renders the manager's gauges and counters in the Prometheus
-// text exposition format (hand-rolled; the daemon takes no dependencies).
+// metrics renders the manager's telemetry registry — service gauges and
+// counters, solver internals, and the HTTP RED series — in the Prometheus
+// text exposition format (zero-dependency; see internal/telemetry).
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.manager.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.WriteHeader(http.StatusOK)
-
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
-	counter := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
-	}
-
-	gauge("matchd_queue_depth", "Jobs waiting in the submission queue.", float64(st.QueueDepth))
-	gauge("matchd_queue_capacity", "Capacity of the submission queue.", float64(st.QueueCapacity))
-	gauge("matchd_workers", "Size of the solver worker pool.", float64(st.Workers))
-
-	fmt.Fprintf(w, "# HELP matchd_jobs Jobs in the store by lifecycle state.\n# TYPE matchd_jobs gauge\n")
-	states := make([]string, 0, len(st.JobsByState))
-	for state := range st.JobsByState {
-		states = append(states, state)
-	}
-	sort.Strings(states)
-	for _, state := range states {
-		fmt.Fprintf(w, "matchd_jobs{state=%q} %d\n", state, st.JobsByState[state])
-	}
-
-	counter("matchd_jobs_submitted_total", "Jobs submitted since start.", float64(st.Submitted))
-	counter("matchd_cache_hits_total", "Submissions answered from the result cache.", float64(st.CacheHits))
-	counter("matchd_cache_misses_total", "Submissions that required a solver run.", float64(st.CacheMisses))
-	gauge("matchd_cache_entries", "Entries currently held by the result cache.", float64(st.CacheEntries))
-	gauge("matchd_cache_capacity", "Capacity of the result cache.", float64(st.CacheCapacity))
-	counter("matchd_solves_total", "Solver runs completed successfully.", float64(st.SolvesTotal))
-	counter("matchd_solve_seconds_total", "Wall-clock seconds spent in successful solver runs.", st.SolveSecondsTotal)
+	_ = s.manager.Registry().WritePrometheus(w)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"net/http/httptest"
 	"reflect"
 	"strings"
@@ -249,5 +250,167 @@ func waitRunning(t *testing.T, c *client.Client, id string) {
 			t.Fatalf("job %s in %q, never observed running", id, info.State)
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// metricValue extracts the sample value of the first exposition line whose
+// series (name plus optional label set) matches prefix exactly.
+func metricValue(t *testing.T, text, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, prefix+" ")
+		if !ok {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+			t.Fatalf("unparsable sample %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metrics missing series %q:\n%s", prefix, text)
+	return 0
+}
+
+// TestMetricsSolverInternalsAndRED checks that running one MaTCH job
+// populates the solver-internals counters and that the RED middleware
+// records the requests that drove it.
+func TestMetricsSolverInternalsAndRED(t *testing.T) {
+	c, _ := newTestServer(t, jobs.Options{Workers: 1})
+	ctx := context.Background()
+
+	info, err := c.Submit(ctx, api.SubmitRequest{
+		Instance: instanceJSON(t, 21, 10), Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: 4, Workers: 1},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := c.Wait(ctx, info.ID, 5*time.Millisecond); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if _, err := c.Info(ctx, "j-missing"); err == nil {
+		t.Fatal("Info on unknown id should fail")
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+
+	// Solver internals: a real CE run must have iterated and drawn samples,
+	// and its per-phase histograms must have observed every iteration.
+	iters := metricValue(t, text, "matchd_solver_iterations_total")
+	if iters <= 0 {
+		t.Errorf("matchd_solver_iterations_total = %v, want > 0", iters)
+	}
+	if draws := metricValue(t, text, "matchd_solver_draws_total"); draws <= 0 {
+		t.Errorf("matchd_solver_draws_total = %v, want > 0", draws)
+	}
+	for _, phase := range []string{"sample", "select", "update"} {
+		name := "matchd_solver_" + phase + "_phase_seconds_count"
+		if n := metricValue(t, text, name); n != iters {
+			t.Errorf("%s = %v, want %v (one observation per iteration)", name, n, iters)
+		}
+	}
+
+	// RED middleware: the submit, the 404 probe, and the polling GETs.
+	if n := metricValue(t, text, `matchd_http_requests_total{route="POST /v1/jobs",method="POST",code="202"}`); n != 1 {
+		t.Errorf("submit request count = %v, want 1", n)
+	}
+	if n := metricValue(t, text, `matchd_http_requests_total{route="GET /v1/jobs/{id}",method="GET",code="404"}`); n != 1 {
+		t.Errorf("404 request count = %v, want 1", n)
+	}
+	if n := metricValue(t, text, `matchd_http_request_errors_total{route="GET /v1/jobs/{id}"}`); n != 1 {
+		t.Errorf("error count = %v, want 1", n)
+	}
+	if n := metricValue(t, text, `matchd_http_request_seconds_count{route="POST /v1/jobs"}`); n != 1 {
+		t.Errorf("latency observation count = %v, want 1", n)
+	}
+}
+
+// TestWatchJob pulls a job's full event stream through the typed iterator
+// and checks its shape and the enriched iteration payload.
+func TestWatchJob(t *testing.T) {
+	c, _ := newTestServer(t, jobs.Options{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	info, err := c.Submit(ctx, api.SubmitRequest{
+		Instance: instanceJSON(t, 16, 10), Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: 12, Workers: 1},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	w, err := c.WatchJob(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("WatchJob: %v", err)
+	}
+	defer w.Close()
+
+	var kinds []string
+	var sawInternals bool
+	for e, ok := w.Next(); ok; e, ok = w.Next() {
+		kinds = append(kinds, e.Kind)
+		if e.Kind == "iter" && e.Draws > 0 && e.SampleNs > 0 {
+			sawInternals = true
+		}
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	if len(kinds) < 3 || kinds[0] != "start" || kinds[len(kinds)-1] != "end" {
+		t.Fatalf("stream shape %v, want start...end with iterations", kinds)
+	}
+	if !sawInternals {
+		t.Error("no iteration event carried solver internals (draws, sample_ns)")
+	}
+}
+
+// TestWatchJobUnknownID checks the typed 404 surfaces from WatchJob itself.
+func TestWatchJobUnknownID(t *testing.T) {
+	c, _ := newTestServer(t, jobs.Options{Workers: 1})
+	if _, err := c.WatchJob(context.Background(), "j-nope"); err == nil {
+		t.Fatal("WatchJob on unknown id should fail")
+	} else {
+		var apiErr *api.Error
+		if !errors.As(err, &apiErr) || apiErr.Status != 404 {
+			t.Fatalf("err = %v, want *api.Error with status 404", err)
+		}
+	}
+}
+
+// TestWatchJobClose detaches mid-stream: Close must unblock promptly and a
+// subsequent Next must report the stream as ended without error.
+func TestWatchJobClose(t *testing.T) {
+	c, _ := newTestServer(t, jobs.Options{Workers: 1})
+	ctx := context.Background()
+
+	info, err := c.Submit(ctx, api.SubmitRequest{
+		Instance: instanceJSON(t, 30, 24), Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: 9, Workers: 1, MaxIterations: 500},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	w, err := c.WatchJob(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("WatchJob: %v", err)
+	}
+	if _, ok := w.Next(); !ok {
+		t.Fatal("Next: stream ended before any event")
+	}
+	w.Close()
+	if _, ok := w.Next(); ok {
+		// One raced event may drain; the one after that must report closed.
+		if _, ok := w.Next(); ok {
+			t.Fatal("Next still yielding events after Close")
+		}
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("Err after Close: %v", err)
+	}
+	if _, err := c.Cancel(ctx, info.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
 	}
 }

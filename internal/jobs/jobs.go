@@ -20,12 +20,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	"matchsim"
 	"matchsim/api"
+	"matchsim/internal/telemetry"
 	"matchsim/internal/trace"
 )
 
@@ -60,6 +63,14 @@ type Options struct {
 	// TraceWriter, when non-nil, additionally receives every job's
 	// events on one shared stream (trace.Writer is concurrency-safe).
 	TraceWriter *trace.Writer
+	// Metrics, when non-nil, is the telemetry registry the manager
+	// instruments (service gauges/counters plus solver internals). A
+	// fresh registry is created by default; the HTTP layer serves
+	// whichever registry the manager ends up with at /metrics.
+	Metrics *telemetry.Registry
+	// Logger, when non-nil, receives structured lifecycle logs (job
+	// submitted/started/finished, shutdown). Silent by default.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +82,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheCapacity == 0 {
 		o.CacheCapacity = 128
+	}
+	if o.Metrics == nil {
+		o.Metrics = telemetry.NewRegistry()
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return o
 }
@@ -129,6 +146,85 @@ type Manager struct {
 	solvesTotal       uint64
 	solveSecondsTotal float64
 	stateCount        map[string]int
+
+	metrics *managerMetrics
+	log     *slog.Logger
+}
+
+// managerMetrics holds the registry instruments the manager updates on its
+// hot paths. The service gauges (queue depth, cache entries, jobs by
+// state) are registered as GaugeFuncs/GaugeVecs in New; the solver
+// internals accumulate across every job the daemon runs.
+type managerMetrics struct {
+	reg *telemetry.Registry
+
+	submitted    *telemetry.Counter
+	cacheHits    *telemetry.Counter
+	cacheMisses  *telemetry.Counter
+	solves       *telemetry.Counter
+	solveSeconds *telemetry.Counter
+	jobsByState  *telemetry.GaugeVec
+
+	iterations    *telemetry.Counter
+	draws         *telemetry.Counter
+	pruned        *telemetry.Counter
+	rescored      *telemetry.Counter
+	rejectTries   *telemetry.Counter
+	fallbackDraws *telemetry.Counter
+	skippedEdges  *telemetry.Counter
+	stealUnits    *telemetry.Counter
+	idleSeconds   *telemetry.Counter
+	samplePhase   *telemetry.Histogram
+	selectPhase   *telemetry.Histogram
+	updatePhase   *telemetry.Histogram
+}
+
+func newManagerMetrics(reg *telemetry.Registry) *managerMetrics {
+	// 100us .. ~26s: CE phase times span sub-millisecond toy instances to
+	// multi-second sampling barriers at n=256.
+	phaseBuckets := telemetry.ExpBuckets(1e-4, 4, 10)
+	return &managerMetrics{
+		reg:          reg,
+		submitted:    reg.Counter("matchd_jobs_submitted_total", "Jobs submitted since start."),
+		cacheHits:    reg.Counter("matchd_cache_hits_total", "Submissions answered from the result cache."),
+		cacheMisses:  reg.Counter("matchd_cache_misses_total", "Submissions that required a solver run."),
+		solves:       reg.Counter("matchd_solves_total", "Solver runs completed successfully."),
+		solveSeconds: reg.Counter("matchd_solve_seconds_total", "Wall-clock seconds spent in successful solver runs."),
+		jobsByState:  reg.GaugeVec("matchd_jobs", "Jobs in the store by lifecycle state.", "state"),
+
+		iterations:    reg.Counter("matchd_solver_iterations_total", "CE iterations / GA generations executed."),
+		draws:         reg.Counter("matchd_solver_draws_total", "Solution samples drawn by the CE solvers."),
+		pruned:        reg.Counter("matchd_solver_pruned_draws_total", "Draws whose scoring was cut short by the elite threshold."),
+		rescored:      reg.Counter("matchd_solver_rescored_draws_total", "Pruned draws re-scored exactly by the rescue path."),
+		rejectTries:   reg.Counter("matchd_solver_reject_tries_total", "GenPerm rejection-sampling misses."),
+		fallbackDraws: reg.Counter("matchd_solver_fallback_draws_total", "GenPerm draws resolved through the compact fallback."),
+		skippedEdges:  reg.Counter("matchd_solver_skipped_edges_total", "TIG edges the gamma-pruned scorer never accumulated."),
+		stealUnits:    reg.Counter("matchd_solver_steal_units_total", "Sampling work units claimed beyond an even per-worker share."),
+		idleSeconds:   reg.Counter("matchd_solver_idle_seconds_total", "Worker time spent waiting at sampling iteration barriers."),
+		samplePhase:   reg.Histogram("matchd_solver_sample_phase_seconds", "Per-iteration sample/score barrier time.", phaseBuckets),
+		selectPhase:   reg.Histogram("matchd_solver_select_phase_seconds", "Per-iteration elite selection time.", phaseBuckets),
+		updatePhase:   reg.Histogram("matchd_solver_update_phase_seconds", "Per-iteration distribution update time.", phaseBuckets),
+	}
+}
+
+// observeIteration feeds one iteration's solver telemetry into the
+// registry. Called from solver callback goroutines without mu.
+func (m *Manager) observeIteration(tr matchsim.IterationTrace) {
+	mm := m.metrics
+	mm.iterations.Inc()
+	mm.draws.AddUint(uint64(tr.Draws))
+	mm.pruned.AddUint(uint64(tr.Pruned))
+	mm.rescored.AddUint(uint64(tr.Rescored))
+	mm.rejectTries.AddUint(tr.RejectTries)
+	mm.fallbackDraws.AddUint(tr.FallbackDraws)
+	mm.skippedEdges.AddUint(tr.SkippedEdges)
+	mm.stealUnits.AddUint(uint64(tr.StealUnits))
+	mm.idleSeconds.Add(float64(tr.IdleNs) / 1e9)
+	if tr.SampleNs > 0 {
+		mm.samplePhase.Observe(float64(tr.SampleNs) / 1e9)
+		mm.selectPhase.Observe(float64(tr.SelectNs) / 1e9)
+		mm.updatePhase.Observe(float64(tr.UpdateNs) / 1e9)
+	}
 }
 
 // New starts a Manager and its worker pool.
@@ -143,7 +239,20 @@ func New(opts Options) *Manager {
 		baseCancel: cancel,
 		cache:      newResultCache(opts.CacheCapacity),
 		stateCount: make(map[string]int),
+		metrics:    newManagerMetrics(opts.Metrics),
+		log:        opts.Logger,
 	}
+	reg := opts.Metrics
+	reg.GaugeFunc("matchd_queue_depth", "Jobs waiting in the submission queue.",
+		func() float64 { return float64(len(m.queue)) })
+	reg.GaugeFunc("matchd_queue_capacity", "Capacity of the submission queue.",
+		func() float64 { return float64(opts.QueueCapacity) })
+	reg.GaugeFunc("matchd_workers", "Size of the solver worker pool.",
+		func() float64 { return float64(opts.Workers) })
+	reg.GaugeFunc("matchd_cache_entries", "Entries currently held by the result cache.",
+		func() float64 { return float64(m.cache.len()) })
+	reg.GaugeFunc("matchd_cache_capacity", "Capacity of the result cache.",
+		func() float64 { return float64(opts.CacheCapacity) })
 	for w := 0; w < opts.Workers; w++ {
 		m.wg.Add(1)
 		go func() {
@@ -224,9 +333,11 @@ func (m *Manager) Submit(req api.SubmitRequest) (api.JobInfo, error) {
 		j.id = newJobID()
 	}
 	m.submitted++
+	m.metrics.submitted.Inc()
 
 	if cached, ok := m.cache.get(key); ok {
 		m.cacheHits++
+		m.metrics.cacheHits.Inc()
 		j.state = api.StateDone
 		j.started = j.created
 		j.finished = j.created
@@ -239,9 +350,11 @@ func (m *Manager) Submit(req api.SubmitRequest) (api.JobInfo, error) {
 			endEvent(&res),
 		}
 		m.register(j)
+		m.log.Info("job served from cache", "id", j.id, "solver", j.solver, "key", j.key)
 		return m.infoLocked(j), nil
 	}
 	m.cacheMisses++
+	m.metrics.cacheMisses.Inc()
 
 	select {
 	case m.queue <- j:
@@ -250,6 +363,8 @@ func (m *Manager) Submit(req api.SubmitRequest) (api.JobInfo, error) {
 	}
 	j.state = api.StateQueued
 	m.register(j)
+	m.log.Info("job queued", "id", j.id, "solver", j.solver,
+		"tasks", problem.NumTasks(), "seed", req.Options.Seed, "queue_depth", len(m.queue))
 	return m.infoLocked(j), nil
 }
 
@@ -266,14 +381,25 @@ func validSolver(s string) error {
 func (m *Manager) register(j *job) {
 	m.jobs[j.id] = j
 	m.stateCount[j.state]++
+	m.metrics.jobsByState.With(j.state).Add(1)
 }
 
 // setState moves a job between lifecycle states. Caller holds mu.
 func (m *Manager) setState(j *job, state string) {
 	m.stateCount[j.state]--
+	m.metrics.jobsByState.With(j.state).Add(-1)
 	j.state = state
 	m.stateCount[state]++
+	m.metrics.jobsByState.With(state).Add(1)
 }
+
+// Registry exposes the telemetry registry the manager instruments; the
+// HTTP layer renders it at /metrics.
+func (m *Manager) Registry() *telemetry.Registry { return m.opts.Metrics }
+
+// Logger exposes the manager's structured logger so the serving layers
+// share one sink.
+func (m *Manager) Logger() *slog.Logger { return m.log }
 
 // Info returns a job's status document.
 func (m *Manager) Info(id string) (api.JobInfo, error) {
@@ -431,20 +557,33 @@ func endEvent(r *api.JobResult) api.Event {
 
 func traceEvent(e api.Event) trace.Event {
 	return trace.Event{
-		Kind:        trace.EventKind(e.Kind),
-		Solver:      e.Solver,
-		Tasks:       e.Tasks,
-		Seed:        e.Seed,
-		Iter:        e.Iter,
-		Gamma:       e.Gamma,
-		Best:        e.Best,
-		Mean:        e.Mean,
-		BestSoFar:   e.BestSoFar,
-		Exec:        e.Exec,
-		Iterations:  e.Iterations,
-		Evaluations: e.Evaluations,
-		MappingTime: e.MappingTime,
-		StopReason:  e.StopReason,
+		Kind:          trace.EventKind(e.Kind),
+		Solver:        e.Solver,
+		Tasks:         e.Tasks,
+		Seed:          e.Seed,
+		Iter:          e.Iter,
+		Gamma:         e.Gamma,
+		Best:          e.Best,
+		Worst:         e.Worst,
+		Mean:          e.Mean,
+		BestSoFar:     e.BestSoFar,
+		Elite:         e.Elite,
+		Draws:         e.Draws,
+		Pruned:        e.Pruned,
+		Rescored:      e.Rescored,
+		RejectTries:   e.RejectTries,
+		FallbackDraws: e.FallbackDraws,
+		SkippedEdges:  e.SkippedEdges,
+		SampleNs:      e.SampleNs,
+		SelectNs:      e.SelectNs,
+		UpdateNs:      e.UpdateNs,
+		StealUnits:    e.StealUnits,
+		IdleNs:        e.IdleNs,
+		Exec:          e.Exec,
+		Iterations:    e.Iterations,
+		Evaluations:   e.Evaluations,
+		MappingTime:   e.MappingTime,
+		StopReason:    e.StopReason,
 	}
 }
 
@@ -469,16 +608,33 @@ func (m *Manager) runJob(j *job) {
 		Seed:   j.req.Options.Seed,
 	})
 	m.mu.Unlock()
+	m.log.Info("job started", "id", j.id, "solver", j.solver,
+		"tasks", j.problem.NumTasks(), "seed", j.req.Options.Seed,
+		"queued_for", j.started.Sub(j.created))
 
 	onIter := func(tr matchsim.IterationTrace) {
+		m.observeIteration(tr)
 		m.mu.Lock()
 		m.emitLocked(j, api.Event{
-			Kind:      string(trace.KindIteration),
-			Iter:      tr.Iteration,
-			Gamma:     tr.Gamma,
-			Best:      tr.Best,
-			Mean:      tr.Mean,
-			BestSoFar: tr.BestSoFar,
+			Kind:          string(trace.KindIteration),
+			Iter:          tr.Iteration,
+			Gamma:         tr.Gamma,
+			Best:          tr.Best,
+			Worst:         tr.Worst,
+			Mean:          tr.Mean,
+			BestSoFar:     tr.BestSoFar,
+			Elite:         tr.EliteCount,
+			Draws:         tr.Draws,
+			Pruned:        tr.Pruned,
+			Rescored:      tr.Rescored,
+			RejectTries:   tr.RejectTries,
+			FallbackDraws: tr.FallbackDraws,
+			SkippedEdges:  tr.SkippedEdges,
+			SampleNs:      tr.SampleNs,
+			SelectNs:      tr.SelectNs,
+			UpdateNs:      tr.UpdateNs,
+			StealUnits:    tr.StealUnits,
+			IdleNs:        tr.IdleNs,
 		})
 		m.mu.Unlock()
 	}
@@ -501,13 +657,30 @@ func (m *Manager) runJob(j *job) {
 	default:
 		j.result = result
 		m.solvesTotal++
-		m.solveSecondsTotal += time.Since(j.started).Seconds()
+		m.metrics.solves.Inc()
+		elapsed := time.Since(j.started).Seconds()
+		m.solveSecondsTotal += elapsed
+		m.metrics.solveSeconds.Add(elapsed)
 		m.cache.put(j.key, *result)
 		m.finalizeLocked(j, api.StateDone, result.StopReason)
 	}
 	persistDone := api.TerminalState(j.state) && !m.closed
 	path := j.persistPath
+	state, errMsg := j.state, j.errMsg
 	m.mu.Unlock()
+
+	switch state {
+	case api.StateFailed:
+		m.log.Error("job failed", "id", j.id, "solver", j.solver, "error", errMsg)
+	case api.StateDone:
+		m.log.Info("job done", "id", j.id, "solver", j.solver,
+			"exec", result.Exec, "iterations", result.Iterations,
+			"evaluations", result.Evaluations, "duration", time.Since(j.started),
+			"stop_reason", result.StopReason)
+	default:
+		m.log.Info("job cancelled", "id", j.id, "solver", j.solver,
+			"duration", time.Since(j.started), "checkpointed", checkpoint != nil)
+	}
 
 	if persistDone && path != "" {
 		// The restored job ran to a terminal state on its own: its
@@ -578,8 +751,11 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 	m.closed = true
 	close(m.queue)
+	running := m.stateCount[api.StateRunning]
+	queued := m.stateCount[api.StateQueued]
 	m.mu.Unlock()
 
+	m.log.Info("shutdown: draining", "running", running, "queued", queued)
 	m.baseCancel() // interrupt running jobs
 
 	done := make(chan struct{})

@@ -222,6 +222,33 @@ type Sampler struct {
 	free    []int     // unassigned columns (compact, swap-removed)
 	pos     []int     // pos[col] = index of col in free
 	fen     *Fenwick  // lazily allocated, for SamplePermutationFenwick
+
+	// stats accumulates draw telemetry (SamplePermutationFast only). The
+	// counters are plain uint64s — a Sampler is single-goroutine scratch —
+	// and drain via TakeStats, so callers can attribute them per draw.
+	stats SampleStats
+}
+
+// SampleStats counts the sampling work SamplePermutationFast performed:
+// how often the rejection fast path missed and how often a task fell
+// through to the exact compact draw — the acceptance signals the CE
+// tutorial's diagnostics watch (a converged matrix rejects almost never,
+// a crowded one falls back almost always).
+type SampleStats struct {
+	// RejectTries counts rejected fast-path tries: draws from the full-row
+	// alias/CDF distribution that landed on an already-assigned column and
+	// were thrown away.
+	RejectTries uint64
+	// FallbackDraws counts task assignments that exhausted the rejection
+	// budget and resolved through the exact O(remaining) compact draw.
+	FallbackDraws uint64
+}
+
+// TakeStats returns the accumulated draw stats and zeroes them.
+func (s *Sampler) TakeStats() SampleStats {
+	st := s.stats
+	s.stats = SampleStats{}
+	return st
 }
 
 // NewSampler returns a sampler for matrices with the given column count.
@@ -404,6 +431,7 @@ func (s *Sampler) SamplePermutationFast(m *Matrix, cdf *RowCDF, at *AliasTable, 
 						choice = j
 						break
 					}
+					s.stats.RejectTries++
 				}
 			}
 		} else if total := cdf.Row(task)[m.cols-1]; total > 1e-300 {
@@ -415,6 +443,7 @@ func (s *Sampler) SamplePermutationFast(m *Matrix, cdf *RowCDF, at *AliasTable, 
 					choice = j
 					break
 				}
+				s.stats.RejectTries++
 			}
 		}
 		var freeIdx int
@@ -423,6 +452,7 @@ func (s *Sampler) SamplePermutationFast(m *Matrix, cdf *RowCDF, at *AliasTable, 
 			budget = fastSampleMaxRejects
 		} else {
 			budget = 1
+			s.stats.FallbackDraws++
 			// Exact masked draw over the unassigned columns only: one
 			// pass for the remaining mass, then a second that stops at
 			// the first prefix sum exceeding x — the same column the

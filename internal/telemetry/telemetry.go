@@ -1,0 +1,428 @@
+// Package telemetry is the repo's zero-dependency metrics layer: a
+// registry of atomic counters, gauges and fixed-bucket histograms with
+// Prometheus text exposition (version 0.0.4). It is the single sink for
+// solver and daemon instrumentation — the CE loop's per-iteration
+// internals, the jobs manager's queue/cache/lifecycle series and the
+// HTTP layer's per-route RED metrics all land here, and the matchd
+// /metrics endpoint renders the registry instead of hand-rolled fmt
+// calls.
+//
+// Design constraints, in order:
+//
+//  1. No dependencies. The daemon takes none; neither does this package.
+//  2. Hot-path writes are lock-free. Counter.Add, Gauge.Set and
+//     Histogram.Observe are a handful of atomic operations; the registry
+//     mutex is touched only at registration and exposition time. Vec
+//     lookups (With) do take the family lock — hot paths resolve their
+//     child once and cache the pointer.
+//  3. Exposition is deterministic: families sort by name, children by
+//     label values, so scrapes diff cleanly and tests can assert on
+//     substrings.
+//
+// Float values are stored as uint64 bit patterns updated by CAS, the
+// standard trick for atomic float64 accumulation without a mutex.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType discriminates exposition TYPE lines.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed label schema and one child per
+// distinct label-value combination (exactly one, unlabeled, for plain
+// metrics).
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]child
+	fn       func() float64 // GaugeFunc families only
+}
+
+type child interface {
+	write(w io.Writer, fam *family, labelPart string)
+}
+
+// register files a new family, panicking on a name collision — metric
+// registration happens once at component start-up, so a duplicate is a
+// programming error, not a runtime condition.
+func (r *Registry) register(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", f.name))
+	}
+	r.families[f.name] = f
+	return f
+}
+
+func newFamily(name, help string, typ metricType, labels []string) *family {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	return &family{
+		name:     name,
+		help:     help,
+		typ:      typ,
+		labels:   labels,
+		children: make(map[string]child),
+	}
+}
+
+// child lookup key: label values joined by \xff (cannot appear in valid
+// UTF-8 label positions that matter for collision since the count is
+// fixed by the schema).
+const keySep = "\xff"
+
+func (f *family) child(lvs []string, make func() child) child {
+	if len(lvs) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label values, got %d", f.name, len(f.labels), len(lvs)))
+	}
+	key := strings.Join(lvs, keySep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := make()
+	f.children[key] = c
+	return c
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v; negative v panics (counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic("telemetry: counter decreased")
+	}
+	atomicAddFloat(&c.bits, v)
+}
+
+// AddUint increases the counter by n without float conversion cost at the
+// call site beyond one cast.
+func (c *Counter) AddUint(n uint64) { c.Add(float64(n)) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) write(w io.Writer, fam *family, labelPart string) {
+	fmt.Fprintf(w, "%s%s %s\n", fam.name, labelPart, formatFloat(c.Value()))
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by v (negative to decrease).
+func (g *Gauge) Add(v float64) { atomicAddFloat(&g.bits, v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(w io.Writer, fam *family, labelPart string) {
+	fmt.Fprintf(w, "%s%s %s\n", fam.name, labelPart, formatFloat(g.Value()))
+}
+
+// gaugeFn renders a callback-backed gauge, evaluated at scrape time.
+type gaugeFn struct{ fn func() float64 }
+
+func (g *gaugeFn) write(w io.Writer, fam *family, labelPart string) {
+	fmt.Fprintf(w, "%s%s %s\n", fam.name, labelPart, formatFloat(g.fn()))
+}
+
+// Histogram accumulates observations into fixed buckets. Buckets are
+// upper bounds in increasing order; an implicit +Inf bucket catches the
+// rest. Observe is lock-free: one atomic increment for the bucket, one
+// for the count, one CAS loop for the sum.
+type Histogram struct {
+	upper   []float64
+	buckets []atomic.Uint64 // per-bucket (non-cumulative); len(upper)+1, last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(upper []float64) *Histogram {
+	for i := 1; i < len(upper); i++ {
+		if upper[i] <= upper[i-1] {
+			panic("telemetry: histogram buckets not strictly increasing")
+		}
+	}
+	return &Histogram{upper: upper, buckets: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) write(w io.Writer, fam *family, labelPart string) {
+	// Re-derive the label part with the le label appended: strip the
+	// braces and splice.
+	inner := strings.TrimSuffix(strings.TrimPrefix(labelPart, "{"), "}")
+	cum := uint64(0)
+	for i, ub := range h.upper {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, mergeLabels(inner, "le", formatFloat(ub)), cum)
+	}
+	cum += h.buckets[len(h.upper)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, mergeLabels(inner, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, labelPart, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", fam.name, labelPart, h.count.Load())
+}
+
+func mergeLabels(inner, name, value string) string {
+	pair := name + "=\"" + escapeLabel(value) + "\""
+	if inner == "" {
+		return "{" + pair + "}"
+	}
+	return "{" + inner + "," + pair + "}"
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ fam *family }
+
+// With returns the counter for the given label values (created on first
+// use). Hot paths should cache the returned pointer.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.fam.child(labelValues, func() child { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ fam *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.fam.child(labelValues, func() child { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family partitioned by labels.
+type HistogramVec struct{ fam *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	fam := v.fam
+	return fam.child(labelValues, func() child { return newHistogram(fam.buckets) }).(*Histogram)
+}
+
+// Counter registers and returns a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(newFamily(name, help, typeCounter, nil))
+	return f.child(nil, func() child { return &Counter{} }).(*Counter)
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.register(newFamily(name, help, typeCounter, labels))}
+}
+
+// Gauge registers and returns a plain gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(newFamily(name, help, typeGauge, nil))
+	return f.child(nil, func() child { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.register(newFamily(name, help, typeGauge, labels))}
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — for values that already live elsewhere (queue depth, cache
+// size) and would otherwise need double bookkeeping. fn must be safe to
+// call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(newFamily(name, help, typeGauge, nil))
+	f.mu.Lock()
+	f.children[""] = &gaugeFn{fn: fn}
+	f.mu.Unlock()
+}
+
+// Histogram registers and returns a plain histogram with the given
+// bucket upper bounds (strictly increasing; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(newFamily(name, help, typeHistogram, nil))
+	f.buckets = buckets
+	return f.child(nil, func() child { return newHistogram(buckets) }).(*Histogram)
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	f := r.register(newFamily(name, help, typeHistogram, labels))
+	f.buckets = buckets
+	return &HistogramVec{fam: f}
+}
+
+// ExpBuckets returns n bucket bounds start, start*factor, ...,
+// start*factor^(n-1) — the standard exponential latency ladder.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// families sorted by name and children by label values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var sb strings.Builder
+	for _, f := range fams {
+		f.writeTo(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func (f *family) writeTo(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ)
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	children := make([]child, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		children = append(children, f.children[k])
+	}
+	f.mu.Unlock()
+	for i, c := range children {
+		c.write(w, f, f.labelPart(keys[i]))
+	}
+}
+
+// labelPart renders the {name="value",...} selector for a child key, or
+// "" for unlabeled children.
+func (f *family) labelPart(key string) string {
+	if len(f.labels) == 0 {
+		return ""
+	}
+	values := strings.Split(key, keySep)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, name := range f.labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are
+// legal there).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders values the way Prometheus clients do: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// atomicAddFloat adds v to the float64 stored as bits in u.
+func atomicAddFloat(u *atomic.Uint64, v float64) {
+	for {
+		old := u.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if u.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return sb.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs ever.")
+	c.Inc()
+	c.Add(2.5)
+	g := r.Gauge("queue_depth", "Depth.")
+	g.Set(7)
+	g.Add(-3)
+	r.GaugeFunc("cache_entries", "Entries.", func() float64 { return 42 })
+
+	text := expose(t, r)
+	for _, want := range []string{
+		"# HELP jobs_total Jobs ever.\n# TYPE jobs_total counter\njobs_total 3.5\n",
+		"# HELP queue_depth Depth.\n# TYPE queue_depth gauge\nqueue_depth 4\n",
+		"cache_entries 42\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Families sort by name: cache_entries < jobs_total < queue_depth.
+	if !(strings.Index(text, "cache_entries") < strings.Index(text, "jobs_total") &&
+		strings.Index(text, "jobs_total") < strings.Index(text, "queue_depth")) {
+		t.Errorf("families not sorted by name:\n%s", text)
+	}
+}
+
+func TestVecLabelsAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "Requests.", "route", "code")
+	v.With("GET /v1/jobs/{id}", "200").Add(3)
+	v.With(`weird"route\with`+"\nnewline", "500").Inc()
+
+	text := expose(t, r)
+	if want := `http_requests_total{route="GET /v1/jobs/{id}",code="200"} 3`; !strings.Contains(text, want) {
+		t.Errorf("missing %q in:\n%s", want, text)
+	}
+	if want := `http_requests_total{route="weird\"route\\with\nnewline",code="500"} 1`; !strings.Contains(text, want) {
+		t.Errorf("label escaping wrong, want %q in:\n%s", want, text)
+	}
+	// Same label values must resolve to the same child.
+	v.With("GET /v1/jobs/{id}", "200").Inc()
+	if got := v.With("GET /v1/jobs/{id}", "200").Value(); got != 4 {
+		t.Errorf("child identity broken: got %v, want 4", got)
+	}
+}
+
+func TestHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+
+	text := expose(t, r)
+	wants := []string{
+		`latency_seconds_bucket{le="0.01"} 2`, // 0.005 and the boundary 0.01 (le is inclusive)
+		`latency_seconds_bucket{le="0.1"} 3`,
+		`latency_seconds_bucket{le="1"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 6`,
+		`latency_seconds_count 6`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+2+100; math.Abs(got-want) > 1e-12 {
+		t.Errorf("sum %v, want %v", got, want)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count %d, want 6", h.Count())
+	}
+	// _bucket lines must be cumulative and end at _count.
+	if !strings.Contains(text, "latency_seconds_sum 102.565") {
+		t.Errorf("missing sum line:\n%s", text)
+	}
+}
+
+func TestHistogramVecSharedBuckets(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("req_seconds", "Per-route latency.", ExpBuckets(0.001, 10, 3), "route")
+	hv.With("a").Observe(0.0005)
+	hv.With("b").Observe(5)
+	text := expose(t, r)
+	for _, want := range []string{
+		`req_seconds_bucket{route="a",le="0.001"} 1`,
+		`req_seconds_bucket{route="b",le="0.1"} 0`,
+		`req_seconds_bucket{route="b",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.5, 2, 4)
+	want := []float64{0.5, 1, 2, 4}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("x_total", "X again.")
+}
+
+// TestConcurrentUpdates hammers every metric type from many goroutines;
+// run under -race this is the registry's data-race regression test, and
+// the final values check that no increments are lost.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h_seconds", "H.", ExpBuckets(1, 2, 8))
+	cv := r.CounterVec("cv_total", "CV.", "worker")
+
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w%4))
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 300))
+				cv.With(lbl).Inc()
+				if i%100 == 0 {
+					var sb strings.Builder
+					_ = r.WritePrometheus(&sb) // concurrent scrape
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter lost updates: %v, want %v", got, goroutines*perG)
+	}
+	if got := g.Value(); got != goroutines*perG {
+		t.Errorf("gauge lost updates: %v, want %v", got, goroutines*perG)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram lost observations: %d, want %d", got, goroutines*perG)
+	}
+	total := 0.0
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += cv.With(l).Value()
+	}
+	if total != goroutines*perG {
+		t.Errorf("counter vec lost updates: %v, want %v", total, goroutines*perG)
+	}
+}

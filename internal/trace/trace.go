@@ -32,19 +32,41 @@ const (
 )
 
 // Event is one trace record. Fields are a union across kinds; unused
-// fields are omitted from the wire form.
+// fields are omitted from the wire form — except Seed and Iter, which
+// carry legitimate zero values (seed 0 is a valid seed, and resumed runs
+// may re-emit iteration 0) and are therefore always present.
 type Event struct {
 	Kind EventKind `json:"kind"`
 	// Run identity (start events).
 	Solver string `json:"solver,omitempty"`
 	Tasks  int    `json:"tasks,omitempty"`
-	Seed   uint64 `json:"seed,omitempty"`
+	Seed   uint64 `json:"seed"`
 	// Per-iteration payload.
-	Iter      int     `json:"iter,omitempty"`
+	Iter      int     `json:"iter"`
 	Gamma     float64 `json:"gamma,omitempty"`
 	Best      float64 `json:"best,omitempty"`
+	Worst     float64 `json:"worst,omitempty"`
 	Mean      float64 `json:"mean,omitempty"`
 	BestSoFar float64 `json:"best_so_far,omitempty"`
+	// Elite is the size of the iteration's elite set.
+	Elite int `json:"elite,omitempty"`
+	// Solver internals (CE iterations; zero elsewhere). Draws is the
+	// samples drawn; Pruned/Rescored count gamma-pruned draws and the
+	// rescue re-scores; RejectTries/FallbackDraws are GenPerm sampler
+	// counters; SkippedEdges counts TIG edges the pruned scorer never
+	// touched; SampleNs/SelectNs/UpdateNs are phase timings; StealUnits
+	// and IdleNs describe the worker pool's barrier behaviour.
+	Draws         int    `json:"draws,omitempty"`
+	Pruned        int    `json:"pruned,omitempty"`
+	Rescored      int    `json:"rescored,omitempty"`
+	RejectTries   uint64 `json:"reject_tries,omitempty"`
+	FallbackDraws uint64 `json:"fallback_draws,omitempty"`
+	SkippedEdges  uint64 `json:"skipped_edges,omitempty"`
+	SampleNs      int64  `json:"sample_ns,omitempty"`
+	SelectNs      int64  `json:"select_ns,omitempty"`
+	UpdateNs      int64  `json:"update_ns,omitempty"`
+	StealUnits    int    `json:"steal_units,omitempty"`
+	IdleNs        int64  `json:"idle_ns,omitempty"`
 	// Run outcome (end events).
 	Exec        float64       `json:"exec,omitempty"`
 	Iterations  int           `json:"iterations,omitempty"`
@@ -57,27 +79,47 @@ type Event struct {
 // each event is encoded and written under an internal mutex, so multiple
 // jobs may interleave whole events on one shared log stream (the matchd
 // daemon funnels every job's telemetry through a single Writer).
+// A write or flush error is sticky: every subsequent call returns it, and
+// Err reports it without side effects — callers that fire-and-forget
+// per-iteration events can check once at the end instead of on every emit.
 type Writer struct {
 	mu  sync.Mutex
+	out io.Writer
 	w   *bufio.Writer
 	enc *json.Encoder
+	err error
 }
 
-// NewWriter wraps w.
+// NewWriter wraps w. If w is an io.Closer, Close closes it.
 func NewWriter(w io.Writer) *Writer {
 	bw := bufio.NewWriter(w)
-	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+	return &Writer{out: w, w: bw, enc: json.NewEncoder(bw)}
 }
 
 // Emit appends one event atomically with respect to concurrent Emit and
-// Flush calls.
+// Flush calls. End events flush through to the underlying writer, so a
+// trace file is complete on disk the moment each run finishes even if the
+// process later dies without Close.
 func (t *Writer) Emit(e Event) error {
 	if e.Kind == "" {
 		return fmt.Errorf("trace: event without kind")
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.enc.Encode(e)
+	if t.err != nil {
+		return t.err
+	}
+	if err := t.enc.Encode(e); err != nil {
+		t.err = err
+		return err
+	}
+	if e.Kind == KindEnd {
+		if err := t.w.Flush(); err != nil {
+			t.err = err
+			return err
+		}
+	}
+	return nil
 }
 
 // Start emits a run-start event.
@@ -85,12 +127,13 @@ func (t *Writer) Start(solver string, tasks int, seed uint64) error {
 	return t.Emit(Event{Kind: KindStart, Solver: solver, Tasks: tasks, Seed: seed})
 }
 
-// Iteration emits one iteration event.
-func (t *Writer) Iteration(iter int, gamma, best, mean, bestSoFar float64) error {
-	return t.Emit(Event{Kind: KindIteration, Iter: iter, Gamma: gamma, Best: best, Mean: mean, BestSoFar: bestSoFar})
+// Iteration emits one iteration event; e.Kind is forced to KindIteration.
+func (t *Writer) Iteration(e Event) error {
+	e.Kind = KindIteration
+	return t.Emit(e)
 }
 
-// End emits a run-end event.
+// End emits a run-end event and flushes it through.
 func (t *Writer) End(exec float64, iterations int, evaluations int64, mappingTime time.Duration, stopReason string) error {
 	return t.Emit(Event{
 		Kind: KindEnd, Exec: exec, Iterations: iterations,
@@ -102,7 +145,39 @@ func (t *Writer) End(exec float64, iterations int, evaluations int64, mappingTim
 func (t *Writer) Flush() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.w.Flush()
+	if t.err != nil {
+		return t.err
+	}
+	if err := t.w.Flush(); err != nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Err reports the writer's sticky error: the first write, flush or close
+// failure, if any.
+func (t *Writer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close flushes buffered events and closes the underlying writer when it
+// is an io.Closer. It returns the writer's first error — including
+// earlier emit failures — so a single deferred Close surfaces any data
+// loss over the writer's whole life.
+func (t *Writer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if c, ok := t.out.(io.Closer); ok {
+		if err := c.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
 }
 
 // Run is one replayed run.

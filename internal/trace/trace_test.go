@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -17,7 +18,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i <= 3; i++ {
-		if err := w.Iteration(i, 100-float64(i), 90-float64(i), 95, 90-float64(i)); err != nil {
+		if err := w.Iteration(Event{Iter: i, Gamma: 100 - float64(i), Best: 90 - float64(i), Mean: 95, BestSoFar: 90 - float64(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -58,7 +59,7 @@ func TestReadMultipleRuns(t *testing.T) {
 	w := NewWriter(&buf)
 	for r := 0; r < 3; r++ {
 		w.Start("GA", 10, uint64(r))
-		w.Iteration(1, 0, 50, 60, 50)
+		w.Iteration(Event{Iter: 1, Best: 50, Mean: 60, BestSoFar: 50})
 		w.End(50, 1, 100, time.Millisecond, "generations")
 	}
 	w.Flush()
@@ -80,7 +81,7 @@ func TestReadCrashedRun(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
 	w.Start("MaTCH", 5, 1)
-	w.Iteration(1, 10, 9, 9.5, 9)
+	w.Iteration(Event{Iter: 1, Gamma: 10, Best: 9, Mean: 9.5, BestSoFar: 9})
 	// No end event: the process died.
 	w.Flush()
 	runs, err := Read(&buf)
@@ -160,6 +161,143 @@ func TestBackToBackRunsWithoutEnd(t *testing.T) {
 	}
 }
 
+// TestZeroSeedAndIterationRoundTrip is the regression test for the
+// omitempty bug: seed 0 is a valid seed and resumed runs re-emit
+// iteration 0, so both values must survive the wire even though they are
+// Go zero values.
+func TestZeroSeedAndIterationRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Start("MaTCH", 8, 0); err != nil { // seed 0, deliberately
+		t.Fatal(err)
+	}
+	if err := w.Iteration(Event{Iter: 0, Gamma: 12, Best: 10, Mean: 11, BestSoFar: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.End(10, 1, 64, time.Millisecond, "cancelled"); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []string{`"seed":0`, `"iter":0`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("wire form dropped %s:\n%s", want, buf.String())
+		}
+	}
+	runs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs[0].Start.Seed != 0 {
+		t.Errorf("seed not preserved: %+v", runs[0].Start)
+	}
+	if len(runs[0].Iterations) != 1 || runs[0].Iterations[0].Iter != 0 {
+		t.Errorf("iteration 0 not preserved: %+v", runs[0].Iterations)
+	}
+}
+
+// TestSolverInternalsRoundTrip checks the enriched iteration payload
+// survives encode/decode field-for-field.
+func TestSolverInternalsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Start("MaTCH", 16, 3)
+	in := Event{
+		Iter: 4, Gamma: 55, Best: 50, Worst: 80, Mean: 60, BestSoFar: 48,
+		Elite: 15, Draws: 512, Pruned: 300, Rescored: 7,
+		RejectTries: 1234, FallbackDraws: 56, SkippedEdges: 7890,
+		SampleNs: 150_000, SelectNs: 12_000, UpdateNs: 9_000,
+		StealUnits: 3, IdleNs: 4_500,
+	}
+	if err := w.Iteration(in); err != nil {
+		t.Fatal(err)
+	}
+	w.End(48, 4, 2048, time.Millisecond, "max-iterations")
+
+	runs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runs[0].Iterations[0]
+	in.Kind = KindIteration
+	if got != in {
+		t.Errorf("round trip mutated event:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+// failAfter fails every write once n bytes have passed through.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		return 0, errTestSink
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+var errTestSink = errors.New("sink full")
+
+func TestWriterStickyError(t *testing.T) {
+	sink := &failAfter{n: 0} // every flush fails
+	w := NewWriter(sink)
+	if err := w.Err(); err != nil {
+		t.Fatalf("fresh writer carries error %v", err)
+	}
+	// Emits buffer fine; End forces a flush that must fail and stick.
+	if err := w.End(1, 1, 1, time.Millisecond, "x"); err == nil {
+		t.Fatal("End on failing sink succeeded")
+	}
+	if w.Err() == nil {
+		t.Fatal("error did not stick")
+	}
+	if err := w.Emit(Event{Kind: KindStart}); err == nil {
+		t.Fatal("Emit after sticky error succeeded")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close lost the sticky error")
+	}
+}
+
+// closeRecorder proves Close reaches the underlying io.Closer.
+type closeRecorder struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (c *closeRecorder) Close() error { c.closed = true; return nil }
+
+func TestWriterCloseFlushesAndCloses(t *testing.T) {
+	sink := &closeRecorder{}
+	w := NewWriter(sink)
+	if err := w.Start("MaTCH", 4, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.closed {
+		t.Error("underlying closer not closed")
+	}
+	if !strings.Contains(sink.String(), `"kind":"start"`) {
+		t.Error("Close did not flush buffered events")
+	}
+}
+
+// TestEndAutoFlush: a trace file must be complete on disk after each run
+// ends, without an explicit Flush.
+func TestEndAutoFlush(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Start("MaTCH", 4, 1)
+	w.End(5, 1, 16, time.Millisecond, "done")
+	if runs, err := Read(bytes.NewReader(buf.Bytes())); err != nil || len(runs) != 1 || runs[0].End == nil {
+		t.Fatalf("end event not flushed through: runs=%v err=%v", runs, err)
+	}
+}
+
 // TestConcurrentEmit hammers one Writer from many goroutines — the
 // matchd daemon's usage pattern, where every job shares a single trace
 // stream. Run under -race it proves the Writer's locking; the decode pass
@@ -177,7 +315,7 @@ func TestConcurrentEmit(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < eventsPerGorou; i++ {
-				if err := w.Iteration(i, 1, 2, 3, 4); err != nil {
+				if err := w.Iteration(Event{Iter: i, Gamma: 1, Best: 2, Mean: 3, BestSoFar: 4}); err != nil {
 					t.Errorf("writer %d: %v", g, err)
 					return
 				}

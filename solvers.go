@@ -65,6 +65,8 @@ func (s *Solution) Checkpoint() *Checkpoint {
 }
 
 // IterationTrace is per-iteration telemetry passed to option callbacks.
+// The solver-internals block is populated by the CE solvers only; the GA
+// and baselines report just the score summary.
 type IterationTrace struct {
 	Iteration int
 	// Gamma is the CE elite threshold gamma_k (0 for the GA).
@@ -73,6 +75,26 @@ type IterationTrace struct {
 	Best, Mean, Worst float64
 	// BestSoFar is the running optimum.
 	BestSoFar float64
+	// EliteCount is the size of the iteration's elite set.
+	EliteCount int
+	// Draws is the number of samples drawn; Pruned and Rescored count the
+	// draws whose scoring was cut short by the elite threshold and the
+	// subset the rescue path re-scored exactly.
+	Draws, Pruned, Rescored int
+	// RejectTries and FallbackDraws are GenPerm sampler counters: masked
+	// rejection-sampling misses and draws resolved through the compact
+	// fallback. SkippedEdges counts TIG edges the gamma-pruned scorer
+	// never accumulated.
+	RejectTries, FallbackDraws, SkippedEdges uint64
+	// SampleNs, SelectNs and UpdateNs are the iteration's phase timings:
+	// the sample/score barrier, elite selection, and the distribution
+	// update.
+	SampleNs, SelectNs, UpdateNs int64
+	// StealUnits and IdleNs describe the sampling pool's load balance:
+	// work units claimed beyond an even share, and summed worker idle
+	// time at the iteration barrier.
+	StealUnits int
+	IdleNs     int64
 }
 
 // MaTCHOptions tunes the MaTCH solver. Zero values take the paper's
@@ -192,12 +214,24 @@ func coreOptions(opts MaTCHOptions) core.Options {
 		cb := opts.OnIteration
 		o.OnIteration = func(st ce.IterStats) {
 			cb(IterationTrace{
-				Iteration: st.Iter,
-				Gamma:     st.Gamma,
-				Best:      st.Best,
-				Mean:      st.Mean,
-				Worst:     st.Worst,
-				BestSoFar: st.BestSoFar,
+				Iteration:     st.Iter,
+				Gamma:         st.Gamma,
+				Best:          st.Best,
+				Mean:          st.Mean,
+				Worst:         st.Worst,
+				BestSoFar:     st.BestSoFar,
+				EliteCount:    st.EliteCount,
+				Draws:         st.Draws,
+				Pruned:        st.Pruned,
+				Rescored:      st.Rescored,
+				RejectTries:   st.RejectTries,
+				FallbackDraws: st.FallbackDraws,
+				SkippedEdges:  st.SkippedEdges,
+				SampleNs:      st.SampleNs,
+				SelectNs:      st.SelectNs,
+				UpdateNs:      st.UpdateNs,
+				StealUnits:    st.StealUnits,
+				IdleNs:        st.IdleNs,
 			})
 		}
 	}
