@@ -1,0 +1,64 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzJobSpecJSON fuzzes the daemon's submission document. Decoding must
+// never panic, and any accepted request must round-trip: marshal →
+// unmarshal preserves the solver, every option, and the instance
+// payload's JSON value; a second marshal is byte-stable.
+func FuzzJobSpecJSON(f *testing.F) {
+	f.Add([]byte(`{"instance":{"tig":{"n":2,"weights":[1,2],"edges":[[0,1,50]]},"platform":{"n":2,"weights":[1,1],"links":[[0,1,10]]}},"solver":"match","options":{"seed":7,"workers":2,"sample_size":8,"rho":0.05,"zeta":0.3,"max_iterations":100}}`))
+	f.Add([]byte(`{"solver":"ga","options":{"population_size":50,"generations":10,"crossover_prob":0.9,"mutation_prob":0.02}}`))
+	f.Add([]byte(`{"instance":null,"solver":"","options":{}}`))
+	f.Add([]byte(`{"options":{"seed":18446744073709551615}}`))
+	f.Add([]byte(`{"solver":"anneal","options":{"steps":-3,"unpruned_scoring":true,"polish":true}}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r1 SubmitRequest
+		if err := json.Unmarshal(data, &r1); err != nil {
+			return
+		}
+		b1, err := json.Marshal(&r1)
+		if err != nil {
+			t.Fatalf("accepted request failed to marshal: %v", err)
+		}
+		var r2 SubmitRequest
+		if err := json.Unmarshal(b1, &r2); err != nil {
+			t.Fatalf("marshalled request rejected: %v\n%s", err, b1)
+		}
+		if r2.Solver != r1.Solver {
+			t.Fatalf("solver changed in round trip: %q != %q", r2.Solver, r1.Solver)
+		}
+		if !reflect.DeepEqual(r2.Options, r1.Options) {
+			t.Fatalf("options changed in round trip:\n%+v\n%+v", r1.Options, r2.Options)
+		}
+		// The instance is a raw payload: compare as JSON values (the
+		// encoder may compact whitespace).
+		var v1, v2 any
+		if len(r1.Instance) > 0 {
+			if err := json.Unmarshal(r1.Instance, &v1); err != nil {
+				t.Fatalf("accepted instance payload is not JSON: %v", err)
+			}
+		}
+		if len(r2.Instance) > 0 {
+			if err := json.Unmarshal(r2.Instance, &v2); err != nil {
+				t.Fatalf("round-tripped instance payload is not JSON: %v", err)
+			}
+		}
+		if !reflect.DeepEqual(v1, v2) {
+			t.Fatalf("instance payload changed in round trip:\n%s\n%s", r1.Instance, r2.Instance)
+		}
+		b2, err := json.Marshal(&r2)
+		if err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("marshal not stable:\n%s\n%s", b1, b2)
+		}
+	})
+}

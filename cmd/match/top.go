@@ -19,6 +19,7 @@ import (
 
 	"matchsim/api"
 	"matchsim/client"
+	"matchsim/internal/trace"
 )
 
 // topModel folds a stream of trace-schema events into the latest view
@@ -218,7 +219,18 @@ func tailTrace(ctx context.Context, path string, model *topModel, draw func(bool
 			if line == "" {
 				continue
 			}
-			var e api.Event // trace lines share the api.Event JSON layout
+			// Trace lines share the api.Event JSON layout; decode through
+			// the trace schema first so corrupt values (negative
+			// iterations, non-finite costs) are rejected with a clear
+			// error instead of garbling the view.
+			var te trace.Event
+			if err := json.Unmarshal([]byte(line), &te); err != nil {
+				return fmt.Errorf("malformed trace line: %w", err)
+			}
+			if err := te.Validate(); err != nil {
+				return fmt.Errorf("invalid trace line: %w", err)
+			}
+			var e api.Event
 			if err := json.Unmarshal([]byte(line), &e); err != nil {
 				return fmt.Errorf("malformed trace line: %w", err)
 			}

@@ -1,0 +1,194 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"matchsim/api"
+)
+
+// These tests exist for the race detector: they hammer the result cache
+// and the SSE fan-out from many goroutines at once. Run them with
+// `go test -race ./internal/jobs`.
+
+// TestResultCacheStressTinyCapacity submits many jobs drawn from a pool
+// of specs far larger than the cache, so entries are evicted constantly
+// while readers fetch results and stats concurrently.
+func TestResultCacheStressTinyCapacity(t *testing.T) {
+	m := New(Options{Workers: 2, QueueCapacity: 256, CacheCapacity: 2})
+	defer m.Shutdown(context.Background())
+
+	const specs = 6
+	payloads := make([][]byte, specs)
+	for i := range payloads {
+		payloads[i] = instanceJSON(t, uint64(10+i), 8)
+	}
+
+	var (
+		mu  sync.Mutex
+		ids []string
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Submitters: cycle through the spec pool so keys repeat (hits) while
+	// the pool overflows the 2-entry cache (evictions).
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				spec := (g + i) % specs
+				info, err := m.Submit(api.SubmitRequest{
+					Instance: payloads[spec],
+					Solver:   api.SolverMaTCH,
+					Options:  api.SolverOptions{Seed: uint64(spec), Workers: 1, MaxIterations: 10},
+				})
+				if err != nil {
+					if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				mu.Lock()
+				ids = append(ids, info.ID)
+				mu.Unlock()
+			}
+		}(g)
+	}
+
+	// Readers: race Result/Info/Stats against worker writes and cache
+	// evictions.
+	var reads atomic.Int64
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				var id string
+				if len(ids) > 0 {
+					id = ids[(g*7+i)%len(ids)]
+				}
+				mu.Unlock()
+				if id != "" {
+					if res, err := m.Result(id); err == nil {
+						if len(res.Mapping) != 8 {
+							t.Errorf("result for %s has %d tasks", id, len(res.Mapping))
+							return
+						}
+						reads.Add(1)
+					}
+					m.Info(id)
+				}
+				m.Stats()
+			}
+		}(g)
+	}
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	st := m.Stats()
+	if st.CacheHits == 0 {
+		t.Error("stress run produced no cache hits; spec pool or duration too small")
+	}
+	if st.CacheEntries > 2 {
+		t.Errorf("cache exceeded capacity: %d entries", st.CacheEntries)
+	}
+	if reads.Load() == 0 {
+		t.Error("readers never observed a completed result")
+	}
+}
+
+// TestSubscriberChurnStress keeps a slow job emitting while subscribers
+// attach and detach as fast as they can, mixing early cancels, full
+// drains and abandoned channels.
+func TestSubscriberChurnStress(t *testing.T) {
+	m := New(Options{Workers: 1, QueueCapacity: 8})
+	defer m.Shutdown(context.Background())
+
+	info, err := m.Submit(api.SubmitRequest{
+		Instance: instanceJSON(t, 99, 12),
+		Solver:   api.SolverMaTCH,
+		Options: api.SolverOptions{
+			Seed: 99, Workers: 1,
+			MaxIterations: 1 << 20, StallC: 1 << 20, GammaStallWindow: 1 << 20,
+		},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, m, info.ID, api.StateRunning, 5*time.Second)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var churns atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ch, cancel, err := m.Subscribe(info.ID)
+				if err != nil {
+					return // job finalised under us: fine
+				}
+				switch i % 3 {
+				case 0:
+					cancel() // immediate detach
+				case 1:
+					// Read a little, then walk away without draining.
+					for j := 0; j < 4; j++ {
+						if _, ok := <-ch; !ok {
+							break
+						}
+					}
+					cancel()
+				default:
+					// Drain until the manager closes the channel.
+					cancel()
+					for range ch {
+					}
+				}
+				churns.Add(1)
+			}
+		}(g)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if churns.Load() < 10 {
+		t.Errorf("only %d subscriber churns; expected a busy run", churns.Load())
+	}
+	if _, err := m.Cancel(info.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	fin := waitTerminal(t, m, info.ID, 5*time.Second)
+	if fin.State != api.StateCancelled && fin.State != api.StateDone {
+		t.Fatalf("job ended %q", fin.State)
+	}
+}

@@ -1,0 +1,87 @@
+package stats
+
+import "math"
+
+// ChiSquareSurvival returns P(X >= x) for X ~ chi-square with k degrees
+// of freedom — the p-value of a goodness-of-fit statistic x. It is the
+// regularised upper incomplete gamma function Q(k/2, x/2).
+func ChiSquareSurvival(x float64, k int) float64 {
+	if k <= 0 || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x <= 0 {
+		return 1
+	}
+	return regIncGammaQ(float64(k)/2, x/2)
+}
+
+// regIncGammaQ computes the regularised upper incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a) for a > 0, x >= 0, using the series expansion
+// for x < a+1 and the Lentz continued fraction otherwise (Numerical
+// Recipes 6.2).
+func regIncGammaQ(a, x float64) float64 {
+	switch {
+	case a <= 0 || x < 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaSeriesP(a, x)
+	default:
+		return gammaCFQ(a, x)
+	}
+}
+
+// gammaSeriesP evaluates P(a, x) by its power series.
+func gammaSeriesP(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-14
+	)
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaCFQ evaluates Q(a, x) by the modified Lentz continued fraction.
+func gammaCFQ(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestChiSquareSurvivalPinned pins the survival function against standard
+// critical values: the 95th percentile of chi-square(k) must map to
+// p = 0.05 for the textbook thresholds.
+func TestChiSquareSurvivalPinned(t *testing.T) {
+	cases := []struct {
+		x    float64
+		k    int
+		want float64
+		tol  float64
+	}{
+		{0, 1, 1, 0},
+		{3.841, 1, 0.05, 1e-3},
+		{5.991, 2, 0.05, 1e-3},
+		{11.070, 5, 0.05, 1e-3},
+		{18.307, 10, 0.05, 1e-3},
+		// k=2 has the closed form exp(-x/2).
+		{7, 2, math.Exp(-3.5), 1e-12},
+		{1, 2, math.Exp(-0.5), 1e-12},
+	}
+	for _, c := range cases {
+		got := ChiSquareSurvival(c.x, c.k)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("ChiSquareSurvival(%v, %d) = %v, want %v ± %v", c.x, c.k, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestChiSquareSurvivalDomain(t *testing.T) {
+	if !math.IsNaN(ChiSquareSurvival(1, 0)) {
+		t.Error("k=0 should be NaN")
+	}
+	if !math.IsNaN(ChiSquareSurvival(math.NaN(), 3)) {
+		t.Error("NaN statistic should be NaN")
+	}
+	if got := ChiSquareSurvival(-2, 3); got != 1 {
+		t.Errorf("negative statistic: got %v, want 1", got)
+	}
+	// Monotone decreasing in x.
+	prev := 1.0
+	for x := 0.5; x < 50; x += 0.5 {
+		p := ChiSquareSurvival(x, 4)
+		if p > prev {
+			t.Fatalf("survival not monotone at x=%v: %v > %v", x, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("survival out of [0,1] at x=%v: %v", x, p)
+		}
+		prev = p
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"time"
 )
@@ -75,6 +76,52 @@ type Event struct {
 	StopReason  string        `json:"stop_reason,omitempty"`
 }
 
+// Validate rejects events no well-formed solver run can produce: unknown
+// kinds, non-finite costs (NaN/Inf gamma, best, worst, mean, best-so-far
+// or exec) and negative counters or timings. The Writer refuses to emit
+// such events with a clear error (json.Marshal would otherwise fail
+// cryptically on NaN, or silently encode a negative iteration), and the
+// reader rejects them instead of propagating them into consumers such as
+// matchtop.
+func (e Event) Validate() error {
+	switch e.Kind {
+	case KindStart, KindIteration, KindEnd:
+	case "":
+		return fmt.Errorf("trace: event without kind")
+	default:
+		return fmt.Errorf("trace: unknown event kind %q", e.Kind)
+	}
+	floats := [...]struct {
+		name string
+		v    float64
+	}{
+		{"gamma", e.Gamma}, {"best", e.Best}, {"worst", e.Worst},
+		{"mean", e.Mean}, {"best_so_far", e.BestSoFar}, {"exec", e.Exec},
+	}
+	for _, f := range floats {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("trace: event has non-finite %s (%v)", f.name, f.v)
+		}
+	}
+	ints := [...]struct {
+		name string
+		v    int64
+	}{
+		{"tasks", int64(e.Tasks)}, {"iter", int64(e.Iter)}, {"elite", int64(e.Elite)},
+		{"draws", int64(e.Draws)}, {"pruned", int64(e.Pruned)}, {"rescored", int64(e.Rescored)},
+		{"sample_ns", e.SampleNs}, {"select_ns", e.SelectNs}, {"update_ns", e.UpdateNs},
+		{"steal_units", int64(e.StealUnits)}, {"idle_ns", e.IdleNs},
+		{"iterations", int64(e.Iterations)}, {"evaluations", e.Evaluations},
+		{"mapping_time_ns", int64(e.MappingTime)},
+	}
+	for _, f := range ints {
+		if f.v < 0 {
+			return fmt.Errorf("trace: event has negative %s (%d)", f.name, f.v)
+		}
+	}
+	return nil
+}
+
 // Writer streams events as JSON lines. It is safe for concurrent use:
 // each event is encoded and written under an internal mutex, so multiple
 // jobs may interleave whole events on one shared log stream (the matchd
@@ -101,8 +148,8 @@ func NewWriter(w io.Writer) *Writer {
 // trace file is complete on disk the moment each run finishes even if the
 // process later dies without Close.
 func (t *Writer) Emit(e Event) error {
-	if e.Kind == "" {
-		return fmt.Errorf("trace: event without kind")
+	if err := e.Validate(); err != nil {
+		return err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -208,6 +255,12 @@ func Read(r io.Reader) ([]Run, error) {
 				break
 			}
 			return nil, fmt.Errorf("trace: malformed event at line %d: %w", lineNo, err)
+		}
+		// A line that parses but carries impossible values (negative
+		// iteration, non-finite cost) is corruption, not a torn write —
+		// reject it even at end of stream.
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: invalid event at line %d: %w", lineNo, err)
 		}
 		switch e.Kind {
 		case KindStart:

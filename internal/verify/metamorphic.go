@@ -1,0 +1,114 @@
+package verify
+
+import (
+	"fmt"
+
+	"matchsim/internal/graph"
+	"matchsim/internal/xrand"
+)
+
+// Relabel returns the instance with task indices renamed by taskPerm and
+// resource indices by resPerm (old index i becomes perm[i]). Renaming is
+// a pure change of coordinates: for any mapping m of the original
+// instance, ConjugateMapping(m, taskPerm, resPerm) has exactly the same
+// per-resource loads (up to the same renaming) and the same Exec. The
+// platform must be fully linked (its closed link matrix is copied as
+// direct links).
+func Relabel(tig *graph.TIG, platform *graph.ResourceGraph, taskPerm, resPerm []int) (*graph.TIG, *graph.ResourceGraph, error) {
+	n, r := tig.NumTasks(), platform.NumResources()
+	if err := CheckPermutation(taskPerm); err != nil || len(taskPerm) != n {
+		return nil, nil, fmt.Errorf("verify: task permutation invalid for %d tasks: %v", n, err)
+	}
+	if err := CheckPermutation(resPerm); err != nil || len(resPerm) != r {
+		return nil, nil, fmt.Errorf("verify: resource permutation invalid for %d resources: %v", r, err)
+	}
+	if !platform.FullyLinked() {
+		return nil, nil, fmt.Errorf("verify: relabel requires a fully linked platform")
+	}
+
+	nt := graph.NewTIG(n)
+	for t, w := range tig.Weights {
+		nt.Weights[taskPerm[t]] = w
+	}
+	for _, e := range tig.Edges() {
+		if err := nt.AddEdge(taskPerm[e.U], taskPerm[e.V], e.Weight); err != nil {
+			return nil, nil, fmt.Errorf("verify: relabel edge (%d,%d): %w", e.U, e.V, err)
+		}
+	}
+
+	np := graph.NewResourceGraph(r)
+	for s, c := range platform.Costs {
+		np.Costs[resPerm[s]] = c
+	}
+	for s := 0; s < r; s++ {
+		for b := s + 1; b < r; b++ {
+			if err := np.AddLink(resPerm[s], resPerm[b], platform.LinkCost(s, b)); err != nil {
+				return nil, nil, fmt.Errorf("verify: relabel link (%d,%d): %w", s, b, err)
+			}
+		}
+	}
+	return nt, np, nil
+}
+
+// ConjugateMapping renames a mapping of the original instance into the
+// coordinates of the relabeled one: task taskPerm[t] runs on resource
+// resPerm[m[t]].
+func ConjugateMapping(m, taskPerm, resPerm []int) []int {
+	out := make([]int, len(m))
+	for t, s := range m {
+		out[taskPerm[t]] = resPerm[s]
+	}
+	return out
+}
+
+// ScaleWeights returns a copy of tig with every task weight W^t and every
+// edge weight C^{i,j} multiplied by alpha > 0. Eq. (1) is linear in W and
+// C, so Exec_s and Exec of any mapping scale by exactly alpha (bit-exact
+// when alpha is a power of two).
+func ScaleWeights(tig *graph.TIG, alpha float64) (*graph.TIG, error) {
+	if !(alpha > 0) {
+		return nil, fmt.Errorf("verify: scale factor %v must be positive", alpha)
+	}
+	nt := graph.NewTIG(tig.NumTasks())
+	for t, w := range tig.Weights {
+		nt.Weights[t] = w * alpha
+	}
+	for _, e := range tig.Edges() {
+		if err := nt.AddEdge(e.U, e.V, e.Weight*alpha); err != nil {
+			return nil, fmt.Errorf("verify: scale edge (%d,%d): %w", e.U, e.V, err)
+		}
+	}
+	return nt, nil
+}
+
+// AddZeroEdges returns a copy of tig with up to k zero-weight edges added
+// between rng-chosen currently-non-adjacent task pairs. A zero-weight
+// edge contributes C^{i,j} * c_{a,b} = 0 to both endpoints, so every
+// mapping's loads — and Exec — are bit-identical to the original's. The
+// number of edges actually added is returned (fewer than k when the
+// graph is near-complete).
+func AddZeroEdges(tig *graph.TIG, k int, rng *xrand.RNG) (*graph.TIG, int, error) {
+	nt := tig.Clone()
+	n := nt.NumTasks()
+	var free [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !nt.HasEdge(u, v) {
+				free = append(free, [2]int{u, v})
+			}
+		}
+	}
+	for i := len(free) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		free[i], free[j] = free[j], free[i]
+	}
+	if k > len(free) {
+		k = len(free)
+	}
+	for _, p := range free[:k] {
+		if err := nt.AddEdge(p[0], p[1], 0); err != nil {
+			return nil, 0, fmt.Errorf("verify: zero edge (%d,%d): %w", p[0], p[1], err)
+		}
+	}
+	return nt, k, nil
+}
