@@ -55,6 +55,17 @@ type SolverOptions struct {
 	UnprunedScoring bool `json:"unpruned_scoring,omitempty"`
 	NumAgents       int  `json:"num_agents,omitempty"` // distributed only
 
+	// Multilevel routes a match job through the coarsen/solve/refine
+	// pipeline (large instances); the remaining fields tune it and the
+	// sparse-row distribution update. Zero values take the library
+	// defaults (see matchsim.MultilevelOptions / MaTCHOptions).
+	Multilevel   bool    `json:"multilevel,omitempty"`
+	MinCoarse    int     `json:"min_coarse,omitempty"`
+	CoarsenRatio float64 `json:"coarsen_ratio,omitempty"`
+	RefinePasses int     `json:"refine_passes,omitempty"`
+	SparseEps    float64 `json:"sparse_eps,omitempty"`
+	SparseCut    int     `json:"sparse_cut,omitempty"`
+
 	// GA knobs.
 	PopulationSize int     `json:"population_size,omitempty"`
 	Generations    int     `json:"generations,omitempty"`
@@ -175,6 +186,8 @@ type Event struct {
 	UpdateNs      int64  `json:"update_ns,omitempty"`
 	StealUnits    int    `json:"steal_units,omitempty"`
 	IdleNs        int64  `json:"idle_ns,omitempty"`
+	RebuiltRows   uint64 `json:"rebuilt_rows,omitempty"`
+	SkippedRows   uint64 `json:"skipped_rows,omitempty"`
 	// Run outcome (end events).
 	Exec        float64       `json:"exec,omitempty"`
 	Iterations  int           `json:"iterations,omitempty"`

@@ -48,6 +48,14 @@ type config struct {
 	zeta     float64
 	maxIters int
 	agentsN  int
+	// Large-instance knobs: the multilevel pipeline and the sparse-row
+	// distribution update.
+	multilevel   bool
+	minCoarse    int
+	coarsenRatio float64
+	refinePasses int
+	sparseEps    float64
+	sparseCut    int
 	// GA knobs.
 	pop  int
 	gens int
@@ -80,6 +88,12 @@ func main() {
 	flag.Float64Var(&cfg.zeta, "zeta", 0, "CE smoothing factor (default 0.3)")
 	flag.IntVar(&cfg.maxIters, "max-iters", 0, "CE iteration cap (default 1000)")
 	flag.IntVar(&cfg.agentsN, "agents", 0, "distributed agent count (default GOMAXPROCS)")
+	flag.BoolVar(&cfg.multilevel, "multilevel", false, "solve through the multilevel coarsen/solve/refine pipeline (large instances)")
+	flag.IntVar(&cfg.minCoarse, "min-coarse", 0, "multilevel: coarsest instance size (default 128)")
+	flag.Float64Var(&cfg.coarsenRatio, "coarsen-ratio", 0, "multilevel: abort coarsening when a step keeps more than this vertex fraction (default 0.95)")
+	flag.IntVar(&cfg.refinePasses, "refine-passes", 0, "multilevel: refinement passes per level (default 8)")
+	flag.Float64Var(&cfg.sparseEps, "sparse-eps", 0, "sparse-row update: truncate row entries below this fraction of the row maximum (0 = dense update)")
+	flag.IntVar(&cfg.sparseCut, "sparse-cut", 0, "sparse-row update: max tracked row support (default max(16, n/4); negative disables tracking)")
 	flag.IntVar(&cfg.pop, "pop", 0, "GA population size (default 500)")
 	flag.IntVar(&cfg.gens, "gens", 0, "GA generations (default 1000)")
 	flag.IntVar(&cfg.budget, "budget", 10000, "random-search samples")
@@ -188,6 +202,16 @@ func run(cfg config) error {
 		fmt.Printf("iterations:   %d\n", sol.Iterations)
 	}
 	fmt.Printf("evaluations:  %d\n", sol.Evaluations)
+	if len(sol.Levels) > 0 {
+		fmt.Printf("levels (fine to coarse):\n")
+		for i, lv := range sol.Levels {
+			fmt.Printf("  level %-2d  n=%-6d m=%-7d exec=%-10.0f coarsen=%-9v solve=%-9v refine=%v (%d swaps)\n",
+				i, lv.Tasks, lv.Edges, lv.Exec,
+				time.Duration(lv.CoarsenNs).Round(time.Microsecond),
+				time.Duration(lv.SolveNs).Round(time.Microsecond),
+				time.Duration(lv.RefineNs).Round(time.Microsecond), lv.RefineSwaps)
+		}
+	}
 	fmt.Printf("mapping (task -> resource):\n")
 	for task, res := range sol.Mapping {
 		fmt.Printf("  task %-3d -> resource %d\n", task, res)
@@ -238,6 +262,8 @@ func traceEvent(tr matchsim.IterationTrace) trace.Event {
 		UpdateNs:      tr.UpdateNs,
 		StealUnits:    tr.StealUnits,
 		IdleNs:        tr.IdleNs,
+		RebuiltRows:   tr.RebuiltRows,
+		SkippedRows:   tr.SkippedRows,
 	}
 }
 
@@ -248,6 +274,14 @@ func runMatch(problem *matchsim.Problem, cfg config, progress func(matchsim.Iter
 	opts := matchsim.MaTCHOptions{
 		SampleSize: cfg.samples, Rho: cfg.rho, Zeta: cfg.zeta,
 		MaxIterations: cfg.maxIters, Seed: cfg.seed, OnIteration: progress,
+		SparseEps: cfg.sparseEps, SparseCut: cfg.sparseCut,
+	}
+	if cfg.multilevel {
+		opts.Multilevel = &matchsim.MultilevelOptions{
+			MinCoarse:    cfg.minCoarse,
+			CoarsenRatio: cfg.coarsenRatio,
+			RefinePasses: cfg.refinePasses,
+		}
 	}
 	if cfg.checkpoint == "" {
 		return matchsim.SolveMaTCH(problem, opts)

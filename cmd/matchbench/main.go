@@ -14,6 +14,7 @@
 //	matchbench -exp table1 -json  # also write BENCH_table1.json
 //	matchbench -exp kernel -json  # hot-path micro-benchmarks -> BENCH_kernel.json + BENCH_fused.json
 //	matchbench -exp scale -json   # large-n wall-clock scaling  -> BENCH_scale.json
+//	matchbench -exp multilevel -json  # multilevel vs single-level CE -> BENCH_multilevel.json
 //	matchbench -exp kernel -compare BENCH_kernel.json  # CI regression guard
 //
 // Experiments: table1, table2, table3 (with post-hoc Welch tests; -size
@@ -23,7 +24,10 @@
 // speedups against a reference ns/op; -compare regression-checks the
 // micros against a committed baseline), scale (end-to-end Solve wall
 // clock at n = 64/128/256, pruned vs unpruned, against the recorded
-// pre-optimisation baseline), ablation-rho, ablation-zeta,
+// pre-optimisation baseline), multilevel (coarsen/solve/refine pipeline
+// vs single-level CE at n = 256..10240; -compare regression-checks the
+// quick records against a committed BENCH_multilevel.json),
+// ablation-rho, ablation-zeta,
 // ablation-samples, ablation-workers, ablation-selection,
 // ablation-warmstart, baselines, all.
 //
@@ -124,6 +128,9 @@ func run(expName string, seed uint64, size int, quick, csv, jsonOut bool, baseli
 	}
 	if expName == "scale" {
 		return runScale(seed, quick, jsonOut, quiet)
+	}
+	if expName == "multilevel" {
+		return runMultilevel(seed, quick, jsonOut, quiet, compare)
 	}
 
 	needsSweep := map[string]bool{"table1": true, "table2": true, "fig7": true, "fig8": true, "fig9": true, "all": true}
@@ -334,7 +341,7 @@ func run(expName string, seed uint64, size int, quick, csv, jsonOut bool, baseli
 		ran = true
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of table1 table2 table3 fig3 fig7 fig8 fig9 kernel scale %s baselines overset simcheck scaling convergence all)",
+		return fmt.Errorf("unknown experiment %q (want one of table1 table2 table3 fig3 fig7 fig8 fig9 kernel scale multilevel %s baselines overset simcheck scaling convergence all)",
 			expName, strings.Join([]string{"ablation-rho", "ablation-zeta", "ablation-samples", "ablation-workers", "ablation-selection", "ablation-warmstart"}, " "))
 	}
 	return nil

@@ -92,6 +92,12 @@ type SampleStats struct {
 	// FallbackDraws counts task assignments that exhausted the rejection
 	// budget and resolved through the exact compact draw.
 	FallbackDraws uint64
+	// RebuiltRows and SkippedRows count per-row lookup-table rebuilds the
+	// distribution update performed vs skipped via dirty-row tracking —
+	// the sparse-row hit-rate telemetry (a converged run skips almost
+	// every row).
+	RebuiltRows uint64
+	SkippedRows uint64
 	// SkippedEdges counts edge charges the gamma-pruned scorer never had
 	// to accumulate.
 	SkippedEdges uint64
@@ -105,6 +111,14 @@ type SampleStats struct {
 // choice) and reset on Take.
 type SampleStatsProvider interface {
 	TakeSampleStats() SampleStats
+}
+
+// BuildStatsProvider is an optional Problem extension. When implemented,
+// Run calls TakeBuildStats once per iteration — right after the Update
+// step, from the coordinator goroutine — and records how many lookup-table
+// rows the update rebuilt vs skipped via dirty-row tracking.
+type BuildStatsProvider interface {
+	TakeBuildStats() (rebuilt, skipped uint64)
 }
 
 // GammaPruner is the optional score-pruning extension of the fused path.
@@ -252,6 +266,8 @@ type IterStats struct {
 	RejectTries   uint64
 	FallbackDraws uint64
 	SkippedEdges  uint64
+	RebuiltRows   uint64
+	SkippedRows   uint64
 
 	// Phase timings: the sample/score barrier, selection (rescue
 	// re-scoring, quantile extraction, aggregation), and the distribution
@@ -364,6 +380,7 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 	pruner, _ := any(p).(GammaPruner)
 	usePrune := fused && pruner != nil && !cfg.UnprunedScoring
 	statsProvider, _ := any(p).(SampleStatsProvider)
+	buildProvider, _ := any(p).(BuildStatsProvider)
 	// The sentinel score a pruned draw reports: the direction's worst value.
 	prunedSentinel := math.Inf(1)
 	if !cfg.Minimize {
@@ -516,6 +533,9 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 			return zero, fmt.Errorf("ce: parameter update failed at iteration %d: %w", iter, err)
 		}
 		stats.UpdateNs = time.Since(updateStart).Nanoseconds()
+		if buildProvider != nil {
+			stats.RebuiltRows, stats.SkippedRows = buildProvider.TakeBuildStats()
+		}
 		res.History = append(res.History, stats)
 		res.Iterations = iter
 		if usePrune {

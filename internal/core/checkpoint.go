@@ -26,8 +26,13 @@ type Checkpoint struct {
 }
 
 // CheckpointFrom extracts a resumable checkpoint from a finished (or
-// interrupted) run's Result.
+// interrupted) run's Result. Multilevel results carry no final matrix at
+// the fine size (the CE matrix lives at the coarse level only) and return
+// nil: they are not resumable.
 func CheckpointFrom(res *Result) *Checkpoint {
+	if res.FinalMatrix == nil {
+		return nil
+	}
 	return &Checkpoint{
 		Iterations: res.Iterations,
 		Matrix:     res.FinalMatrix.Clone(),

@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,6 +107,26 @@ type Options struct {
 	Context context.Context
 	// OnIteration, when non-nil, receives telemetry each iteration.
 	OnIteration func(ce.IterStats)
+	// SparseEps > 0 switches the distribution update to the fused
+	// sparse-row kernel (stochmat.EliteUpdateRow): eq. (11) + eq. (13) in
+	// one pass with entries below SparseEps times the row maximum
+	// truncated to exact zero and the row renormalised. Truncation turns
+	// converged near-one-hot rows into exact fixed points, so their
+	// lookup-table rebuilds are skipped and their alias draws cost O(nnz).
+	// 0 (the default) keeps the paper's pure smoothing update,
+	// bit-identical to all previous releases.
+	SparseEps float64
+	// SparseCut is the nonzero-count threshold under which a row keeps an
+	// explicit support list (only meaningful with SparseEps > 0): 0 picks
+	// a default of max(16, n/4); < 0 disables support tracking, forcing
+	// the dense evaluation of the same update — the A/B arm of the
+	// sparse-vs-dense differential suite, bit-identical by construction.
+	SparseCut int
+	// Multilevel, when non-nil, solves through the multilevel pipeline —
+	// coarsen the TIG and platform by heavy-edge matching, run CE at the
+	// coarse size, then project and refine level by level — instead of
+	// running CE at full size. See MultilevelOptions.
+	Multilevel *MultilevelOptions
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -129,6 +150,12 @@ func (o Options) withDefaults(n int) Options {
 	}
 	if o.WarmStartBias == 0 {
 		o.WarmStartBias = 0.5
+	}
+	if o.SparseEps > 0 && o.SparseCut == 0 {
+		o.SparseCut = n / 4
+		if o.SparseCut < 16 {
+			o.SparseCut = 16
+		}
 	}
 	return o
 }
@@ -156,8 +183,12 @@ type Result struct {
 	History []ce.IterStats
 	// Snapshots holds matrix evolution snapshots when requested.
 	Snapshots []Snapshot
-	// FinalMatrix is the stochastic matrix at termination.
+	// FinalMatrix is the stochastic matrix at termination. Nil for
+	// multilevel runs, whose CE matrix lives at the coarse size.
 	FinalMatrix *stochmat.Matrix
+	// Levels holds per-level telemetry of a multilevel run (nil for
+	// single-level runs), ordered fine-to-coarse.
+	Levels []LevelStats
 
 	// Terminal eq. 12 state, carried for CheckpointFrom.
 	finalArgmax     []int
@@ -182,6 +213,13 @@ type problem struct {
 	alias *stochmat.AliasTable
 
 	counts []float64 // Update scratch: elite assignment frequencies
+
+	// Sparse update state (Options.SparseEps > 0): per-row ascending
+	// support lists of the counts buffer, collected while counting so the
+	// fused EliteUpdateRow kernel can run over O(nnz) columns.
+	sparseEps   float64
+	countSupIdx []int32
+	countSupLen []int32
 
 	// pruneGamma is the elite threshold the fused scorers prune against
 	// (+Inf disables). Written by ce.Run between iterations via
@@ -220,18 +258,26 @@ type fusedState struct {
 	scorer  *cost.StreamScorer
 }
 
-func newProblem(eval *cost.Evaluator, stallC, snapshotEvery int) *problem {
+func newProblem(eval *cost.Evaluator, opts Options) *problem {
 	n := eval.NumTasks()
 	pr := &problem{
 		eval:          eval,
 		n:             n,
 		p:             stochmat.NewUniform(n, n),
 		q:             stochmat.NewUniform(n, n),
-		stallC:        stallC,
-		snapshotEvery: snapshotEvery,
+		stallC:        opts.StallC,
+		snapshotEvery: opts.SnapshotEvery,
 		prevArgmax:    make([]int, n),
 		counts:        make([]float64, n*n),
 		pruneGamma:    math.Inf(1),
+	}
+	if opts.SparseEps > 0 {
+		pr.sparseEps = opts.SparseEps
+		pr.countSupIdx = make([]int32, n*n)
+		pr.countSupLen = make([]int32, n)
+		if opts.SparseCut > 0 {
+			pr.p.TrackSupport(opts.SparseCut)
+		}
 	}
 	pr.cdf = stochmat.NewRowCDF(pr.p)
 	pr.alias = stochmat.NewAliasTable(pr.p)
@@ -249,7 +295,7 @@ func newProblem(eval *cost.Evaluator, stallC, snapshotEvery int) *problem {
 			scorer:  cost.NewStreamScorer(eval),
 		}
 	}
-	if snapshotEvery > 0 {
+	if opts.SnapshotEvery > 0 {
 		pr.snapshots = append(pr.snapshots, Snapshot{Iter: 0, Matrix: pr.p.Clone()})
 	}
 	return pr
@@ -362,6 +408,14 @@ func (pr *problem) SampleScore(rng *xrand.RNG, dst []int) (float64, error) {
 // CE loop's single-threaded update phase.
 func (pr *problem) SetPruneGamma(gamma float64) { pr.pruneGamma = gamma }
 
+// TakeBuildStats implements ce.BuildStatsProvider: per-iteration
+// lookup-table rebuild counters from the alias table's dirty-row tracking
+// (the CDF skips exactly the same rows). Called from the CE loop's
+// single-threaded update phase.
+func (pr *problem) TakeBuildStats() (rebuilt, skipped uint64) {
+	return pr.alias.TakeBuildStats()
+}
+
 // Score implements ce.Problem: the application execution time.
 func (pr *problem) Score(m []int) float64 {
 	buf := pr.scratch.Get().(*[]float64)
@@ -387,18 +441,43 @@ func (pr *problem) Update(elite [][]int, zeta float64) error {
 		counts[i] = 0
 	}
 	inv := 1 / float64(len(elite))
+	useSparse := pr.sparseEps > 0
+	if useSparse {
+		for i := range pr.countSupLen {
+			pr.countSupLen[i] = 0
+		}
+	}
 	for _, m := range elite {
 		for task, res := range m {
-			counts[task*pr.n+res] += inv
+			idx := task*pr.n + res
+			if useSparse && counts[idx] == 0 {
+				pr.countSupIdx[task*pr.n+int(pr.countSupLen[task])] = int32(res)
+				pr.countSupLen[task]++
+			}
+			counts[idx] += inv
 		}
 	}
-	for i := 0; i < pr.n; i++ {
-		if err := pr.q.SetRow(i, counts[i*pr.n:(i+1)*pr.n]); err != nil {
-			return fmt.Errorf("core: update row %d: %w", i, err)
+	if useSparse {
+		// Fused eq. (11)+(13) with truncation: each row updates over the
+		// union of its own support and the elite count support — O(nnz)
+		// for converged rows — and rows the update leaves bit-identical
+		// keep their version, so refreshCDF skips them below.
+		for i := 0; i < pr.n; i++ {
+			sup := pr.countSupIdx[i*pr.n : i*pr.n+int(pr.countSupLen[i])]
+			slices.Sort(sup)
+			if _, err := pr.p.EliteUpdateRow(i, counts[i*pr.n:(i+1)*pr.n], sup, zeta, pr.sparseEps); err != nil {
+				return fmt.Errorf("core: sparse update row %d: %w", i, err)
+			}
 		}
-	}
-	if err := pr.p.Smooth(pr.q, zeta); err != nil {
-		return err
+	} else {
+		for i := 0; i < pr.n; i++ {
+			if err := pr.q.SetRow(i, counts[i*pr.n:(i+1)*pr.n]); err != nil {
+				return fmt.Errorf("core: update row %d: %w", i, err)
+			}
+		}
+		if err := pr.p.Smooth(pr.q, zeta); err != nil {
+			return err
+		}
 	}
 	pr.refreshCDF()
 
@@ -436,6 +515,9 @@ func Solve(eval *cost.Evaluator, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: MaTCH requires |Vt| = |Vr| (got %d tasks, %d resources); see ManyToOne for the general case",
 			n, eval.NumResources())
 	}
+	if opts.Multilevel != nil {
+		return solveMultilevel(eval, opts)
+	}
 	opts = opts.withDefaults(n)
 	return solveFromProblem(eval, opts, func(pr *problem) error {
 		if opts.WarmStart != nil {
@@ -449,7 +531,7 @@ func Solve(eval *cost.Evaluator, opts Options) (*Result, error) {
 // checkpoint restore) and runs the CE loop. opts must already carry
 // defaults.
 func solveFromProblem(eval *cost.Evaluator, opts Options, init func(*problem) error) (*Result, error) {
-	pr := newProblem(eval, opts.StallC, opts.SnapshotEvery)
+	pr := newProblem(eval, opts)
 	if init != nil {
 		if err := init(pr); err != nil {
 			return nil, err
@@ -469,6 +551,11 @@ func solveFromProblem(eval *cost.Evaluator, opts Options, init func(*problem) er
 		Context:         opts.Context,
 		OnIteration:     opts.OnIteration,
 	}
+
+	// Initial table construction (and any warm-start/restore refresh) is
+	// not iteration work: drain the build counters so iteration 1 reports
+	// only its own rebuilds.
+	pr.alias.TakeBuildStats()
 
 	start := time.Now()
 	ceRes, err := ce.Run[[]int](pr, cfg)

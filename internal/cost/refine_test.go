@@ -1,0 +1,139 @@
+package cost
+
+import (
+	"testing"
+
+	"matchsim/internal/gen"
+	"matchsim/internal/xrand"
+)
+
+func refineTestState(t *testing.T, seed uint64, n int) *State {
+	t.Helper()
+	inst, err := gen.PaperInstance(seed, n, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(eval, Mapping(xrand.New(seed+1).Perm(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRefineSwapsNeverWorsens: across random instances and random start
+// mappings, refinement must never increase the makespan, must keep the
+// mapping a permutation, and the incremental state must agree with a
+// from-scratch recompute afterwards.
+func TestRefineSwapsNeverWorsens(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		st := refineTestState(t, seed, 32)
+		before := st.Exec()
+		stats := RefineSwaps(st, RefineOptions{})
+		after := st.Exec()
+		if after > before {
+			t.Fatalf("seed %d: refinement worsened %v -> %v", seed, before, after)
+		}
+		if !st.Mapping().IsPermutation() {
+			t.Fatalf("seed %d: refined mapping is not a permutation", seed)
+		}
+		if got := st.eval.Exec(st.Mapping()); got != after {
+			t.Fatalf("seed %d: incremental exec %v != recomputed %v", seed, after, got)
+		}
+		if stats.Swaps > 0 && after >= before {
+			t.Fatalf("seed %d: %d swaps applied but exec did not improve", seed, stats.Swaps)
+		}
+		if stats.Probes <= 0 {
+			t.Fatalf("seed %d: no swap was ever probed", seed)
+		}
+	}
+}
+
+// TestRefineSwapsTerminatesAndRespectsCap: a one-pass cap runs exactly
+// one pass; an already-refined state converges with zero further swaps.
+func TestRefineSwapsTerminatesAndRespectsCap(t *testing.T) {
+	st := refineTestState(t, 9, 24)
+	one := RefineSwaps(st, RefineOptions{MaxPasses: 1})
+	if one.Passes != 1 {
+		t.Fatalf("capped run took %d passes, want 1", one.Passes)
+	}
+	// Run to convergence, then refine again: the second call must detect
+	// the local optimum in a single swap-free pass.
+	RefineSwaps(st, RefineOptions{})
+	again := RefineSwaps(st, RefineOptions{})
+	if again.Swaps != 0 {
+		t.Fatalf("refining a local optimum applied %d swaps", again.Swaps)
+	}
+	if again.Passes != 1 {
+		t.Fatalf("detecting convergence took %d passes, want 1", again.Passes)
+	}
+}
+
+// TestRefineSwapsDeterministic: the pass is tie-broken deterministically,
+// so identical states refine to identical mappings.
+func TestRefineSwapsDeterministic(t *testing.T) {
+	a := refineTestState(t, 21, 28)
+	b := refineTestState(t, 21, 28)
+	sa := RefineSwaps(a, RefineOptions{})
+	sb := RefineSwaps(b, RefineOptions{})
+	if sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+	ma, mb := a.Mapping(), b.Mapping()
+	for i := range ma {
+		if ma[i] != mb[i] {
+			t.Fatalf("mappings differ at task %d: %d vs %d", i, ma[i], mb[i])
+		}
+	}
+}
+
+// TestRefineSwapsImprovesBadMapping: on a deliberately inverted mapping
+// (heaviest task on the most expensive resource), refinement must find
+// at least one improving swap.
+func TestRefineSwapsImprovesBadMapping(t *testing.T) {
+	inst, err := gen.PaperInstance(4, 16, gen.DefaultPaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := NewEvaluator(inst.TIG, inst.Platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair heaviest tasks with costliest resources: usually far from a
+	// 2-swap local optimum.
+	type kv struct {
+		idx int
+		w   float64
+	}
+	tasks := make([]kv, 16)
+	res := make([]kv, 16)
+	for i := 0; i < 16; i++ {
+		tasks[i] = kv{i, inst.TIG.Weights[i]}
+		res[i] = kv{i, inst.Platform.Costs[i]}
+	}
+	for i := 1; i < 16; i++ { // insertion sort desc by weight / desc by cost
+		for j := i; j > 0 && tasks[j].w > tasks[j-1].w; j-- {
+			tasks[j], tasks[j-1] = tasks[j-1], tasks[j]
+		}
+		for j := i; j > 0 && res[j].w > res[j-1].w; j-- {
+			res[j], res[j-1] = res[j-1], res[j]
+		}
+	}
+	m := make([]int, 16)
+	for i := range m {
+		m[tasks[i].idx] = res[i].idx
+	}
+	st, err := NewState(eval, Mapping(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Exec()
+	stats := RefineSwaps(st, RefineOptions{})
+	if stats.Swaps == 0 || st.Exec() >= before {
+		t.Fatalf("no improvement on an adversarial mapping: %v -> %v (%d swaps)",
+			before, st.Exec(), stats.Swaps)
+	}
+}

@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"matchsim/internal/xrand"
+)
+
+func tigFromEdges(n int, weights []float64, edges [][3]float64) *TIG {
+	t := NewTIG(n)
+	copy(t.Weights, weights)
+	for _, e := range edges {
+		t.MustAddEdge(int(e[0]), int(e[1]), e[2])
+	}
+	return t
+}
+
+// TestHeavyEdgeMatchingBasics: heaviest edges matched first, each vertex
+// at most once, pair order = visit order (so truncating the slice keeps
+// the heaviest pairs).
+func TestHeavyEdgeMatchingBasics(t *testing.T) {
+	g := NewUndirected(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 9) // heaviest: must be matched first
+	g.MustAddEdge(2, 3, 2)
+	g.MustAddEdge(3, 4, 7) // second heaviest among remaining
+	g.MustAddEdge(4, 5, 3)
+	pairs := HeavyEdgeMatching(g)
+	// Greedy heaviest-first on the path: (1,2) then (3,4); every other
+	// edge touches a matched endpoint, so 0 and 5 stay unmatched.
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2: %v", len(pairs), pairs)
+	}
+	if pairs[0] != [2]int{1, 2} || pairs[1] != [2]int{3, 4} {
+		t.Fatalf("unexpected matching order: %v", pairs)
+	}
+	seen := map[int]bool{}
+	for _, p := range pairs {
+		if seen[p[0]] || seen[p[1]] {
+			t.Fatalf("vertex matched twice: %v", pairs)
+		}
+		seen[p[0]], seen[p[1]] = true, true
+	}
+}
+
+// TestHeavyEdgeMatchingOnlyRealEdges: the matcher is edge-driven and must
+// never pair vertices that share no edge.
+func TestHeavyEdgeMatchingOnlyRealEdges(t *testing.T) {
+	g := NewUndirected(4)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(2, 3, 1)
+	for _, p := range HeavyEdgeMatching(g) {
+		if _, ok := g.EdgeWeight(p[0], p[1]); !ok {
+			t.Fatalf("matched pair %v is not an edge", p)
+		}
+	}
+}
+
+// TestHeavyEdgeMatchingStar: a star graph can match only one of its
+// spokes — the heaviest.
+func TestHeavyEdgeMatchingStar(t *testing.T) {
+	g := NewUndirected(5)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 2, 4)
+	g.MustAddEdge(0, 3, 2)
+	g.MustAddEdge(0, 4, 3)
+	pairs := HeavyEdgeMatching(g)
+	if len(pairs) != 1 || pairs[0] != [2]int{0, 2} {
+		t.Fatalf("star matching = %v, want [[0 2]]", pairs)
+	}
+}
+
+// TestHeavyEdgeMatchingIsolatedVertices: isolated vertices simply stay
+// unmatched; an edgeless graph yields an empty matching.
+func TestHeavyEdgeMatchingIsolatedVertices(t *testing.T) {
+	g := NewUndirected(5)
+	g.MustAddEdge(1, 3, 2)
+	pairs := HeavyEdgeMatching(g)
+	if len(pairs) != 1 || pairs[0] != [2]int{1, 3} {
+		t.Fatalf("matching = %v, want [[1 3]]", pairs)
+	}
+	if got := HeavyEdgeMatching(NewUndirected(4)); len(got) != 0 {
+		t.Fatalf("edgeless graph produced pairs: %v", got)
+	}
+}
+
+// TestContractTIGConservation: total vertex weight is conserved exactly;
+// total edge weight is conserved minus the collapsed intra-pair edges;
+// parallel coarse edges (duplicate after mapping) are merged by summing.
+func TestContractTIGConservation(t *testing.T) {
+	// Square 0-1-2-3 with a diagonal: contracting {0,1} and {2,3} folds
+	// the two "vertical" edges (0-3, 1-2) into ONE coarse edge whose
+	// weight is their sum — the duplicate-edge merge case.
+	tig := tigFromEdges(4, []float64{1, 2, 3, 4}, [][3]float64{
+		{0, 1, 10}, // intra pair A — collapses
+		{2, 3, 20}, // intra pair B — collapses
+		{0, 3, 5},  // A-B
+		{1, 2, 7},  // A-B duplicate after contraction
+	})
+	c, err := ContractionFromPairs(4, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ContractTIG(tig, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.N() != 2 {
+		t.Fatalf("coarse n = %d, want 2", ct.N())
+	}
+	if ct.Weights[0] != 3 || ct.Weights[1] != 7 {
+		t.Fatalf("coarse weights %v, want [3 7]", ct.Weights)
+	}
+	if ct.M() != 1 {
+		t.Fatalf("coarse m = %d, want 1 (duplicates merged)", ct.M())
+	}
+	if w, ok := ct.Undirected.EdgeWeight(0, 1); !ok || w != 12 {
+		t.Fatalf("merged edge weight %v, want 5+7=12", w)
+	}
+	if got, want := ct.TotalWork(), tig.TotalWork(); got != want {
+		t.Fatalf("vertex weight not conserved: %v vs %v", got, want)
+	}
+	// Edge weight: fine total minus the collapsed intra-cluster edges.
+	if got, want := ct.TotalEdgeWeight(), tig.TotalEdgeWeight()-10-20; got != want {
+		t.Fatalf("edge weight %v, want %v", got, want)
+	}
+}
+
+// TestContractTIGIsolatedAndUnmatched: unmatched vertices become
+// singleton clusters with their weight intact.
+func TestContractTIGIsolatedAndUnmatched(t *testing.T) {
+	tig := tigFromEdges(5, []float64{1, 2, 3, 4, 5}, [][3]float64{{0, 1, 6}})
+	c, err := ContractionFromPairs(5, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ContractTIG(tig, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.N() != 4 {
+		t.Fatalf("coarse n = %d, want 4", ct.N())
+	}
+	if ct.TotalWork() != tig.TotalWork() {
+		t.Fatalf("vertex weight not conserved")
+	}
+	if ct.M() != 0 {
+		t.Fatalf("only edge was intra-cluster, coarse m = %d", ct.M())
+	}
+}
+
+// TestContractionFromPairsValidation: overlapping pairs and out-of-range
+// vertices are rejected; coarse ids are assigned by ascending smallest
+// member so the mapping is deterministic.
+func TestContractionFromPairsValidation(t *testing.T) {
+	if _, err := ContractionFromPairs(4, [][2]int{{0, 1}, {1, 2}}); err == nil {
+		t.Fatalf("overlapping pairs accepted")
+	}
+	if _, err := ContractionFromPairs(4, [][2]int{{0, 4}}); err == nil {
+		t.Fatalf("out-of-range vertex accepted")
+	}
+	if _, err := ContractionFromPairs(4, [][2]int{{2, 2}}); err == nil {
+		t.Fatalf("self-pair accepted")
+	}
+	c, err := ContractionFromPairs(5, [][2]int{{3, 4}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0, 2, 2} // clusters {0,2}, {1}, {3,4} by smallest member
+	for v, cv := range c.Map {
+		if cv != want[v] {
+			t.Fatalf("Map = %v, want %v", c.Map, want)
+		}
+	}
+	if c.CoarseN != 3 {
+		t.Fatalf("CoarseN = %d, want 3", c.CoarseN)
+	}
+}
+
+// TestCheapestLinkMatching: pairs are chosen cheapest-link-first on a
+// fully linked platform.
+func TestCheapestLinkMatching(t *testing.T) {
+	r := NewResourceGraphWithCosts([]float64{1, 1, 1, 1})
+	r.MustAddLink(0, 1, 9)
+	r.MustAddLink(0, 2, 1) // cheapest — matched first
+	r.MustAddLink(0, 3, 8)
+	r.MustAddLink(1, 2, 7)
+	r.MustAddLink(1, 3, 2) // cheapest among remaining
+	r.MustAddLink(2, 3, 6)
+	pairs := CheapestLinkMatching(r)
+	if len(pairs) != 2 || pairs[0] != [2]int{0, 2} || pairs[1] != [2]int{1, 3} {
+		t.Fatalf("matching = %v, want [[0 2] [1 3]]", pairs)
+	}
+}
+
+// TestContractPlatformMeans: coarse processing costs are the mean of the
+// member costs and coarse links the mean of the cross pair links.
+func TestContractPlatformMeans(t *testing.T) {
+	r := NewResourceGraphWithCosts([]float64{2, 4, 6, 10})
+	r.MustAddLink(0, 1, 1)
+	r.MustAddLink(0, 2, 2)
+	r.MustAddLink(0, 3, 3)
+	r.MustAddLink(1, 2, 4)
+	r.MustAddLink(1, 3, 5)
+	r.MustAddLink(2, 3, 6)
+	c, err := ContractionFromPairs(4, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := ContractPlatform(r, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.N() != 2 {
+		t.Fatalf("coarse n = %d, want 2", cr.N())
+	}
+	if cr.Costs[0] != 3 || cr.Costs[1] != 8 {
+		t.Fatalf("coarse costs %v, want [3 8]", cr.Costs)
+	}
+	// Cross pairs (0,2),(0,3),(1,2),(1,3) have links 2,3,4,5; mean 3.5.
+	if got := cr.LinkCost(0, 1); got != 3.5 {
+		t.Fatalf("coarse link %v, want 3.5", got)
+	}
+	if !cr.FullyLinked() {
+		t.Fatalf("coarse platform not fully linked")
+	}
+}
+
+// TestCoarsenLadderConservesWeight walks a random multi-step ladder and
+// checks the satellite invariant at every level: vertex weight exactly
+// conserved, edge weight never increasing, both sides same size.
+func TestCoarsenLadderConservesWeight(t *testing.T) {
+	rng := xrand.New(17)
+	n := 40
+	tig := NewTIG(n)
+	for i := range tig.Weights {
+		tig.Weights[i] = float64(rng.IntRange(1, 10))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.2 {
+				tig.MustAddEdge(u, v, float64(rng.IntRange(1, 5)))
+			}
+		}
+	}
+	wantWork := tig.TotalWork()
+	cur := tig
+	for level := 0; level < 4 && cur.N() > 4; level++ {
+		pairs := HeavyEdgeMatching(cur.Undirected)
+		if len(pairs) == 0 {
+			break
+		}
+		c, err := ContractionFromPairs(cur.N(), pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, err := ContractTIG(cur, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next.N() != cur.N()-len(pairs) {
+			t.Fatalf("level %d: n %d -> %d with %d pairs", level, cur.N(), next.N(), len(pairs))
+		}
+		if math.Abs(next.TotalWork()-wantWork) > 1e-9 {
+			t.Fatalf("level %d: vertex weight %v, want %v", level, next.TotalWork(), wantWork)
+		}
+		if next.TotalEdgeWeight() > cur.TotalEdgeWeight()+1e-9 {
+			t.Fatalf("level %d: edge weight grew %v -> %v",
+				level, cur.TotalEdgeWeight(), next.TotalEdgeWeight())
+		}
+		if err := next.Validate(); err != nil {
+			t.Fatalf("level %d: invalid coarse TIG: %v", level, err)
+		}
+		cur = next
+	}
+}

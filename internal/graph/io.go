@@ -27,13 +27,16 @@ type tigJSON struct {
 
 // resourceJSON is the wire form of a ResourceGraph. Only direct links are
 // serialised; CloseLinks state is recomputed on load when closed is true.
+// Platforms built from a dense link matrix with no topology (see
+// NewResourceGraphDense) serialise the matrix itself in DenseLink instead.
 type resourceJSON struct {
-	Kind   string     `json:"kind"`
-	Name   string     `json:"name,omitempty"`
-	N      int        `json:"n"`
-	Costs  []float64  `json:"costs"`
-	Links  []edgeJSON `json:"links"`
-	Closed bool       `json:"closed"`
+	Kind      string     `json:"kind"`
+	Name      string     `json:"name,omitempty"`
+	N         int        `json:"n"`
+	Costs     []float64  `json:"costs"`
+	Links     []edgeJSON `json:"links"`
+	Closed    bool       `json:"closed"`
+	DenseLink []float64  `json:"dense_link,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler for TIG.
@@ -82,6 +85,12 @@ func (r *ResourceGraph) MarshalJSON() ([]byte, error) {
 	// direct-link cost, or when every pair is finite despite a sparse
 	// topology. Detect by comparing edge count to finite-pair count.
 	out.Closed = r.FullyLinked() && len(r.Edges()) < r.N()*(r.N()-1)/2
+	if len(out.Links) == 0 && r.N() > 1 && r.FullyLinked() {
+		// Dense-constructed platform: no topology to rebuild the matrix
+		// from, so ship the matrix itself.
+		out.Closed = false
+		out.DenseLink = r.link
+	}
 	return json.Marshal(out)
 }
 
@@ -97,16 +106,26 @@ func (r *ResourceGraph) UnmarshalJSON(data []byte) error {
 	if len(in.Costs) != in.N {
 		return fmt.Errorf("graph: resource JSON has %d costs for n=%d", len(in.Costs), in.N)
 	}
-	decoded := NewResourceGraphWithCosts(in.Costs)
-	decoded.Name = in.Name
-	for _, e := range in.Links {
-		if err := decoded.AddLink(e.U, e.V, e.Weight); err != nil {
+	var decoded *ResourceGraph
+	if in.DenseLink != nil {
+		var err error
+		decoded, err = NewResourceGraphDense(in.Costs, in.DenseLink)
+		if err != nil {
 			return err
 		}
-	}
-	if in.Closed {
-		if err := decoded.CloseLinks(); err != nil {
-			return err
+		decoded.Name = in.Name
+	} else {
+		decoded = NewResourceGraphWithCosts(in.Costs)
+		decoded.Name = in.Name
+		for _, e := range in.Links {
+			if err := decoded.AddLink(e.U, e.V, e.Weight); err != nil {
+				return err
+			}
+		}
+		if in.Closed {
+			if err := decoded.CloseLinks(); err != nil {
+				return err
+			}
 		}
 	}
 	if err := decoded.Validate(); err != nil {

@@ -54,6 +54,41 @@ func NewResourceGraphWithCosts(costs []float64) *ResourceGraph {
 	return r
 }
 
+// NewResourceGraphDense builds a platform directly from a dense symmetric
+// link-cost matrix (row-major n x n, zero diagonal, finite non-negative
+// entries), bypassing per-edge topology construction — the constructor for
+// generated large platforms and coarsened platforms, whose link structure
+// is complete and would cost O(n^2) AddLink calls (or an O(n^3)
+// CloseLinks) to express through the topology. The topology graph is left
+// empty, which the cost model never observes: it reads only the closed
+// link matrix. Both slices are copied.
+func NewResourceGraphDense(costs, link []float64) (*ResourceGraph, error) {
+	n := len(costs)
+	if len(link) != n*n {
+		return nil, fmt.Errorf("graph: dense link matrix has %d entries for %d resources", len(link), n)
+	}
+	for s := 0; s < n; s++ {
+		if costs[s] < 0 || math.IsNaN(costs[s]) || math.IsInf(costs[s], 0) {
+			return nil, fmt.Errorf("graph: resource %d has invalid cost %v", s, costs[s])
+		}
+		if link[s*n+s] != 0 {
+			return nil, fmt.Errorf("graph: link matrix diagonal (%d,%d) = %v, want 0", s, s, link[s*n+s])
+		}
+		for b := s + 1; b < n; b++ {
+			v := link[s*n+b]
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("graph: link (%d,%d) has invalid cost %v", s, b, v)
+			}
+			if link[b*n+s] != v {
+				return nil, fmt.Errorf("graph: link matrix asymmetric at (%d,%d): %v vs %v", s, b, v, link[b*n+s])
+			}
+		}
+	}
+	r := NewResourceGraphWithCosts(costs)
+	copy(r.link, link)
+	return r, nil
+}
+
 // NumResources returns |Vr|.
 func (r *ResourceGraph) NumResources() int { return r.N() }
 

@@ -172,6 +172,8 @@ type managerMetrics struct {
 	rejectTries   *telemetry.Counter
 	fallbackDraws *telemetry.Counter
 	skippedEdges  *telemetry.Counter
+	rebuiltRows   *telemetry.Counter
+	skippedRows   *telemetry.Counter
 	stealUnits    *telemetry.Counter
 	idleSeconds   *telemetry.Counter
 	samplePhase   *telemetry.Histogram
@@ -199,6 +201,8 @@ func newManagerMetrics(reg *telemetry.Registry) *managerMetrics {
 		rejectTries:   reg.Counter("matchd_solver_reject_tries_total", "GenPerm rejection-sampling misses."),
 		fallbackDraws: reg.Counter("matchd_solver_fallback_draws_total", "GenPerm draws resolved through the compact fallback."),
 		skippedEdges:  reg.Counter("matchd_solver_skipped_edges_total", "TIG edges the gamma-pruned scorer never accumulated."),
+		rebuiltRows:   reg.Counter("matchd_solver_rebuilt_rows_total", "Sampling-table rows rebuilt by distribution updates."),
+		skippedRows:   reg.Counter("matchd_solver_skipped_rows_total", "Sampling-table row rebuilds skipped because the row was unchanged."),
 		stealUnits:    reg.Counter("matchd_solver_steal_units_total", "Sampling work units claimed beyond an even per-worker share."),
 		idleSeconds:   reg.Counter("matchd_solver_idle_seconds_total", "Worker time spent waiting at sampling iteration barriers."),
 		samplePhase:   reg.Histogram("matchd_solver_sample_phase_seconds", "Per-iteration sample/score barrier time.", phaseBuckets),
@@ -218,6 +222,8 @@ func (m *Manager) observeIteration(tr matchsim.IterationTrace) {
 	mm.rejectTries.AddUint(tr.RejectTries)
 	mm.fallbackDraws.AddUint(tr.FallbackDraws)
 	mm.skippedEdges.AddUint(tr.SkippedEdges)
+	mm.rebuiltRows.AddUint(tr.RebuiltRows)
+	mm.skippedRows.AddUint(tr.SkippedRows)
 	mm.stealUnits.AddUint(uint64(tr.StealUnits))
 	mm.idleSeconds.Add(float64(tr.IdleNs) / 1e9)
 	if tr.SampleNs > 0 {
@@ -574,6 +580,8 @@ func traceEvent(e api.Event) trace.Event {
 		RejectTries:   e.RejectTries,
 		FallbackDraws: e.FallbackDraws,
 		SkippedEdges:  e.SkippedEdges,
+		RebuiltRows:   e.RebuiltRows,
+		SkippedRows:   e.SkippedRows,
 		SampleNs:      e.SampleNs,
 		SelectNs:      e.SelectNs,
 		UpdateNs:      e.UpdateNs,
@@ -630,6 +638,8 @@ func (m *Manager) runJob(j *job) {
 			RejectTries:   tr.RejectTries,
 			FallbackDraws: tr.FallbackDraws,
 			SkippedEdges:  tr.SkippedEdges,
+			RebuiltRows:   tr.RebuiltRows,
+			SkippedRows:   tr.SkippedRows,
 			SampleNs:      tr.SampleNs,
 			SelectNs:      tr.SelectNs,
 			UpdateNs:      tr.UpdateNs,

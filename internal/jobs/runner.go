@@ -31,10 +31,22 @@ func (m *Manager) solve(ctx context.Context, j *job, onIter func(matchsim.Iterat
 			Seed:             o.Seed,
 			Polish:           o.Polish,
 			UnprunedScoring:  o.UnprunedScoring,
+			SparseEps:        o.SparseEps,
+			SparseCut:        o.SparseCut,
 			Context:          ctx,
 			OnIteration:      onIter,
 		}
+		if o.Multilevel {
+			opts.Multilevel = &matchsim.MultilevelOptions{
+				MinCoarse:    o.MinCoarse,
+				CoarsenRatio: o.CoarsenRatio,
+				RefinePasses: o.RefinePasses,
+			}
+		}
 		if j.resumeFrom != nil {
+			// Multilevel runs never produce checkpoints, so a resumed job is
+			// always a single-level run; drop the multilevel arm for safety.
+			opts.Multilevel = nil
 			sol, err = matchsim.ResumeMaTCH(j.problem, j.resumeFrom, opts)
 		} else {
 			sol, err = matchsim.SolveMaTCH(j.problem, opts)

@@ -11,13 +11,29 @@ import (
 // distribution — the fast path of the GenPerm rejection sampler, replacing
 // the O(log n) binary search over RowCDF. Like RowCDF it is rebuilt once
 // per CE iteration (after the eq. 13 smoothing update) and then read
-// concurrently by every sampling worker; the O(n) per-row build is
-// amortised over the N = 2n^2 draws of the iteration.
+// concurrently by every sampling worker; the per-row build is amortised
+// over the N = 2n^2 draws of the iteration.
+//
+// Two optimisations keep the rebuild off the large-n critical path:
+//
+//   - Dirty-row skip: the table remembers the matrix identity and per-row
+//     versions it was built from (Matrix.ID, Matrix.RowVersion) and
+//     rebuilds only rows whose bits actually changed — after the eq. (13)
+//     update has converged most rows, an iteration rebuilds a handful of
+//     rows instead of all n.
+//   - Support compaction: a row with nnz nonzero columns builds only nnz
+//     live slots (slot j stores its column explicitly), so draws from a
+//     converged near-one-hot row touch O(nnz) state. The slot storage
+//     keeps the fixed i*cols stride, so no reallocation ever happens at a
+//     fixed shape. For strictly positive rows the compacted table is
+//     slot-for-slot identical to the uncompacted one (nnz == cols and
+//     slot columns equal slot indices), so draw streams are unchanged.
 //
 // Each draw consumes exactly one uniform variate: the integer part of
-// u = U[0,1) * cols picks a slot, the fractional part decides between the
-// slot's own column and its alias. Columns with zero probability receive
-// zero slot mass and are never aliased to, so they are never drawn.
+// u = U[0,1) * nSup picks a live slot, the fractional part decides between
+// the slot's own column and its alias. Columns with zero probability
+// receive zero slot mass and are never aliased to, so they are never
+// drawn.
 //
 // The alias method resolves the same distribution as the inverse-CDF
 // search but maps uniform variates to columns differently, so switching a
@@ -25,22 +41,36 @@ import (
 // see the package EXPERIMENTS notes on seed-stream compatibility.
 type AliasTable struct {
 	rows, cols int
-	slots      []aliasSlot // slots[i*cols+j]: slot j of row i
+	slots      []aliasSlot // slots[i*cols+j]: live slot j of row i
+	supLen     []int32     // live slots per row (cols for degenerate rows)
 	total      []float64   // per-row weight totals (for degenerate-row detection)
 
+	// Dirty-row bookkeeping: srcID is the Matrix.ID the table mirrors,
+	// built[i] the Matrix.RowVersion row i was last built from. A Rebuild
+	// against a different matrix identity refreshes every row.
+	srcID uint64
+	built []uint64
+
+	// Cumulative row-build counters, drained by TakeBuildStats.
+	rebuiltRows uint64
+	skippedRows uint64
+
 	// build scratch, reused across Rebuild calls.
-	scaled []float64
-	small  []int32
-	large  []int32
+	scaled     []float64
+	small      []int32
+	large      []int32
+	supScratch []int32
 }
 
-// aliasSlot packs a slot's acceptance threshold and fallback column into
-// 16 bytes, so a draw's threshold compare and (on rejection) alias lookup
-// touch one cache line instead of two separate arrays.
+// aliasSlot packs a slot's acceptance threshold, own column, and fallback
+// column into 16 bytes, so a draw's threshold compare and column read
+// touch one cache line instead of separate arrays. col is the column the
+// slot accepts to — the slot index itself for uncompacted (full-support)
+// rows, the j-th nonzero column for compacted ones.
 type aliasSlot struct {
 	prob  float64
+	col   int32
 	alias int32
-	_     int32
 }
 
 // NewAliasTable builds the alias structure of m.
@@ -61,61 +91,106 @@ func (a *AliasTable) Cols() int { return a.cols }
 // holds, used to detect (numerically) empty rows.
 func (a *AliasTable) RowTotal(i int) float64 { return a.total[i] }
 
-// Rebuild refreshes the table from m, reallocating only on shape change.
-// It must not run concurrently with readers; the CE loop calls it from the
-// single-threaded Update step, right after RowCDF.Rebuild.
+// TakeBuildStats returns the number of rows rebuilt and skipped by
+// Rebuild since the last call and resets the counters. Like Rebuild it
+// must be called from single-threaded code.
+func (a *AliasTable) TakeBuildStats() (rebuilt, skipped uint64) {
+	rebuilt, skipped = a.rebuiltRows, a.skippedRows
+	a.rebuiltRows, a.skippedRows = 0, 0
+	return rebuilt, skipped
+}
+
+// Rebuild refreshes the table from m, reallocating only on shape change
+// and rebuilding only rows whose version changed since the last Rebuild
+// from the same matrix. It must not run concurrently with readers; the CE
+// loop calls it from the single-threaded Update step, right after
+// RowCDF.Rebuild.
 func (a *AliasTable) Rebuild(m *Matrix) {
+	fresh := false
 	if a.rows != m.rows || a.cols != m.cols {
 		a.rows, a.cols = m.rows, m.cols
 		a.slots = make([]aliasSlot, m.rows*m.cols)
+		a.supLen = make([]int32, m.rows)
 		a.total = make([]float64, m.rows)
+		a.built = make([]uint64, m.rows)
 		a.scaled = make([]float64, m.cols)
 		a.small = make([]int32, 0, m.cols)
 		a.large = make([]int32, 0, m.cols)
+		a.supScratch = make([]int32, m.cols)
+		fresh = true
+	}
+	if id := m.ID(); id != a.srcID {
+		a.srcID = id
+		fresh = true
 	}
 	for i := 0; i < m.rows; i++ {
-		a.buildRow(i, m.Row(i))
+		v := m.RowVersion(i)
+		if !fresh && a.built[i] == v {
+			a.skippedRows++
+			continue
+		}
+		a.buildRow(i, m)
+		a.built[i] = v
+		a.rebuiltRows++
 	}
 }
 
-// buildRow runs Vose's construction for one row. The small/large worklists
-// are processed in ascending-column order, so the table (and therefore
-// every draw stream) is deterministic for given row data.
-func (a *AliasTable) buildRow(i int, row []float64) {
+// buildRow runs Vose's construction for one row over the row's support —
+// the tracked nonzero-column list when the matrix provides one, otherwise
+// a scan. The small/large worklists are processed in ascending-column
+// order, so the table (and therefore every draw stream) is deterministic
+// for given row data.
+func (a *AliasTable) buildRow(i int, m *Matrix) {
 	n := a.cols
+	row := m.Row(i)
 	slots := a.slots[i*n : (i+1)*n]
 
+	sup, tracked := m.RowSupport(i)
+	if !tracked {
+		sup = a.supScratch[:0]
+		for j, v := range row {
+			if v != 0 {
+				sup = append(sup, int32(j))
+			}
+		}
+	}
+	// The support-only sum adds the same nonzero terms in the same order
+	// as a full-row sum (zeros contribute exactly 0), so total is
+	// bit-identical either way.
 	total := 0.0
-	for _, v := range row {
-		total += v
+	for _, c := range sup {
+		total += row[c]
 	}
 	a.total[i] = total
 	if total <= 0 {
 		// Degenerate row: samplers detect this via RowTotal and fall back
 		// to a uniform draw, but keep the table well-formed regardless.
 		for j := 0; j < n; j++ {
-			slots[j] = aliasSlot{prob: 1, alias: int32(j)}
+			slots[j] = aliasSlot{prob: 1, col: int32(j), alias: int32(j)}
 		}
+		a.supLen[i] = int32(n)
 		return
 	}
 
-	scaled := a.scaled[:n]
+	k := len(sup)
+	a.supLen[i] = int32(k)
+	scaled := a.scaled[:k]
 	small := a.small[:0]
 	large := a.large[:0]
-	scale := float64(n) / total
-	for j, v := range row {
-		scaled[j] = v * scale
-		if scaled[j] < 1 {
-			small = append(small, int32(j))
+	scale := float64(k) / total
+	for s, c := range sup {
+		scaled[s] = row[c] * scale
+		if scaled[s] < 1 {
+			small = append(small, int32(s))
 		} else {
-			large = append(large, int32(j))
+			large = append(large, int32(s))
 		}
 	}
 	for len(small) > 0 && len(large) > 0 {
 		s := small[len(small)-1]
 		small = small[:len(small)-1]
 		l := large[len(large)-1]
-		slots[s] = aliasSlot{prob: scaled[s], alias: l}
+		slots[s] = aliasSlot{prob: scaled[s], col: sup[s], alias: sup[l]}
 		scaled[l] -= 1 - scaled[s]
 		if scaled[l] < 1 {
 			large = large[:len(large)-1]
@@ -124,10 +199,10 @@ func (a *AliasTable) buildRow(i int, row []float64) {
 	}
 	// Leftovers hold (up to rounding) exactly unit mass: they always accept.
 	for _, l := range large {
-		slots[l] = aliasSlot{prob: 1, alias: l}
+		slots[l] = aliasSlot{prob: 1, col: sup[l], alias: sup[l]}
 	}
 	for _, s := range small {
-		slots[s] = aliasSlot{prob: 1, alias: s}
+		slots[s] = aliasSlot{prob: 1, col: sup[s], alias: sup[s]}
 	}
 	a.small = small[:0]
 	a.large = large[:0]
@@ -138,14 +213,15 @@ func (a *AliasTable) buildRow(i int, row []float64) {
 // carry zero acceptance mass and no alias points at them).
 func (a *AliasTable) Sample(i int, rng *xrand.RNG) int {
 	base := i * a.cols
-	u := rng.Float64() * float64(a.cols)
+	k := int(a.supLen[i])
+	u := rng.Float64() * float64(k)
 	j := int(u)
-	if j >= a.cols { // unreachable for cols < 2^52, kept as a cheap guard
-		j = a.cols - 1
+	if j >= k { // unreachable for k < 2^52, kept as a cheap guard
+		j = k - 1
 	}
 	slot := a.slots[base+j]
 	if u-float64(j) < slot.prob {
-		return j
+		return int(slot.col)
 	}
 	return int(slot.alias)
 }

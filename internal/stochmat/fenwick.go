@@ -123,6 +123,12 @@ func (f *Fenwick) weight(i int) float64 {
 type RowCDF struct {
 	rows, cols int
 	cum        []float64 // cum[i*cols+j] = sum_{k<=j} p_ik
+
+	// Dirty-row bookkeeping, mirroring AliasTable: rows whose matrix
+	// version is unchanged since the last Rebuild from the same matrix
+	// keep their prefix sums.
+	srcID uint64
+	built []uint64
 }
 
 // NewRowCDF builds the prefix-sum table of m.
@@ -132,22 +138,35 @@ func NewRowCDF(m *Matrix) *RowCDF {
 	return c
 }
 
-// Rebuild refreshes the table from m, reallocating only on shape change.
-// It must not run concurrently with readers; the CE loop calls it from
-// the single-threaded Update step.
+// Rebuild refreshes the table from m, reallocating only on shape change
+// and recomputing only rows whose version changed since the last Rebuild
+// from the same matrix. It must not run concurrently with readers; the CE
+// loop calls it from the single-threaded Update step.
 func (c *RowCDF) Rebuild(m *Matrix) {
+	fresh := false
 	if c.rows != m.rows || c.cols != m.cols {
 		c.rows, c.cols = m.rows, m.cols
 		c.cum = make([]float64, m.rows*m.cols)
+		c.built = make([]uint64, m.rows)
+		fresh = true
+	}
+	if id := m.ID(); id != c.srcID {
+		c.srcID = id
+		fresh = true
 	}
 	for i := 0; i < m.rows; i++ {
+		v := m.RowVersion(i)
+		if !fresh && c.built[i] == v {
+			continue
+		}
 		row := m.Row(i)
 		dst := c.cum[i*c.cols : (i+1)*c.cols]
 		acc := 0.0
-		for j, v := range row {
-			acc += v
+		for j, val := range row {
+			acc += val
 			dst[j] = acc
 		}
+		c.built[i] = v
 	}
 }
 

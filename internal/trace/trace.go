@@ -68,6 +68,11 @@ type Event struct {
 	UpdateNs      int64  `json:"update_ns,omitempty"`
 	StealUnits    int    `json:"steal_units,omitempty"`
 	IdleNs        int64  `json:"idle_ns,omitempty"`
+	// RebuiltRows and SkippedRows count the sampling-table rows the
+	// iteration's distribution update rebuilt versus skipped as unchanged
+	// (sparse-row runs; both zero on the dense path).
+	RebuiltRows uint64 `json:"rebuilt_rows,omitempty"`
+	SkippedRows uint64 `json:"skipped_rows,omitempty"`
 	// Run outcome (end events).
 	Exec        float64       `json:"exec,omitempty"`
 	Iterations  int           `json:"iterations,omitempty"`

@@ -1,0 +1,109 @@
+package verify
+
+import (
+	"fmt"
+
+	"matchsim/internal/graph"
+)
+
+// CheckContraction verifies the structural invariants of one coarsening
+// step, independently of the optimised contraction code:
+//
+//   - total vertex weight is conserved exactly (cluster sums are
+//     reorderings of integer-weighted terms on the paper generators);
+//   - total edge weight is conserved up to the collapsed intra-cluster
+//     edges: sum(coarse edges) = sum(fine edges) - sum(fine edges whose
+//     endpoints share a cluster);
+//   - every fine cross-cluster edge has a corresponding coarse edge, and
+//     every coarse edge is backed by at least one fine edge.
+func CheckContraction(fine, coarse *graph.TIG, c graph.Contraction) error {
+	if fine == nil || coarse == nil {
+		return fmt.Errorf("verify: nil TIG")
+	}
+	if len(c.Map) != fine.N() {
+		return fmt.Errorf("verify: contraction maps %d vertices, fine TIG has %d", len(c.Map), fine.N())
+	}
+	if c.CoarseN != coarse.N() {
+		return fmt.Errorf("verify: contraction CoarseN %d != coarse TIG size %d", c.CoarseN, coarse.N())
+	}
+	// Vertex weight per cluster, summed naively in fine-vertex order.
+	clusterW := make([]float64, c.CoarseN)
+	for v, cv := range c.Map {
+		if cv < 0 || cv >= c.CoarseN {
+			return fmt.Errorf("verify: vertex %d mapped to cluster %d outside [0,%d)", v, cv, c.CoarseN)
+		}
+		clusterW[cv] += fine.Weights[v]
+	}
+	var fineW, coarseW float64
+	for _, w := range fine.Weights {
+		fineW += w
+	}
+	for _, w := range coarse.Weights {
+		coarseW += w
+	}
+	if fineW != coarseW {
+		return fmt.Errorf("verify: total vertex weight %v -> %v not conserved", fineW, coarseW)
+	}
+	// Edge weight: accumulate the expected coarse weight per cluster pair.
+	type pair struct{ u, v int }
+	want := map[pair]float64{}
+	var intra float64
+	for _, e := range fine.Edges() {
+		cu, cv := c.Map[e.U], c.Map[e.V]
+		if cu == cv {
+			intra += e.Weight
+			continue
+		}
+		if cu > cv {
+			cu, cv = cv, cu
+		}
+		want[pair{cu, cv}] += e.Weight
+	}
+	fineE := fine.TotalEdgeWeight()
+	coarseE := coarse.TotalEdgeWeight()
+	const tol = 1e-9
+	if diff := coarseE - (fineE - intra); diff > tol || diff < -tol {
+		return fmt.Errorf("verify: edge weight %v, want %v (fine %v - intra %v)",
+			coarseE, fineE-intra, fineE, intra)
+	}
+	for _, e := range coarse.Edges() {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		w, ok := want[pair{u, v}]
+		if !ok {
+			return fmt.Errorf("verify: coarse edge (%d,%d) has no fine counterpart", e.U, e.V)
+		}
+		if diff := e.Weight - w; diff > tol || diff < -tol {
+			return fmt.Errorf("verify: coarse edge (%d,%d) weight %v, want %v", e.U, e.V, e.Weight, w)
+		}
+		delete(want, pair{u, v})
+	}
+	if len(want) != 0 {
+		return fmt.Errorf("verify: %d fine cross-cluster edge groups missing from the coarse TIG", len(want))
+	}
+	return nil
+}
+
+// CheckProjection verifies the uncoarsening contract between two
+// adjacent ladder levels: the fine mapping is a permutation, the
+// fine->coarse maps cover it, and refinement never worsened it —
+// refinedExec <= projectedExec (up to a tolerance for non-integral
+// instances).
+//
+// tmap/rmap are the fine->coarse task/resource maps of the finer level;
+// fineMapping the refined fine solution; projectedExec/refinedExec the
+// makespans before and after refinement as reported by the solver.
+func CheckProjection(tmap, rmap, fineMapping []int, projectedExec, refinedExec, tol float64) error {
+	if err := CheckPermutation(fineMapping); err != nil {
+		return fmt.Errorf("verify: projected mapping: %w", err)
+	}
+	if len(tmap) != len(fineMapping) || len(rmap) != len(fineMapping) {
+		return fmt.Errorf("verify: map sizes %d/%d != mapping size %d", len(tmap), len(rmap), len(fineMapping))
+	}
+	if refinedExec > projectedExec+tol {
+		return fmt.Errorf("verify: refinement worsened the mapping: %v -> %v", projectedExec, refinedExec)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package verify
+
+import (
+	"fmt"
+
+	"matchsim/internal/stochmat"
+	"matchsim/internal/xrand"
+)
+
+// CheckSparseDenseUpdate runs `rounds` random elite-count updates through
+// two matrices — one with support tracking enabled (the O(nnz) sparse-row
+// path), one without (the dense evaluation of the same kernel) — and
+// demands bit identity after every round: row values, change flags and
+// row versions. On integer-grained counts the two evaluation orders visit
+// exactly the same nonzero terms (zeros contribute exactly 0.0), so any
+// divergence is a real bug in the support bookkeeping.
+func CheckSparseDenseUpdate(seed uint64, n, rounds int, zeta, eps float64) error {
+	if n < 2 || rounds < 1 {
+		return fmt.Errorf("verify: bad sparse differential shape n=%d rounds=%d", n, rounds)
+	}
+	rng := xrand.New(seed)
+	sparse := stochmat.NewUniform(n, n)
+	sparse.TrackSupport(n)
+	dense := stochmat.NewUniform(n, n)
+	counts := make([]float64, n)
+	for round := 0; round < rounds; round++ {
+		i := rng.Intn(n)
+		for j := range counts {
+			counts[j] = 0
+		}
+		var sup []int32
+		for _, c := range rng.SampleWithoutReplacement(n, 1+rng.Intn(n/2)) {
+			counts[c] = float64(rng.IntRange(1, 16))
+		}
+		for j, c := range counts {
+			if c != 0 {
+				sup = append(sup, int32(j))
+			}
+		}
+		cs, errS := sparse.EliteUpdateRow(i, counts, sup, zeta, eps)
+		cd, errD := dense.EliteUpdateRow(i, counts, nil, zeta, eps)
+		if errS != nil || errD != nil {
+			return fmt.Errorf("verify: sparse differential round %d: %v / %v", round, errS, errD)
+		}
+		if cs != cd {
+			return fmt.Errorf("verify: round %d: change flags diverge (sparse %v, dense %v)", round, cs, cd)
+		}
+		sr, dr := sparse.Row(i), dense.Row(i)
+		for j := range sr {
+			if sr[j] != dr[j] {
+				return fmt.Errorf("verify: round %d row %d col %d: sparse %v != dense %v",
+					round, i, j, sr[j], dr[j])
+			}
+		}
+		if sparse.RowVersion(i) != dense.RowVersion(i) {
+			return fmt.Errorf("verify: round %d row %d: versions diverge (%d vs %d)",
+				round, i, sparse.RowVersion(i), dense.RowVersion(i))
+		}
+	}
+	return nil
+}
+
+// CheckSparseSampling verifies that the support-compacted alias table
+// built from a tracked matrix draws the same stream as the full-width
+// table built from an untracked copy of the same rows. Strictly positive
+// rows compact to the identity layout, so the streams must be
+// bit-identical draw by draw; rows with exact zeros never emit a
+// zero-weight column from either table.
+func CheckSparseSampling(m *stochmat.Matrix, seed uint64, draws int) error {
+	if m == nil {
+		return fmt.Errorf("verify: nil matrix")
+	}
+	tracked := m.Clone()
+	tracked.TrackSupport(tracked.Cols())
+	plain := m.Clone()
+	atT := stochmat.NewAliasTable(tracked)
+	atP := stochmat.NewAliasTable(plain)
+	rngT, rngP := xrand.New(seed), xrand.New(seed)
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		allPositive := true
+		for _, v := range row {
+			if v == 0 {
+				allPositive = false
+				break
+			}
+		}
+		for d := 0; d < draws; d++ {
+			ct, cp := atT.Sample(i, rngT), atP.Sample(i, rngP)
+			if allPositive && ct != cp {
+				return fmt.Errorf("verify: row %d draw %d: tracked %d != plain %d", i, d, ct, cp)
+			}
+			if row[ct] == 0 || row[cp] == 0 {
+				return fmt.Errorf("verify: row %d draw %d: zero-weight column drawn (%d/%d)", i, d, ct, cp)
+			}
+		}
+	}
+	return nil
+}

@@ -32,6 +32,9 @@ type Solution struct {
 	// Context cut the run short, or the CE-specific reasons
 	// ("distribution-converged", "gamma-stall", "max-iterations").
 	StopReason string
+	// Levels holds per-level telemetry of a multilevel MaTCH run, ordered
+	// fine-to-coarse; nil for single-level runs and other solvers.
+	Levels []LevelStats
 
 	// coreRes retains the CE engine state of a SolveMaTCH/ResumeMaTCH run
 	// so Checkpoint can extract a resumable snapshot.
@@ -95,6 +98,44 @@ type IterationTrace struct {
 	// time at the iteration barrier.
 	StealUnits int
 	IdleNs     int64
+	// RebuiltRows and SkippedRows count the distribution-table rows the
+	// iteration's update actually rebuilt versus skipped because the row
+	// had not changed (sparse-row runs; both 0 on the dense path).
+	RebuiltRows, SkippedRows uint64
+}
+
+// MultilevelOptions tunes the multilevel MaTCH pipeline: coarsen the TIG
+// and the platform in lockstep by heavy-edge / cheapest-link matching,
+// solve the coarse instance with CE, then project the solution back up
+// the ladder with 2-swap refinement at every level. Because the CE
+// sample budget N = 2n^2 is paid at the coarse n, instances with tens of
+// thousands of tasks become solvable in seconds. Zero values take the
+// defaults documented per field.
+type MultilevelOptions struct {
+	// MinCoarse is the vertex count the coarsener aims for (default 128).
+	MinCoarse int
+	// CoarsenRatio aborts coarsening when one step would keep more than
+	// this fraction of the current vertices (default 0.95).
+	CoarsenRatio float64
+	// RefinePasses caps the refinement passes per level (default 8).
+	RefinePasses int
+}
+
+// LevelStats is per-level telemetry of a multilevel run, ordered
+// fine-to-coarse (index 0 is the original instance).
+type LevelStats struct {
+	// Tasks and Edges are the instance size at this level.
+	Tasks, Edges int
+	// CoarsenNs, SolveNs and RefineNs are the phase timings: building the
+	// next-coarser level, the coarse CE solve (coarsest level only), and
+	// the post-projection refinement (all levels above the coarsest).
+	CoarsenNs, SolveNs, RefineNs int64
+	// RefinePasses, RefineSwaps and RefineProbes account the refinement
+	// work at this level.
+	RefinePasses, RefineSwaps int
+	RefineProbes              int64
+	// Exec is the makespan of this level's mapping after refinement.
+	Exec float64
 }
 
 // MaTCHOptions tunes the MaTCH solver. Zero values take the paper's
@@ -132,6 +173,23 @@ type MaTCHOptions struct {
 	// either way (pruning is a pure strength reduction); the switch
 	// exists for benchmarking and as an escape hatch.
 	UnprunedScoring bool
+	// Multilevel, when non-nil, routes the solve through the multilevel
+	// coarsen/solve/refine pipeline — the large-n configuration. Such
+	// runs are not checkpointable and report per-level stats in
+	// Solution.Levels.
+	Multilevel *MultilevelOptions
+	// SparseEps enables the sparse-row distribution update: after each
+	// eq. (13) smoothing step, row entries below SparseEps times the row
+	// maximum are truncated to exactly zero and the row renormalised, so
+	// converged rows become exact fixed points whose sampling tables are
+	// never rebuilt. 0 keeps the bit-exact legacy update; 1e-4 is a
+	// reasonable strength for large instances.
+	SparseEps float64
+	// SparseCut bounds the per-row support size the sparse path tracks:
+	// rows with more nonzeros than this fall back to dense handling.
+	// 0 derives max(16, n/4); negative disables support tracking while
+	// keeping the SparseEps truncation (a differential-testing arm).
+	SparseCut int
 	// Context, when non-nil, cancels the run: the solver stops within at
 	// most one iteration. A run with at least one completed iteration
 	// returns its best-so-far Solution with StopReason "cancelled" (and,
@@ -165,7 +223,7 @@ func ResumeMaTCH(p *Problem, c *Checkpoint, opts MaTCHOptions) (*Solution, error
 }
 
 func matchSolution(res *core.Result) *Solution {
-	return &Solution{
+	s := &Solution{
 		Mapping:     res.Mapping,
 		Exec:        res.Exec,
 		MappingTime: res.MappingTime,
@@ -175,6 +233,24 @@ func matchSolution(res *core.Result) *Solution {
 		StopReason:  string(res.StopReason),
 		coreRes:     res,
 	}
+	if len(res.Levels) > 0 {
+		s.Solver = "MaTCH-multilevel"
+		s.Levels = make([]LevelStats, len(res.Levels))
+		for i, lv := range res.Levels {
+			s.Levels[i] = LevelStats{
+				Tasks:        lv.Tasks,
+				Edges:        lv.Edges,
+				CoarsenNs:    lv.CoarsenNs,
+				SolveNs:      lv.SolveNs,
+				RefineNs:     lv.RefineNs,
+				RefinePasses: lv.RefinePasses,
+				RefineSwaps:  lv.RefineSwaps,
+				RefineProbes: lv.RefineProbes,
+				Exec:         lv.Exec,
+			}
+		}
+	}
+	return s
 }
 
 // SolveMaTCHManyToOne runs the generalised MaTCH that permits any number
@@ -208,7 +284,16 @@ func coreOptions(opts MaTCHOptions) core.Options {
 		WarmStart:        opts.WarmStart,
 		Polish:           opts.Polish,
 		UnprunedScoring:  opts.UnprunedScoring,
+		SparseEps:        opts.SparseEps,
+		SparseCut:        opts.SparseCut,
 		Context:          opts.Context,
+	}
+	if opts.Multilevel != nil {
+		o.Multilevel = &core.MultilevelOptions{
+			MinCoarse:    opts.Multilevel.MinCoarse,
+			CoarsenRatio: opts.Multilevel.CoarsenRatio,
+			RefinePasses: opts.Multilevel.RefinePasses,
+		}
 	}
 	if opts.OnIteration != nil {
 		cb := opts.OnIteration
@@ -232,6 +317,8 @@ func coreOptions(opts MaTCHOptions) core.Options {
 				UpdateNs:      st.UpdateNs,
 				StealUnits:    st.StealUnits,
 				IdleNs:        st.IdleNs,
+				RebuiltRows:   st.RebuiltRows,
+				SkippedRows:   st.SkippedRows,
 			})
 		}
 	}
