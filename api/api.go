@@ -66,6 +66,25 @@ type SolverOptions struct {
 	SparseEps    float64 `json:"sparse_eps,omitempty"`
 	SparseCut    int     `json:"sparse_cut,omitempty"`
 
+	// Islands routes a match job through the island-model ensemble: I
+	// independent CE islands exchanging elites and blending P-matrix rows
+	// every MigrateEvery iterations. Islands <= 1 keeps the plain
+	// single-population path (bit-identical). Mutually exclusive with
+	// Multilevel. Zero values of the remaining knobs take the library
+	// defaults (see matchsim.IslandOptions).
+	Islands        int     `json:"islands,omitempty"`
+	IslandTopology string  `json:"island_topology,omitempty"`
+	MigrateEvery   int     `json:"migrate_every,omitempty"`
+	MigrantCount   int     `json:"migrant_count,omitempty"`
+	BlendAlpha     float64 `json:"blend_alpha,omitempty"`
+	// IslandSession and IslandHosts configure the HTTP transport for a
+	// multi-daemon cooperative solve: hosts[g] is the base URL of the
+	// matchd node running island g ("" = this node), and IslandSession
+	// names the shared exchange session on every node's island board.
+	// Leave IslandHosts empty for a single-node (in-memory) ensemble.
+	IslandSession string   `json:"island_session,omitempty"`
+	IslandHosts   []string `json:"island_hosts,omitempty"`
+
 	// GA knobs.
 	PopulationSize int     `json:"population_size,omitempty"`
 	Generations    int     `json:"generations,omitempty"`
@@ -125,6 +144,12 @@ type JobInfo struct {
 	// Resumed marks a job restored from a persisted checkpoint after a
 	// daemon restart.
 	Resumed bool `json:"resumed,omitempty"`
+	// DegradedResume marks a resumed job whose original options requested
+	// a mode the checkpoint cannot restore (multilevel pipeline or island
+	// ensemble): the job re-ran on the plain single-population path warm-
+	// started from the checkpoint, so its trajectory differs from an
+	// uninterrupted run.
+	DegradedResume bool `json:"degraded_resume,omitempty"`
 }
 
 // JobResult is the document returned by GET /v1/jobs/{id}/result.
@@ -188,6 +213,12 @@ type Event struct {
 	IdleNs        int64  `json:"idle_ns,omitempty"`
 	RebuiltRows   uint64 `json:"rebuilt_rows,omitempty"`
 	SkippedRows   uint64 `json:"skipped_rows,omitempty"`
+	// Island-model telemetry (island runs only): which island produced
+	// this iteration and its exchange-round activity.
+	Island      int `json:"island,omitempty"`
+	MigrantsIn  int `json:"migrants_in,omitempty"`
+	MigrantsOut int `json:"migrants_out,omitempty"`
+	BlendRounds int `json:"blend_rounds,omitempty"`
 	// Run outcome (end events).
 	Exec        float64       `json:"exec,omitempty"`
 	Iterations  int           `json:"iterations,omitempty"`

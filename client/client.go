@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -136,7 +137,19 @@ func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (a
 // every event, history first. It returns when the job ends (nil), ctx is
 // cancelled, or the stream breaks.
 func (c *Client) Events(ctx context.Context, id string, fn func(api.Event)) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	return c.EventsFrom(ctx, id, 0, fn)
+}
+
+// EventsFrom is Events starting at buffered-event index from: the daemon
+// skips the first from events of the job's history, so a caller that
+// already consumed them (a reconnect after a dropped stream) resumes
+// exactly where it left off.
+func (c *Client) EventsFrom(ctx context.Context, id string, from int, fn func(api.Event)) error {
+	path := c.base + "/v1/jobs/" + id + "/events"
+	if from > 0 {
+		path += "?from=" + fmt.Sprint(from)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return err
 	}
@@ -199,7 +212,11 @@ type JobWatcher struct {
 //
 // The stream replays the job's buffered history first, then follows it
 // live until the job reaches a terminal state, ctx is cancelled, or the
-// connection breaks.
+// stream fails for good. A dropped connection is not fatal: the watcher
+// reconnects with exponential backoff, resuming from the last event it
+// delivered (the daemon's ?from= index), so consumers see every event
+// exactly once across reconnects. Only errors no retry can fix — a 4xx
+// from the daemon, a cancelled context — end the watch.
 func (c *Client) WatchJob(ctx context.Context, id string) (*JobWatcher, error) {
 	// Probe the job first so an unknown id fails here, typed, instead of
 	// surfacing from the first Next call.
@@ -214,7 +231,7 @@ func (c *Client) WatchJob(ctx context.Context, id string) (*JobWatcher, error) {
 	}
 	go func() {
 		defer close(w.done)
-		err := c.Events(ctx, id, func(e api.Event) {
+		err := c.watch(ctx, id, func(e api.Event) {
 			select {
 			case w.events <- e:
 			case <-ctx.Done():
@@ -225,6 +242,63 @@ func (c *Client) WatchJob(ctx context.Context, id string) (*JobWatcher, error) {
 		}
 	}()
 	return w, nil
+}
+
+// watch is WatchJob's reconnect loop: stream events from the last seen
+// index, and on a retryable failure (transport error, 5xx) back off
+// exponentially — 100ms doubling to a 5s cap, reset whenever a connection
+// makes progress — and resubscribe from where the stream dropped. It
+// returns nil once the job's end event has been delivered or the job is
+// otherwise terminal, and an error only when no retry can fix it (4xx).
+func (c *Client) watch(ctx context.Context, id string, deliver func(api.Event)) error {
+	const (
+		initialBackoff = 100 * time.Millisecond
+		maxBackoff     = 5 * time.Second
+	)
+	seen := 0
+	sawEnd := false
+	backoff := initialBackoff
+	for {
+		before := seen
+		err := c.EventsFrom(ctx, id, seen, func(e api.Event) {
+			seen++
+			if e.Kind == "end" {
+				sawEnd = true
+			}
+			deliver(e)
+		})
+		switch {
+		case ctx.Err() != nil:
+			return nil // Close or caller cancellation, not a failure
+		case err == nil && sawEnd:
+			return nil
+		case err == nil:
+			// Clean EOF without an end event: the daemon closed the
+			// stream mid-job (e.g. it is shutting down). If the job is
+			// already terminal there is nothing more to stream; otherwise
+			// fall through and reconnect.
+			if info, ierr := c.Info(ctx, id); ierr == nil && api.TerminalState(info.State) {
+				return nil
+			}
+		default:
+			var apiErr *api.Error
+			if errors.As(err, &apiErr) && apiErr.Status < 500 {
+				return err // the daemon rejected us; retrying cannot help
+			}
+		}
+		if seen > before {
+			backoff = initialBackoff // the connection worked; start fresh
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
 }
 
 // Next blocks until the next event arrives. ok is false once the stream

@@ -9,6 +9,7 @@
 //	match -in inst.json -solver ga -pop 500 -gens 1000
 //	match -in inst.json -solver distributed -agents 4
 //	match -in inst.json -solver match -checkpoint run.ckpt
+//	match -in inst.json -solver match -islands 4 -migrate-every 10 -blend-alpha 0.2
 //	match -top -job j00000001 -daemon http://127.0.0.1:8080
 //	match -top -tail run.jsonl
 //
@@ -56,6 +57,13 @@ type config struct {
 	refinePasses int
 	sparseEps    float64
 	sparseCut    int
+	// Island-model knobs (match solver): islands > 1 splits the run into
+	// an ensemble of CE islands exchanging elites and blending P rows.
+	islands        int
+	islandTopology string
+	migrateEvery   int
+	migrants       int
+	blendAlpha     float64
 	// GA knobs.
 	pop  int
 	gens int
@@ -94,6 +102,11 @@ func main() {
 	flag.IntVar(&cfg.refinePasses, "refine-passes", 0, "multilevel: refinement passes per level (default 8)")
 	flag.Float64Var(&cfg.sparseEps, "sparse-eps", 0, "sparse-row update: truncate row entries below this fraction of the row maximum (0 = dense update)")
 	flag.IntVar(&cfg.sparseCut, "sparse-cut", 0, "sparse-row update: max tracked row support (default max(16, n/4); negative disables tracking)")
+	flag.IntVar(&cfg.islands, "islands", 0, "island-model ensemble size I (match solver; 0/1 = single population)")
+	flag.StringVar(&cfg.islandTopology, "island-topology", "", "island exchange topology: ring | all (default ring)")
+	flag.IntVar(&cfg.migrateEvery, "migrate-every", 0, "islands: exchange interval in CE iterations (default 10)")
+	flag.IntVar(&cfg.migrants, "migrants", 0, "islands: elite migrants sent per exchange (default 4; negative disables migration)")
+	flag.Float64Var(&cfg.blendAlpha, "blend-alpha", 0, "islands: peer weight of the P-matrix row blend, in [0,1) (0 disables blending)")
 	flag.IntVar(&cfg.pop, "pop", 0, "GA population size (default 500)")
 	flag.IntVar(&cfg.gens, "gens", 0, "GA generations (default 1000)")
 	flag.IntVar(&cfg.budget, "budget", 10000, "random-search samples")
@@ -133,6 +146,12 @@ func run(cfg config) error {
 
 	if cfg.checkpoint != "" && cfg.solver != "match" {
 		return fmt.Errorf("-checkpoint applies only to the match solver (got %q)", cfg.solver)
+	}
+	if cfg.islands > 1 && cfg.checkpoint != "" {
+		return fmt.Errorf("-checkpoint cannot be combined with -islands (island ensembles are not resumable)")
+	}
+	if cfg.islands > 1 && cfg.solver != "match" {
+		return fmt.Errorf("-islands applies only to the match solver (got %q)", cfg.solver)
 	}
 
 	var tw *trace.Writer
@@ -264,6 +283,10 @@ func traceEvent(tr matchsim.IterationTrace) trace.Event {
 		IdleNs:        tr.IdleNs,
 		RebuiltRows:   tr.RebuiltRows,
 		SkippedRows:   tr.SkippedRows,
+		Island:        tr.Island,
+		MigrantsIn:    tr.MigrantsIn,
+		MigrantsOut:   tr.MigrantsOut,
+		BlendRounds:   tr.BlendRounds,
 	}
 }
 
@@ -281,6 +304,15 @@ func runMatch(problem *matchsim.Problem, cfg config, progress func(matchsim.Iter
 			MinCoarse:    cfg.minCoarse,
 			CoarsenRatio: cfg.coarsenRatio,
 			RefinePasses: cfg.refinePasses,
+		}
+	}
+	if cfg.islands > 1 {
+		opts.Islands = &matchsim.IslandOptions{
+			Count:        cfg.islands,
+			Topology:     cfg.islandTopology,
+			MigrateEvery: cfg.migrateEvery,
+			MigrantCount: cfg.migrants,
+			BlendAlpha:   cfg.blendAlpha,
 		}
 	}
 	if cfg.checkpoint == "" {

@@ -35,6 +35,14 @@ type topModel struct {
 	bestHist  []float64 // BestSoFar per iteration, for the sparkline
 	gammaHist []float64
 	end       *api.Event
+
+	// Island-model view state: per-island best-so-far plus cumulative
+	// exchange activity. The islands line renders only when the stream
+	// carries more than one island.
+	islandBest  map[int]float64
+	migrantsIn  int
+	migrantsOut int
+	blendRounds int
 }
 
 func (m *topModel) observe(e api.Event) {
@@ -48,6 +56,13 @@ func (m *topModel) observe(e api.Event) {
 		m.iters++
 		m.bestHist = append(m.bestHist, e.BestSoFar)
 		m.gammaHist = append(m.gammaHist, e.Gamma)
+		if m.islandBest == nil {
+			m.islandBest = make(map[int]float64)
+		}
+		m.islandBest[e.Island] = e.BestSoFar
+		m.migrantsIn += e.MigrantsIn
+		m.migrantsOut += e.MigrantsOut
+		m.blendRounds += e.BlendRounds
 	case "end":
 		end := e
 		m.end = &end
@@ -117,6 +132,16 @@ func (m *topModel) render() string {
 				time.Duration(e.UpdateNs).Round(time.Microsecond),
 				e.StealUnits,
 				time.Duration(e.IdleNs).Round(time.Microsecond))
+		}
+		if len(m.islandBest) > 1 {
+			best, bestIsland := 0.0, -1
+			for g, v := range m.islandBest {
+				if bestIsland < 0 || v < best || (v == best && g < bestIsland) {
+					best, bestIsland = v, g
+				}
+			}
+			fmt.Fprintf(&sb, "islands %-4d migrants in/out %d/%d   blends %-6d leader island %d (%.4g)\n",
+				len(m.islandBest), m.migrantsIn, m.migrantsOut, m.blendRounds, bestIsland, best)
 		}
 	}
 	if m.end != nil {

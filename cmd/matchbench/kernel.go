@@ -31,6 +31,11 @@ type benchRecord struct {
 	// SpeedupVsBaseline is NsPerOp of the -baseline reference divided by
 	// this record's NsPerOp; only set when -baseline is given.
 	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+	// Iterations and ReachedTarget are set by the island time-to-target
+	// study: iterations consumed, and whether the arm met the
+	// single-island reference ET (NsPerOp is then the time to reach it).
+	Iterations    int  `json:"iterations,omitempty"`
+	ReachedTarget bool `json:"reached_target,omitempty"`
 }
 
 // benchFile is the BENCH_<name>.json document.

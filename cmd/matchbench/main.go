@@ -15,6 +15,7 @@
 //	matchbench -exp kernel -json  # hot-path micro-benchmarks -> BENCH_kernel.json + BENCH_fused.json
 //	matchbench -exp scale -json   # large-n wall-clock scaling  -> BENCH_scale.json
 //	matchbench -exp multilevel -json  # multilevel vs single-level CE -> BENCH_multilevel.json
+//	matchbench -exp island -json  # island-model time-to-target -> BENCH_island.json
 //	matchbench -exp kernel -compare BENCH_kernel.json  # CI regression guard
 //
 // Experiments: table1, table2, table3 (with post-hoc Welch tests; -size
@@ -26,7 +27,9 @@
 // clock at n = 64/128/256, pruned vs unpruned, against the recorded
 // pre-optimisation baseline), multilevel (coarsen/solve/refine pipeline
 // vs single-level CE at n = 256..10240; -compare regression-checks the
-// quick records against a committed BENCH_multilevel.json),
+// quick records against a committed BENCH_multilevel.json), island
+// (island-model ensembles at I = 1/2/4/8: wall time to reach the
+// single-island 200-iteration ET, plus a migration-interval sweep),
 // ablation-rho, ablation-zeta,
 // ablation-samples, ablation-workers, ablation-selection,
 // ablation-warmstart, baselines, all.
@@ -131,6 +134,9 @@ func run(expName string, seed uint64, size int, quick, csv, jsonOut bool, baseli
 	}
 	if expName == "multilevel" {
 		return runMultilevel(seed, quick, jsonOut, quiet, compare)
+	}
+	if expName == "island" {
+		return runIsland(seed, quick, jsonOut, quiet)
 	}
 
 	needsSweep := map[string]bool{"table1": true, "table2": true, "fig7": true, "fig8": true, "fig9": true, "all": true}
@@ -341,7 +347,7 @@ func run(expName string, seed uint64, size int, quick, csv, jsonOut bool, baseli
 		ran = true
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of table1 table2 table3 fig3 fig7 fig8 fig9 kernel scale multilevel %s baselines overset simcheck scaling convergence all)",
+		return fmt.Errorf("unknown experiment %q (want one of table1 table2 table3 fig3 fig7 fig8 fig9 kernel scale multilevel island %s baselines overset simcheck scaling convergence all)",
 			expName, strings.Join([]string{"ablation-rho", "ablation-zeta", "ablation-samples", "ablation-workers", "ablation-selection", "ablation-warmstart"}, " "))
 	}
 	return nil

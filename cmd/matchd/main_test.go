@@ -158,6 +158,96 @@ func TestEndToEndSmoke(t *testing.T) {
 	}
 }
 
+// TestTwoDaemonIslandSolve is the cooperative island smoke: two matchd
+// processes each solve half of one I=4 ensemble, exchanging elite
+// migrants and P-row blends over the /v1/islands HTTP transport, and
+// both must report a result bit-identical to the same ensemble run
+// in-process over the in-memory transport. Gated by MATCH_E2E_ISLANDS=1
+// (CI runs it under -race); the interesting properties — cross-process
+// rendezvous, HTTP JSON float64 round-trips, the global-best reduction
+// agreeing on every node — need real sockets, not httptest.
+func TestTwoDaemonIslandSolve(t *testing.T) {
+	if os.Getenv("MATCH_E2E_ISLANDS") == "" {
+		t.Skip("set MATCH_E2E_ISLANDS=1 to run the two-daemon island smoke")
+	}
+	bin := buildDaemon(t)
+	_, baseA := startDaemon(t, bin)
+	_, baseB := startDaemon(t, bin)
+	ctx := context.Background()
+	cA, cB := client.New(baseA), client.New(baseB)
+
+	p, err := matchsim.GeneratePaper(11, 20)
+	if err != nil {
+		t.Fatalf("GeneratePaper: %v", err)
+	}
+	var inst bytes.Buffer
+	if err := p.WriteInstance(&inst); err != nil {
+		t.Fatalf("WriteInstance: %v", err)
+	}
+
+	// The in-memory reference: the identical ensemble inside one process.
+	direct, err := matchsim.SolveMaTCH(p, matchsim.MaTCHOptions{
+		Seed: 7, Workers: 1, MaxIterations: 40,
+		Islands: &matchsim.IslandOptions{
+			Count: 4, Topology: "ring", MigrateEvery: 5, MigrantCount: 2, BlendAlpha: 0.2,
+		},
+	})
+	if err != nil {
+		t.Fatalf("SolveMaTCH: %v", err)
+	}
+
+	// Each daemon solves two of the four islands; the hosts vector tells
+	// it where the others live. Both jobs share the session name.
+	submit := func(c *client.Client, hosts []string) api.JobInfo {
+		t.Helper()
+		info, err := c.Submit(ctx, api.SubmitRequest{
+			Instance: inst.Bytes(), Solver: api.SolverMaTCH,
+			Options: api.SolverOptions{
+				Seed: 7, Workers: 1, MaxIterations: 40,
+				Islands: 4, IslandTopology: "ring", MigrateEvery: 5,
+				MigrantCount: 2, BlendAlpha: 0.2,
+				IslandSession: "e2e-island-smoke", IslandHosts: hosts,
+			},
+		})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		return info
+	}
+	infoA := submit(cA, []string{"", "", baseB, baseB})
+	infoB := submit(cB, []string{baseA, baseA, "", ""})
+
+	waitCtx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	defer cancel()
+	results := make([]api.JobResult, 2)
+	for i, pair := range []struct {
+		c  *client.Client
+		id string
+	}{{cA, infoA.ID}, {cB, infoB.ID}} {
+		final, err := pair.c.Wait(waitCtx, pair.id, 20*time.Millisecond)
+		if err != nil {
+			t.Fatalf("Wait node %d: %v", i, err)
+		}
+		if final.State != api.StateDone {
+			t.Fatalf("node %d job ended %q (error %q), want done", i, final.State, final.Error)
+		}
+		res, err := pair.c.Result(ctx, pair.id)
+		if err != nil {
+			t.Fatalf("Result node %d: %v", i, err)
+		}
+		results[i] = res
+	}
+
+	for i, res := range results {
+		if res.Exec != direct.Exec {
+			t.Errorf("node %d exec %v != in-memory ensemble exec %v", i, res.Exec, direct.Exec)
+		}
+		if !reflect.DeepEqual(res.Mapping, direct.Mapping) {
+			t.Errorf("node %d mapping %v != in-memory ensemble mapping %v", i, res.Mapping, direct.Mapping)
+		}
+	}
+}
+
 // scrapeValue finds an unlabelled sample in a Prometheus text exposition.
 func scrapeValue(text, name string) (float64, bool) {
 	for _, line := range strings.Split(text, "\n") {

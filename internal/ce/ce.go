@@ -195,6 +195,38 @@ type Config struct {
 	Context context.Context
 	// OnIteration, when non-nil, receives telemetry after each iteration.
 	OnIteration func(IterStats)
+
+	// Island labels this run's IterStats.Island — the index of this run
+	// within an island-model ensemble (see RunIslands). Purely a label;
+	// the exchange hook itself rides on IslandRun (Config is not generic
+	// over the solution type).
+	Island int
+}
+
+// ExchangeFunc is the island-exchange hook (see IslandRun). It runs on
+// the coordinator goroutine between iterations — the same goroutine that
+// calls Update — so it may safely mutate the problem's sampling
+// distribution; that is its purpose: publish the local elite, block for
+// peer state, and fold it in (migrant injection, P-row blending). elite
+// holds the iteration's elite solutions best-first with their scores;
+// both are reused buffers, so anything shared with peers must be copied.
+// The returned ExchangeResult reports what was folded in; migrants in
+// In/InScores better than the incumbent become the new best-so-far. An
+// error aborts the run unless ctx is already cancelled, in which case
+// the run finalises as cancelled with the incumbent result.
+type ExchangeFunc[S any] func(ctx context.Context, iter int, elite []S, scores []float64) (ExchangeResult[S], error)
+
+// ExchangeResult is what an ExchangeFunc folded into the local search.
+type ExchangeResult[S any] struct {
+	// In holds the immigrant solutions injected this round, with their
+	// scores in InScores (len(InScores) == len(In)); the framework only
+	// reads them to maintain best-so-far, ownership stays with the hook.
+	In       []S
+	InScores []float64
+	// Out counts the elite solutions published to peers this round.
+	Out int
+	// BlendRounds counts P-blending applications this round (0 or 1).
+	BlendRounds int
 }
 
 func (c Config) withDefaults() Config {
@@ -281,6 +313,15 @@ type IterStats struct {
 	// worker idle time at the barrier.
 	StealUnits int
 	IdleNs     int64
+
+	// Island-model fields (zero outside island runs). Island labels which
+	// island produced this iteration; the counters record the exchange
+	// that followed it. All four are part of the deterministic search
+	// trajectory, so Search() keeps them.
+	Island      int
+	MigrantsIn  int
+	MigrantsOut int
+	BlendRounds int
 }
 
 // Search returns the stats with the wall-clock-dependent runtime fields
@@ -324,10 +365,20 @@ var ErrNoProgress = errors.New("ce: sampler failed to produce any valid solution
 // Run executes the CE loop on p under cfg and returns the best solution
 // found across all iterations (not merely the final distribution's mode).
 func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
+	return run(p, cfg, 0, nil)
+}
+
+// run is the CE loop shared by Run and RunIslands; exchange, when
+// non-nil, fires after the Update step of every exchangeEvery-th
+// iteration.
+func run[S any](p Problem[S], cfg Config, exchangeEvery int, exchange ExchangeFunc[S]) (Result[S], error) {
 	cfg = cfg.withDefaults()
 	var zero Result[S]
 	if err := cfg.validate(); err != nil {
 		return zero, err
+	}
+	if exchange != nil && exchangeEvery < 1 {
+		return zero, fmt.Errorf("ce: exchange hook with interval %d < 1", exchangeEvery)
 	}
 
 	n := cfg.SampleSize
@@ -338,6 +389,10 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 	scores := make([]float64, n)
 	order := make([]int, n)
 	elite := make([]S, 0, n)
+	var eliteScores []float64
+	if exchange != nil {
+		eliteScores = make([]float64, 0, n)
+	}
 
 	eliteCount := int(math.Floor(cfg.Rho * float64(n)))
 	if eliteCount < 1 {
@@ -490,6 +545,7 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 		gamma := scores[order[eliteCount-1]]
 		stats := IterStats{
 			Iter:       iter,
+			Island:     cfg.Island,
 			Gamma:      gamma,
 			Best:       scores[order[0]],
 			Worst:      worst,
@@ -536,6 +592,37 @@ func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
 		if buildProvider != nil {
 			stats.RebuiltRows, stats.SkippedRows = buildProvider.TakeBuildStats()
 		}
+
+		// Island exchange: after the local Update (peers receive this
+		// iteration's elite and post-update P) and before the stop checks
+		// (a migrant can break a stall). Runs on the coordinator goroutine
+		// between sampling barriers, so the hook may mutate the problem.
+		if exchange != nil && iter%exchangeEvery == 0 {
+			eliteScores = eliteScores[:0]
+			for _, idx := range order[:eliteCount] {
+				eliteScores = append(eliteScores, scores[idx])
+			}
+			ex, err := exchange(ctx, iter, elite, eliteScores)
+			if err != nil {
+				if ctx.Err() != nil {
+					// The exchange aborted because the run was cancelled;
+					// this iteration's exchange is torn, keep the incumbent.
+					return cancelled()
+				}
+				return zero, fmt.Errorf("ce: island exchange failed at iteration %d: %w", iter, err)
+			}
+			stats.MigrantsIn = len(ex.In)
+			stats.MigrantsOut = ex.Out
+			stats.BlendRounds = ex.BlendRounds
+			for i, m := range ex.In {
+				if better(ex.InScores[i], res.BestScore) {
+					res.BestScore = ex.InScores[i]
+					p.Copy(res.Best, m)
+				}
+			}
+			stats.BestSoFar = res.BestScore
+		}
+
 		res.History = append(res.History, stats)
 		res.Iterations = iter
 		if usePrune {

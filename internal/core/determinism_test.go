@@ -80,5 +80,9 @@ func sameIterSearchStats(a, b ce.IterStats) bool {
 		a.Rescored == b.Rescored &&
 		a.RejectTries == b.RejectTries &&
 		a.FallbackDraws == b.FallbackDraws &&
-		a.SkippedEdges == b.SkippedEdges
+		a.SkippedEdges == b.SkippedEdges &&
+		a.Island == b.Island &&
+		a.MigrantsIn == b.MigrantsIn &&
+		a.MigrantsOut == b.MigrantsOut &&
+		a.BlendRounds == b.BlendRounds
 }

@@ -127,6 +127,12 @@ type Options struct {
 	// coarse size, then project and refine level by level — instead of
 	// running CE at full size. See MultilevelOptions.
 	Multilevel *MultilevelOptions
+	// Islands, when non-nil with Count > 1, runs the island-model
+	// ensemble: Count cooperating CE searches exchanging elites and/or
+	// blending P rows every few iterations. See IslandOptions. Mutually
+	// exclusive with Multilevel. Count <= 1 is ignored — the run takes
+	// the plain single-island path, bit-identical to Islands == nil.
+	Islands *IslandOptions
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -189,6 +195,10 @@ type Result struct {
 	// Levels holds per-level telemetry of a multilevel run (nil for
 	// single-level runs), ordered fine-to-coarse.
 	Levels []LevelStats
+	// Islands is the island count of an island-model run (0 for plain
+	// runs). History then interleaves all local islands' iterations,
+	// ordered by (Iter, Island).
+	Islands int
 
 	// Terminal eq. 12 state, carried for CheckpointFrom.
 	finalArgmax     []int
@@ -514,6 +524,12 @@ func Solve(eval *cost.Evaluator, opts Options) (*Result, error) {
 	if eval.NumResources() != n {
 		return nil, fmt.Errorf("core: MaTCH requires |Vt| = |Vr| (got %d tasks, %d resources); see ManyToOne for the general case",
 			n, eval.NumResources())
+	}
+	if opts.Islands != nil && opts.Islands.Count > 1 {
+		if opts.Multilevel != nil {
+			return nil, fmt.Errorf("core: islands cannot be combined with the multilevel pipeline")
+		}
+		return solveIslands(eval, opts)
 	}
 	if opts.Multilevel != nil {
 		return solveMultilevel(eval, opts)

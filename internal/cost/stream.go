@@ -79,7 +79,7 @@ type StreamScorer struct {
 	skippedEdges int
 	pruned       bool
 	placedCnt    int
-	totalLoad float64 // sum of all charges so far (compute + both comm halves)
+	totalLoad    float64 // sum of all charges so far (compute + both comm halves)
 	// minTail[k] is a lower bound on the total compute the n-k tasks still
 	// unplaced after k placements must add: the sum of the n-k smallest
 	// per-task minimum compute times (bounds.PerTaskMinCompute), built

@@ -6,13 +6,22 @@
 //	GET    /v1/jobs/{id}/result finished job's mapping  → 200 JobResult
 //	DELETE /v1/jobs/{id}        cancel a job            → 200 JobInfo
 //	GET    /v1/jobs/{id}/events live progress (SSE)     → text/event-stream
+//	POST   /v1/islands/{session}/packets  island-exchange packet from a peer node → 204
+//	GET    /v1/islands/{session}          island session status     → 200
 //	GET    /healthz             liveness                → 200 {"status":"ok"}
 //	GET    /metrics             Prometheus text format  → 200
 //
 // Every non-2xx response body is an api.Error document. The SSE stream
-// replays the job's event history, then follows it live; each `data:`
-// payload is one api.Event JSON document (the internal trace schema), so
-// concatenating them yields a valid trace stream.
+// replays the job's event history, then follows it live (an optional
+// ?from=N query resumes the replay at event index N, so a reconnecting
+// client skips what it already saw); each `data:` payload is one
+// api.Event JSON document (the internal trace schema), so concatenating
+// them yields a valid trace stream.
+//
+// The /v1/islands routes are the cooperative-solve fabric: a matchd node
+// solving part of an island-model job POSTs exchange packets to the
+// nodes running the peer islands, which file them on the local board for
+// their islands to consume.
 package httpapi
 
 import (
@@ -24,6 +33,7 @@ import (
 	"time"
 
 	"matchsim/api"
+	"matchsim/internal/island"
 	"matchsim/internal/jobs"
 	"matchsim/internal/telemetry"
 )
@@ -61,6 +71,8 @@ func New(m *jobs.Manager) *Server {
 	s.handle("GET /v1/jobs/{id}/result", s.result)
 	s.handle("DELETE /v1/jobs/{id}", s.cancel)
 	s.handle("GET /v1/jobs/{id}/events", s.events)
+	s.handle("POST /v1/islands/{session}/packets", s.islandPost)
+	s.handle("GET /v1/islands/{session}", s.islandStatus)
 	s.handle("GET /healthz", s.healthz)
 	s.handle("GET /metrics", s.metrics)
 	return s
@@ -187,8 +199,18 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 // events streams a job's progress as server-sent events: the buffered
 // history first, then live events until the job ends or the client goes
 // away. Terminal jobs get their full history and an immediate close.
+// ?from=N skips the first N buffered events, resuming a dropped stream.
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
-	ch, detach, err := s.manager.Subscribe(r.PathValue("id"))
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid from index %q", q)
+			return
+		}
+		from = n
+	}
+	ch, detach, err := s.manager.SubscribeFrom(r.PathValue("id"), from)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -224,6 +246,34 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// islandPost files an island-exchange packet from a cooperating matchd
+// node on the local board, where the islands of the shared session wait
+// for it. Malformed packets and count mismatches are 400s (the peer will
+// not succeed by retrying); an accepted packet is a 204.
+func (s *Server) islandPost(w http.ResponseWriter, r *http.Request) {
+	var req island.PostRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid packet body: %v", err)
+		return
+	}
+	if err := s.manager.Board().Post(r.PathValue("session"), req.Count, req.Packet); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// islandStatus reports an island session's exchange progress.
+func (s *Server) islandStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.manager.Board().Status(r.PathValue("session"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown island session %q", r.PathValue("session"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,214 @@
+package island
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Board is the rendezvous point packets flow through: a named-session
+// store where islands post packets and wait for their peers'. One Board
+// serves a whole process — the in-memory transport gives each run a
+// private one, while a matchd node shares a single Board between its
+// local islands and the /v1/islands HTTP handlers that deliver remote
+// packets into it.
+//
+// Retention: exchanges are bulk-synchronous, so once island g posts round
+// r every consumer of its round r-1 packet has already read it (they
+// could not otherwise have produced the round r-1 exchange g needed to
+// reach round r). Posting round r therefore prunes g's packets below
+// round r-1, bounding memory to O(islands) packets per session.
+type Board struct {
+	mu       sync.Mutex
+	sessions map[string]*boardSession
+	order    []string // creation order, for cap eviction
+	cap      int
+}
+
+type boardSession struct {
+	count  int
+	rounds map[int]map[int]Packet // island -> round -> packet
+	done   map[int]Packet         // island -> terminal packet
+	// changed is closed and replaced on every post; waiters re-check the
+	// store after each closure (a broadcast, in channel form).
+	changed chan struct{}
+}
+
+// maxSessions bounds leaked sessions from cooperators that die without
+// dropping theirs; eviction is oldest-first.
+const maxSessions = 128
+
+// NewBoard returns an empty board.
+func NewBoard() *Board {
+	return &Board{sessions: make(map[string]*boardSession), cap: maxSessions}
+}
+
+// getLocked finds or creates a session; the caller holds b.mu.
+func (b *Board) getLocked(name string, count int) (*boardSession, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("island: session %q with count %d", name, count)
+	}
+	if s, ok := b.sessions[name]; ok {
+		if s.count != count {
+			return nil, fmt.Errorf("island: session %q has %d islands, peer claims %d", name, s.count, count)
+		}
+		return s, nil
+	}
+	for len(b.sessions) >= b.cap && len(b.order) > 0 {
+		delete(b.sessions, b.order[0])
+		b.order = b.order[1:]
+	}
+	s := &boardSession{
+		count:   count,
+		rounds:  make(map[int]map[int]Packet),
+		done:    make(map[int]Packet),
+		changed: make(chan struct{}),
+	}
+	b.sessions[name] = s
+	b.order = append(b.order, name)
+	return s, nil
+}
+
+// Post stores a packet and wakes all waiters. count is the session's
+// island count; the first post materialises the session, later posts with
+// a different count are rejected (two jobs accidentally sharing a session
+// name fail loudly instead of cross-feeding).
+func (b *Board) Post(name string, count int, p Packet) error {
+	if p.Island < 0 || p.Island >= count {
+		return fmt.Errorf("island: packet from island %d outside [0,%d)", p.Island, count)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, err := b.getLocked(name, count)
+	if err != nil {
+		return err
+	}
+	if p.Done {
+		s.done[p.Island] = p
+	} else {
+		m := s.rounds[p.Island]
+		if m == nil {
+			m = make(map[int]Packet)
+			s.rounds[p.Island] = m
+		}
+		m[p.Round] = p
+		for r := range m {
+			if r < p.Round-1 {
+				delete(m, r)
+			}
+		}
+	}
+	close(s.changed)
+	s.changed = make(chan struct{})
+	return nil
+}
+
+// Wait blocks until island's packet for round (or island's terminal
+// packet, whichever exists first) is available, creating the session if
+// this waiter arrives before any post.
+func (b *Board) Wait(ctx context.Context, name string, count, island, round int) (Packet, error) {
+	for {
+		b.mu.Lock()
+		s, err := b.getLocked(name, count)
+		if err != nil {
+			b.mu.Unlock()
+			return Packet{}, err
+		}
+		if p, ok := s.rounds[island][round]; ok {
+			b.mu.Unlock()
+			return p, nil
+		}
+		if p, ok := s.done[island]; ok {
+			b.mu.Unlock()
+			return p, nil
+		}
+		ch := s.changed
+		b.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return Packet{}, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// WaitDone blocks until island's terminal packet is available.
+func (b *Board) WaitDone(ctx context.Context, name string, count, island int) (Packet, error) {
+	for {
+		b.mu.Lock()
+		s, err := b.getLocked(name, count)
+		if err != nil {
+			b.mu.Unlock()
+			return Packet{}, err
+		}
+		if p, ok := s.done[island]; ok {
+			b.mu.Unlock()
+			return p, nil
+		}
+		ch := s.changed
+		b.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return Packet{}, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// Drop removes a session and wakes its waiters (they re-create an empty
+// session and block again; callers are expected to be cancelled alongside
+// the drop).
+func (b *Board) Drop(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.sessions[name]
+	if !ok {
+		return
+	}
+	delete(b.sessions, name)
+	for i, n := range b.order {
+		if n == name {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// IslandStatus is one island's progress within a session snapshot.
+type IslandStatus struct {
+	Island    int  `json:"island"`
+	LastRound int  `json:"last_round"` // -1 when no exchange packet yet
+	Done      bool `json:"done"`
+}
+
+// SessionStatus is the introspection snapshot served by
+// GET /v1/islands/{session}.
+type SessionStatus struct {
+	Session string         `json:"session"`
+	Count   int            `json:"count"`
+	Islands []IslandStatus `json:"islands"`
+}
+
+// Status reports a session snapshot; ok is false for unknown sessions.
+func (b *Board) Status(name string) (SessionStatus, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.sessions[name]
+	if !ok {
+		return SessionStatus{}, false
+	}
+	st := SessionStatus{Session: name, Count: s.count, Islands: make([]IslandStatus, s.count)}
+	for g := 0; g < s.count; g++ {
+		is := IslandStatus{Island: g, LastRound: -1}
+		for r := range s.rounds[g] {
+			if r > is.LastRound {
+				is.LastRound = r
+			}
+		}
+		_, is.Done = s.done[g]
+		st.Islands[g] = is
+	}
+	return st, true
+}

@@ -1,0 +1,127 @@
+// Package island implements the exchange layer of island-model CE: I
+// independent CE searches ("islands") periodically trade state — elite
+// mappings (migration) and/or stochastic-matrix rows (convex blending) —
+// over a pluggable Transport.
+//
+// The package deliberately knows nothing about the CE method itself. An
+// island hands the transport an opaque Packet every exchange round and
+// receives its peers' packets for the same round back; what goes into a
+// packet (migrants, P rows) and how incoming packets are folded into the
+// local search is the caller's business (internal/core). Keeping the layer
+// dumb is what lets the same exchange logic run in-process (goroutine
+// islands sharing one Board) and across matchd nodes (packets POSTed
+// between daemons) with bit-identical results: float64 values survive
+// JSON round-trips exactly in Go, so a packet read off the wire carries
+// the same bits as one passed through memory.
+//
+// Determinism contract: exchanges are bulk-synchronous. Round r of island
+// g blocks until every peer's round-r packet (or that peer's terminal
+// packet) has arrived, and peers are always folded in ascending island
+// order, so the information an island sees is a pure function of (seed,
+// topology, island count) — never of scheduling.
+package island
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// Topology names an exchange graph over the islands.
+type Topology string
+
+const (
+	// Ring connects island g to (g-1) mod I and (g+1) mod I.
+	Ring Topology = "ring"
+	// All connects every island to every other island.
+	All Topology = "all"
+)
+
+// ParseTopology validates a topology name; the empty string means Ring.
+func ParseTopology(s string) (Topology, error) {
+	switch Topology(s) {
+	case "", Ring:
+		return Ring, nil
+	case All:
+		return All, nil
+	}
+	return "", fmt.Errorf("island: unknown topology %q (want %q or %q)", s, Ring, All)
+}
+
+// Peers returns the islands that exchange with island g under topo, in
+// ascending order and excluding g itself. Every topology here is
+// symmetric: q ∈ Peers(g) ⇔ g ∈ Peers(q), which the bulk-synchronous
+// exchange relies on (an island only waits for peers that are also
+// waiting for it).
+func Peers(topo Topology, g, count int) []int {
+	if count <= 1 {
+		return nil
+	}
+	if topo == All {
+		ps := make([]int, 0, count-1)
+		for i := 0; i < count; i++ {
+			if i != g {
+				ps = append(ps, i)
+			}
+		}
+		return ps
+	}
+	// Ring. With two islands the neighbours coincide.
+	left := (g - 1 + count) % count
+	right := (g + 1) % count
+	if left == right {
+		return []int{left}
+	}
+	ps := []int{left, right}
+	sort.Ints(ps)
+	return ps
+}
+
+// Migrant is one elite mapping shared between islands.
+type Migrant struct {
+	Mapping []int   `json:"mapping"`
+	Exec    float64 `json:"exec"`
+}
+
+// Packet is the unit of exchange: everything island Island publishes for
+// exchange round Round. A packet is immutable once posted — senders build
+// fresh copies of mappings and rows, and receivers must not mutate what
+// they are handed (the same packet may be delivered to several local
+// islands).
+type Packet struct {
+	Island int  `json:"island"`
+	Round  int  `json:"round"`
+	Done   bool `json:"done,omitempty"`
+	// Migrants are the sender's current elite mappings, best first.
+	Migrants []Migrant `json:"migrants,omitempty"`
+	// Rows is the sender's full stochastic matrix (row-major, one slice
+	// per task row), present only when P-row blending is enabled.
+	Rows [][]float64 `json:"rows,omitempty"`
+	// Best is the sender's final best, set on terminal (Done) packets so
+	// every node can compute the identical global reduction.
+	Best *Migrant `json:"best,omitempty"`
+}
+
+// PostRequest is the wire body of POST /v1/islands/{session}/packets.
+// Count rides along so a node can materialise the session on first
+// contact and reject mismatched cooperators early.
+type PostRequest struct {
+	Count  int    `json:"count"`
+	Packet Packet `json:"packet"`
+}
+
+// Transport moves packets between islands.
+//
+// Exchange publishes p (round p.Round from island p.Island) and blocks
+// until the round-p.Round packet of every peer of p.Island is available,
+// returning them in ascending island order. A peer that has already
+// terminated satisfies the wait with its terminal packet instead.
+//
+// Finish publishes the island's terminal packet (p.Done is forced true)
+// and blocks until all count islands have terminated, returning the
+// terminal packets of islands 0..count-1 in index order — the input of
+// the global best reduction, identical on every cooperating node.
+type Transport interface {
+	Exchange(ctx context.Context, p Packet) ([]Packet, error)
+	Finish(ctx context.Context, p Packet) ([]Packet, error)
+}

@@ -1,0 +1,438 @@
+package island
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseTopology(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Topology
+		ok   bool
+	}{
+		{"", Ring, true},
+		{"ring", Ring, true},
+		{"all", All, true},
+		{"star", "", false},
+	} {
+		got, err := ParseTopology(tc.in)
+		if (err == nil) != tc.ok {
+			t.Fatalf("ParseTopology(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if err == nil && got != tc.want {
+			t.Fatalf("ParseTopology(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPeers(t *testing.T) {
+	for _, tc := range []struct {
+		topo  Topology
+		g, n  int
+		peers []int
+	}{
+		{Ring, 0, 1, nil},
+		{Ring, 0, 2, []int{1}},
+		{Ring, 1, 2, []int{0}},
+		{Ring, 0, 4, []int{1, 3}},
+		{Ring, 2, 4, []int{1, 3}},
+		{Ring, 3, 4, []int{0, 2}},
+		{All, 1, 4, []int{0, 2, 3}},
+		{All, 0, 2, []int{1}},
+	} {
+		got := Peers(tc.topo, tc.g, tc.n)
+		if !reflect.DeepEqual(got, tc.peers) {
+			t.Fatalf("Peers(%q, %d, %d) = %v, want %v", tc.topo, tc.g, tc.n, got, tc.peers)
+		}
+	}
+	// Symmetry over both topologies.
+	for _, topo := range []Topology{Ring, All} {
+		for n := 2; n <= 6; n++ {
+			for g := 0; g < n; g++ {
+				for _, q := range Peers(topo, g, n) {
+					found := false
+					for _, back := range Peers(topo, q, n) {
+						if back == g {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("topology %q n=%d: %d->%d not symmetric", topo, n, g, q)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBoardPostWait(t *testing.T) {
+	b := NewBoard()
+	ctx := context.Background()
+	p := Packet{Island: 1, Round: 0, Migrants: []Migrant{{Mapping: []int{0, 1}, Exec: 3.5}}}
+	if err := b.Post("s", 2, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Wait(ctx, "s", 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("Wait = %+v, want %+v", got, p)
+	}
+
+	// Waiting for a missing packet blocks until it is posted.
+	done := make(chan Packet, 1)
+	go func() {
+		pk, err := b.Wait(ctx, "s", 2, 0, 0)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- pk
+	}()
+	time.Sleep(10 * time.Millisecond)
+	want := Packet{Island: 0, Round: 0}
+	if err := b.Post("s", 2, want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case pk := <-done:
+		if !reflect.DeepEqual(pk, want) {
+			t.Fatalf("Wait after post = %+v, want %+v", pk, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake after post")
+	}
+
+	// A terminal packet satisfies any round.
+	if err := b.Post("s", 2, Packet{Island: 0, Done: true, Best: &Migrant{Exec: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	pk, err := b.Wait(ctx, "s", 2, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pk.Done {
+		t.Fatalf("Wait on finished island returned non-terminal packet %+v", pk)
+	}
+}
+
+func TestBoardCountMismatchAndBounds(t *testing.T) {
+	b := NewBoard()
+	if err := b.Post("s", 2, Packet{Island: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Post("s", 3, Packet{Island: 0}); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+	if err := b.Post("s", 2, Packet{Island: 2}); err == nil {
+		t.Fatal("out-of-range island accepted")
+	}
+	if err := b.Post("s", 2, Packet{Island: -1}); err == nil {
+		t.Fatal("negative island accepted")
+	}
+}
+
+func TestBoardPrunesOldRounds(t *testing.T) {
+	b := NewBoard()
+	for r := 0; r <= 5; r++ {
+		if err := b.Post("s", 2, Packet{Island: 0, Round: r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := b.Wait(ctx, "s", 2, 0, 2); err == nil {
+		t.Fatal("round 2 should have been pruned after round 5 was posted")
+	}
+	ctx2 := context.Background()
+	for _, r := range []int{4, 5} {
+		if _, err := b.Wait(ctx2, "s", 2, 0, r); err != nil {
+			t.Fatalf("round %d should be retained: %v", r, err)
+		}
+	}
+}
+
+func TestBoardWaitCancel(t *testing.T) {
+	b := NewBoard()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Wait(ctx, "s", 2, 0, 0)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("Wait err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Wait did not return")
+	}
+}
+
+func TestBoardStatusAndDrop(t *testing.T) {
+	b := NewBoard()
+	if _, ok := b.Status("s"); ok {
+		t.Fatal("unknown session reported a status")
+	}
+	b.Post("s", 3, Packet{Island: 0, Round: 2})
+	b.Post("s", 3, Packet{Island: 1, Done: true})
+	st, ok := b.Status("s")
+	if !ok {
+		t.Fatal("missing status")
+	}
+	want := SessionStatus{Session: "s", Count: 3, Islands: []IslandStatus{
+		{Island: 0, LastRound: 2}, {Island: 1, LastRound: -1, Done: true}, {Island: 2, LastRound: -1},
+	}}
+	if !reflect.DeepEqual(st, want) {
+		t.Fatalf("Status = %+v, want %+v", st, want)
+	}
+	b.Drop("s")
+	if _, ok := b.Status("s"); ok {
+		t.Fatal("dropped session still present")
+	}
+	b.Drop("s") // idempotent
+}
+
+func TestBoardSessionCap(t *testing.T) {
+	b := NewBoard()
+	b.cap = 3
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if err := b.Post(name, 1, Packet{Island: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := b.Status("a"); ok {
+		t.Fatal("oldest session not evicted at cap")
+	}
+	for _, name := range []string{"b", "c", "d"} {
+		if _, ok := b.Status(name); !ok {
+			t.Fatalf("session %q evicted too early", name)
+		}
+	}
+}
+
+// runIslands drives `count` goroutine islands through `rounds` exchange
+// rounds plus Finish over tr, recording the peer packets each island saw
+// per round. Used for both the in-memory and HTTP transports.
+func runIslands(t *testing.T, tr Transport, count, rounds int) (seen [][][]Packet, finals [][]Packet) {
+	t.Helper()
+	seen = make([][][]Packet, count)
+	finals = make([][]Packet, count)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errc := make(chan error, count)
+	for g := 0; g < count; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				pk := Packet{Island: g, Round: r, Migrants: []Migrant{{Mapping: []int{g, r}, Exec: float64(g*100 + r)}}}
+				peers, err := tr.Exchange(ctx, pk)
+				if err != nil {
+					errc <- err
+					return
+				}
+				seen[g] = append(seen[g], peers)
+			}
+			fin, err := tr.Finish(ctx, Packet{Island: g, Best: &Migrant{Mapping: []int{g}, Exec: float64(g)}})
+			if err != nil {
+				errc <- err
+				return
+			}
+			finals[g] = fin
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	return seen, finals
+}
+
+func checkIslandRun(t *testing.T, topo Topology, count, rounds int, seen [][][]Packet, finals [][]Packet) {
+	t.Helper()
+	for g := 0; g < count; g++ {
+		peers := Peers(topo, g, count)
+		if len(seen[g]) != rounds {
+			t.Fatalf("island %d completed %d rounds, want %d", g, len(seen[g]), rounds)
+		}
+		for r := 0; r < rounds; r++ {
+			got := seen[g][r]
+			if len(got) != len(peers) {
+				t.Fatalf("island %d round %d saw %d packets, want %d", g, r, len(got), len(peers))
+			}
+			for i, q := range peers {
+				pk := got[i]
+				if pk.Island != q || pk.Round != r {
+					t.Fatalf("island %d round %d slot %d: got island %d round %d, want island %d round %d",
+						g, r, i, pk.Island, pk.Round, q, r)
+				}
+				wantExec := float64(q*100 + r)
+				if len(pk.Migrants) != 1 || pk.Migrants[0].Exec != wantExec {
+					t.Fatalf("island %d round %d: migrant %+v, want exec %v", g, r, pk.Migrants, wantExec)
+				}
+			}
+		}
+		if len(finals[g]) != count {
+			t.Fatalf("island %d got %d finals, want %d", g, len(finals[g]), count)
+		}
+		for q, pk := range finals[g] {
+			if pk.Island != q || !pk.Done || pk.Best == nil || pk.Best.Exec != float64(q) {
+				t.Fatalf("island %d final[%d] = %+v", g, q, pk)
+			}
+		}
+	}
+}
+
+func TestMemTransportRing(t *testing.T) {
+	const count, rounds = 4, 3
+	tr, err := NewMemTransport(count, Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen, finals := runIslands(t, tr, count, rounds)
+	checkIslandRun(t, Ring, count, rounds, seen, finals)
+}
+
+func TestMemTransportAll(t *testing.T) {
+	const count, rounds = 3, 2
+	tr, err := NewMemTransport(count, All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen, finals := runIslands(t, tr, count, rounds)
+	checkIslandRun(t, All, count, rounds, seen, finals)
+}
+
+// islandServer is a minimal stand-in for the matchd /v1/islands endpoint:
+// it decodes PostRequests into its node-local board.
+func islandServer(t *testing.T, b *Board) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/islands/{session}/packets", func(w http.ResponseWriter, r *http.Request) {
+		var req PostRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := b.Post(r.PathValue("session"), req.Count, req.Packet); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestHTTPTransportTwoNodes splits 4 islands over two simulated nodes and
+// checks that every island sees exactly what it would have seen in
+// memory.
+func TestHTTPTransportTwoNodes(t *testing.T) {
+	const count, rounds = 4, 3
+	boardA, boardB := NewBoard(), NewBoard()
+	srvA, srvB := islandServer(t, boardA), islandServer(t, boardB)
+
+	// Node A runs islands 0,1; node B runs 2,3. Each node's Hosts slice
+	// marks its own islands local ("").
+	hostsA := []string{"", "", srvB.URL, srvB.URL}
+	hostsB := []string{srvA.URL, srvA.URL, "", ""}
+	trA, err := NewTransport(Config{Session: "job1", Count: count, Topology: Ring, Hosts: hostsA, Board: boardA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trB, err := NewTransport(Config{Session: "job1", Count: count, Topology: Ring, Hosts: hostsB, Board: boardB})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := make([][][]Packet, count)
+	finals := make([][]Packet, count)
+	var wg sync.WaitGroup
+	errc := make(chan error, count)
+	for g := 0; g < count; g++ {
+		tr := trA
+		if g >= 2 {
+			tr = trB
+		}
+		wg.Add(1)
+		go func(g int, tr Transport) {
+			defer wg.Done()
+			ctx := context.Background()
+			for r := 0; r < rounds; r++ {
+				pk := Packet{Island: g, Round: r, Migrants: []Migrant{{Mapping: []int{g, r}, Exec: float64(g*100 + r)}}}
+				peers, err := tr.Exchange(ctx, pk)
+				if err != nil {
+					errc <- err
+					return
+				}
+				seen[g] = append(seen[g], peers)
+			}
+			fin, err := tr.Finish(ctx, Packet{Island: g, Best: &Migrant{Mapping: []int{g}, Exec: float64(g)}})
+			if err != nil {
+				errc <- err
+				return
+			}
+			finals[g] = fin
+		}(g, tr)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	checkIslandRun(t, Ring, count, rounds, seen, finals)
+}
+
+func TestTransportConfigValidation(t *testing.T) {
+	if _, err := NewTransport(Config{Count: 0}); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+	if _, err := NewTransport(Config{Count: 2, Topology: "star"}); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+	if _, err := NewTransport(Config{Count: 2, Hosts: []string{"x"}}); err == nil {
+		t.Fatal("hosts/count mismatch accepted")
+	}
+	if _, err := NewTransport(Config{Count: 2, Hosts: []string{"", "http://x"}}); err == nil {
+		t.Fatal("remote hosts without session accepted")
+	}
+}
+
+// TestPacketJSONRoundTrip pins the wire schema: float64 values must
+// survive exactly (Go's encoder emits the shortest representation that
+// round-trips), which the cross-node bit-identity guarantee rests on.
+func TestPacketJSONRoundTrip(t *testing.T) {
+	p := Packet{
+		Island:   2,
+		Round:    7,
+		Migrants: []Migrant{{Mapping: []int{3, 0, 1, 2}, Exec: 0.1 + 0.2}},
+		Rows:     [][]float64{{0.3333333333333333, 0.6666666666666667}, {1e-308, 1 - 1e-308}},
+		Best:     &Migrant{Mapping: []int{1, 0}, Exec: 124454.00000000001},
+	}
+	body, err := json.Marshal(PostRequest{Count: 4, Packet: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PostRequest
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != 4 || !reflect.DeepEqual(got.Packet, p) {
+		t.Fatalf("round trip changed packet:\n got %+v\nwant %+v", got.Packet, p)
+	}
+}

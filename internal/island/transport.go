@@ -1,0 +1,198 @@
+package island
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Config describes one transport instance — the exchange fabric of a
+// single island-model run.
+type Config struct {
+	// Session names the run on the shared board; cooperating nodes must
+	// agree on it. Empty is allowed only when the whole run is local.
+	Session string
+	// Count is the total number of islands across all nodes.
+	Count int
+	// Topology is the exchange graph.
+	Topology Topology
+	// Hosts maps island index -> base URL ("http://host:port") of the
+	// node running that island; the empty string marks an island local to
+	// this process. nil means all islands are local.
+	Hosts []string
+	// Board is the local rendezvous store. Required; a matchd node passes
+	// its shared board so HTTP-delivered packets meet local islands.
+	Board *Board
+	// Client performs remote posts; defaults to a 10s-timeout client.
+	Client *http.Client
+}
+
+// transport implements Transport over a Config. The same implementation
+// serves both modes: packets are always posted to the local board, and
+// additionally POSTed to each distinct remote host that runs a peer (for
+// Exchange) or any island (for Finish). Waits are always local — remote
+// peers push their packets to us, symmetrically.
+type transport struct {
+	cfg Config
+}
+
+// NewTransport validates cfg and returns the transport for it.
+func NewTransport(cfg Config) (Transport, error) {
+	if cfg.Count < 1 {
+		return nil, fmt.Errorf("island: transport with count %d", cfg.Count)
+	}
+	if _, err := ParseTopology(string(cfg.Topology)); err != nil {
+		return nil, err
+	}
+	if cfg.Topology == "" {
+		cfg.Topology = Ring
+	}
+	if cfg.Hosts != nil && len(cfg.Hosts) != cfg.Count {
+		return nil, fmt.Errorf("island: %d hosts for %d islands", len(cfg.Hosts), cfg.Count)
+	}
+	remote := false
+	for _, h := range cfg.Hosts {
+		if h != "" {
+			remote = true
+			break
+		}
+	}
+	if remote && cfg.Session == "" {
+		return nil, fmt.Errorf("island: cooperative (multi-node) transport needs a session name")
+	}
+	if cfg.Session == "" {
+		cfg.Session = "local"
+	}
+	if cfg.Board == nil {
+		cfg.Board = NewBoard()
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &transport{cfg: cfg}, nil
+}
+
+// NewMemTransport returns the in-process transport: count goroutine
+// islands exchanging over a private board.
+func NewMemTransport(count int, topo Topology) (Transport, error) {
+	return NewTransport(Config{Count: count, Topology: topo})
+}
+
+func (t *transport) Exchange(ctx context.Context, p Packet) ([]Packet, error) {
+	peers := Peers(t.cfg.Topology, p.Island, t.cfg.Count)
+	if err := t.post(ctx, p, t.hostsOf(peers)); err != nil {
+		return nil, err
+	}
+	out := make([]Packet, 0, len(peers))
+	for _, q := range peers {
+		pk, err := t.cfg.Board.Wait(ctx, t.cfg.Session, t.cfg.Count, q, p.Round)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pk)
+	}
+	return out, nil
+}
+
+func (t *transport) Finish(ctx context.Context, p Packet) ([]Packet, error) {
+	p.Done = true
+	// Terminal packets go to every remote node, not just topology peers:
+	// the global best reduction needs all I of them everywhere.
+	all := make([]int, t.cfg.Count)
+	for i := range all {
+		all[i] = i
+	}
+	if err := t.post(ctx, p, t.hostsOf(all)); err != nil {
+		return nil, err
+	}
+	finals := make([]Packet, t.cfg.Count)
+	for g := 0; g < t.cfg.Count; g++ {
+		pk, err := t.cfg.Board.WaitDone(ctx, t.cfg.Session, t.cfg.Count, g)
+		if err != nil {
+			return nil, err
+		}
+		finals[g] = pk
+	}
+	return finals, nil
+}
+
+// hostsOf returns the distinct non-empty hosts among the given islands,
+// in first-seen order.
+func (t *transport) hostsOf(islands []int) []string {
+	if t.cfg.Hosts == nil {
+		return nil
+	}
+	var hosts []string
+	seen := make(map[string]bool)
+	for _, g := range islands {
+		h := t.cfg.Hosts[g]
+		if h == "" || seen[h] {
+			continue
+		}
+		seen[h] = true
+		hosts = append(hosts, h)
+	}
+	return hosts
+}
+
+// post delivers p to the local board and to each remote host.
+func (t *transport) post(ctx context.Context, p Packet, hosts []string) error {
+	if err := t.cfg.Board.Post(t.cfg.Session, t.cfg.Count, p); err != nil {
+		return err
+	}
+	if len(hosts) == 0 {
+		return nil
+	}
+	body, err := json.Marshal(PostRequest{Count: t.cfg.Count, Packet: p})
+	if err != nil {
+		return err
+	}
+	for _, h := range hosts {
+		if err := t.postRemote(ctx, h, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// postRemote POSTs one packet to one node, retrying transient failures a
+// few times: a cooperating daemon may still be accepting its half of the
+// job when our first round fires.
+func (t *transport) postRemote(ctx context.Context, host string, body []byte) error {
+	u := host + "/v1/islands/" + url.PathEscape(t.cfg.Session) + "/packets"
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(100<<(attempt-1)) * time.Millisecond):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := t.cfg.Client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		slurp, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNoContent {
+			return nil
+		}
+		lastErr = fmt.Errorf("island: peer %s returned %s: %s", host, resp.Status, bytes.TrimSpace(slurp))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return lastErr // a rejected packet will not succeed on retry
+		}
+	}
+	return fmt.Errorf("island: posting to %s: %w", host, lastErr)
+}

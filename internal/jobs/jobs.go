@@ -28,6 +28,7 @@ import (
 
 	"matchsim"
 	"matchsim/api"
+	"matchsim/internal/island"
 	"matchsim/internal/telemetry"
 	"matchsim/internal/trace"
 )
@@ -109,6 +110,7 @@ type job struct {
 	errMsg   string
 	cacheHit bool
 	resumed  bool
+	degraded bool // resumed without a mode the checkpoint cannot restore
 
 	result     *api.JobResult
 	resumeFrom *matchsim.Checkpoint // restored state for a resumed job
@@ -138,6 +140,11 @@ type Manager struct {
 	baseCancel context.CancelFunc
 
 	cache *resultCache
+
+	// board is the island-exchange rendezvous store shared by every
+	// island-model job this daemon runs; the HTTP layer posts packets
+	// arriving from cooperating nodes into it.
+	board *island.Board
 
 	// counters (guarded by mu).
 	submitted         uint64
@@ -179,6 +186,9 @@ type managerMetrics struct {
 	samplePhase   *telemetry.Histogram
 	selectPhase   *telemetry.Histogram
 	updatePhase   *telemetry.Histogram
+	migrantsIn    *telemetry.Counter
+	migrantsOut   *telemetry.Counter
+	blendRounds   *telemetry.Counter
 }
 
 func newManagerMetrics(reg *telemetry.Registry) *managerMetrics {
@@ -208,6 +218,9 @@ func newManagerMetrics(reg *telemetry.Registry) *managerMetrics {
 		samplePhase:   reg.Histogram("matchd_solver_sample_phase_seconds", "Per-iteration sample/score barrier time.", phaseBuckets),
 		selectPhase:   reg.Histogram("matchd_solver_select_phase_seconds", "Per-iteration elite selection time.", phaseBuckets),
 		updatePhase:   reg.Histogram("matchd_solver_update_phase_seconds", "Per-iteration distribution update time.", phaseBuckets),
+		migrantsIn:    reg.Counter("matchd_solver_migrants_in_total", "Elite solutions received from peer islands."),
+		migrantsOut:   reg.Counter("matchd_solver_migrants_out_total", "Elite solutions sent to peer islands."),
+		blendRounds:   reg.Counter("matchd_solver_blend_rounds_total", "Island P-matrix blend steps applied."),
 	}
 }
 
@@ -226,6 +239,9 @@ func (m *Manager) observeIteration(tr matchsim.IterationTrace) {
 	mm.skippedRows.AddUint(tr.SkippedRows)
 	mm.stealUnits.AddUint(uint64(tr.StealUnits))
 	mm.idleSeconds.Add(float64(tr.IdleNs) / 1e9)
+	mm.migrantsIn.AddUint(uint64(tr.MigrantsIn))
+	mm.migrantsOut.AddUint(uint64(tr.MigrantsOut))
+	mm.blendRounds.AddUint(uint64(tr.BlendRounds))
 	if tr.SampleNs > 0 {
 		mm.samplePhase.Observe(float64(tr.SampleNs) / 1e9)
 		mm.selectPhase.Observe(float64(tr.SelectNs) / 1e9)
@@ -245,6 +261,7 @@ func New(opts Options) *Manager {
 		baseCancel: cancel,
 		cache:      newResultCache(opts.CacheCapacity),
 		stateCount: make(map[string]int),
+		board:      island.NewBoard(),
 		metrics:    newManagerMetrics(opts.Metrics),
 		log:        opts.Logger,
 	}
@@ -403,6 +420,10 @@ func (m *Manager) setState(j *job, state string) {
 // HTTP layer renders it at /metrics.
 func (m *Manager) Registry() *telemetry.Registry { return m.opts.Metrics }
 
+// Board exposes the island-exchange rendezvous store so the HTTP layer
+// can deliver packets POSTed by cooperating matchd nodes.
+func (m *Manager) Board() *island.Board { return m.board }
+
 // Logger exposes the manager's structured logger so the serving layers
 // share one sink.
 func (m *Manager) Logger() *slog.Logger { return m.log }
@@ -420,16 +441,17 @@ func (m *Manager) Info(id string) (api.JobInfo, error) {
 
 func (m *Manager) infoLocked(j *job) api.JobInfo {
 	return api.JobInfo{
-		ID:       j.id,
-		State:    j.state,
-		Solver:   j.solver,
-		Key:      j.key,
-		Created:  j.created,
-		Started:  j.started,
-		Finished: j.finished,
-		Error:    j.errMsg,
-		CacheHit: j.cacheHit,
-		Resumed:  j.resumed,
+		ID:             j.id,
+		State:          j.state,
+		Solver:         j.solver,
+		Key:            j.key,
+		Created:        j.created,
+		Started:        j.started,
+		Finished:       j.finished,
+		Error:          j.errMsg,
+		CacheHit:       j.cacheHit,
+		Resumed:        j.resumed,
+		DegradedResume: j.degraded,
 	}
 }
 
@@ -480,14 +502,30 @@ func (m *Manager) Cancel(id string) (api.JobInfo, error) {
 // subscriber that fills its buffer loses intermediate events rather than
 // stalling the solver.
 func (m *Manager) Subscribe(id string) (<-chan api.Event, func(), error) {
+	return m.SubscribeFrom(id, 0)
+}
+
+// SubscribeFrom is Subscribe starting at event index from: already-
+// buffered events before it are skipped, so a reconnecting client that
+// saw the first from events resumes exactly where its stream dropped. A
+// from beyond the buffered history replays nothing and streams only new
+// events.
+func (m *Manager) SubscribeFrom(id string, from int) (<-chan api.Event, func(), error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j := m.jobs[id]
 	if j == nil {
 		return nil, nil, ErrUnknownJob
 	}
-	ch := make(chan api.Event, len(j.events)+256)
-	for _, e := range j.events {
+	if from < 0 {
+		from = 0
+	}
+	if from > len(j.events) {
+		from = len(j.events)
+	}
+	replay := j.events[from:]
+	ch := make(chan api.Event, len(replay)+256)
+	for _, e := range replay {
 		ch <- e
 	}
 	if api.TerminalState(j.state) {
@@ -587,6 +625,10 @@ func traceEvent(e api.Event) trace.Event {
 		UpdateNs:      e.UpdateNs,
 		StealUnits:    e.StealUnits,
 		IdleNs:        e.IdleNs,
+		Island:        e.Island,
+		MigrantsIn:    e.MigrantsIn,
+		MigrantsOut:   e.MigrantsOut,
+		BlendRounds:   e.BlendRounds,
 		Exec:          e.Exec,
 		Iterations:    e.Iterations,
 		Evaluations:   e.Evaluations,
@@ -645,6 +687,10 @@ func (m *Manager) runJob(j *job) {
 			UpdateNs:      tr.UpdateNs,
 			StealUnits:    tr.StealUnits,
 			IdleNs:        tr.IdleNs,
+			Island:        tr.Island,
+			MigrantsIn:    tr.MigrantsIn,
+			MigrantsOut:   tr.MigrantsOut,
+			BlendRounds:   tr.BlendRounds,
 		})
 		m.mu.Unlock()
 	}
@@ -671,7 +717,12 @@ func (m *Manager) runJob(j *job) {
 		elapsed := time.Since(j.started).Seconds()
 		m.solveSecondsTotal += elapsed
 		m.metrics.solveSeconds.Add(elapsed)
-		m.cache.put(j.key, *result)
+		// A resumed job warm-starts from its checkpointed distribution, so
+		// its result is not bit-reproducible against a fresh solve of the
+		// same key — keep it out of the deterministic result cache.
+		if !j.resumed {
+			m.cache.put(j.key, *result)
+		}
 		m.finalizeLocked(j, api.StateDone, result.StopReason)
 	}
 	persistDone := api.TerminalState(j.state) && !m.closed

@@ -443,6 +443,79 @@ func TestShutdownPersistsAndRestoreResumes(t *testing.T) {
 	}
 }
 
+// TestRestoreDegradedResume covers the checkpoint-cannot-restore-mode
+// path: a persisted job whose options request the multilevel pipeline
+// but that carries a plain single-population checkpoint (e.g. written by
+// an older daemon) must resume on the plain path with DegradedResume set
+// in its status rather than dropping the mode silently.
+func TestRestoreDegradedResume(t *testing.T) {
+	dir := t.TempDir()
+	inst := instanceJSON(t, 31, 16)
+	p, err := matchsim.ReadProblem(bytes.NewReader(inst))
+	if err != nil {
+		t.Fatalf("ReadProblem: %v", err)
+	}
+	sol, err := matchsim.SolveMaTCH(p, matchsim.MaTCHOptions{Seed: 31, Workers: 1, MaxIterations: 5})
+	if err != nil {
+		t.Fatalf("SolveMaTCH: %v", err)
+	}
+	enc, err := sol.Checkpoint().Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	pj := persistedJob{
+		ID: "jdegradedresume01",
+		Request: api.SubmitRequest{
+			Instance: inst, Solver: api.SolverMaTCH,
+			Options: api.SolverOptions{
+				Seed: 31, Workers: 1, MaxIterations: 20,
+				Multilevel: true, MinCoarse: 8,
+			},
+		},
+		Created:    time.Now(),
+		Checkpoint: enc,
+	}
+	data, err := json.Marshal(&pj)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, persistFileName(pj.ID)), data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	m := New(Options{Workers: 1, CheckpointDir: dir})
+	defer m.Shutdown(context.Background())
+	restored, err := m.Restore()
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored != 1 {
+		t.Fatalf("restored %d jobs, want 1", restored)
+	}
+	final := waitTerminal(t, m, pj.ID, 60*time.Second)
+	if final.State != api.StateDone {
+		t.Fatalf("degraded-resume job ended %q (error %q), want done", final.State, final.Error)
+	}
+	if !final.Resumed {
+		t.Error("degraded-resume job not marked Resumed")
+	}
+	if !final.DegradedResume {
+		t.Error("job resumed without its multilevel arm but DegradedResume is false")
+	}
+	res, err := m.Result(pj.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if err := validMapping(p, res.Mapping); err != nil {
+		t.Errorf("degraded-resume result invalid: %v", err)
+	}
+	// The plain path it fell back to reports the plain solver name, not
+	// the multilevel one (the mode was dropped, visibly).
+	if res.Solver != "MaTCH" {
+		t.Errorf("degraded-resume result solver %q, want plain MaTCH", res.Solver)
+	}
+}
+
 // TestShutdownPersistsQueuedJobs checks still-queued jobs survive a
 // restart even without a checkpoint.
 func TestShutdownPersistsQueuedJobs(t *testing.T) {

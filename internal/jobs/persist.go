@@ -179,6 +179,16 @@ func (m *Manager) restoreOne(p *persistedJob, path string) error {
 			return err
 		}
 		j.resumeFrom = c
+		// Checkpoints capture a single CE population; a job originally
+		// submitted with the multilevel pipeline or an island ensemble
+		// resumes on the plain path instead of restarting from scratch.
+		// Flag the degradation rather than dropping the mode silently.
+		if o := p.Request.Options; o.Multilevel || o.Islands > 1 {
+			j.degraded = true
+			m.log.Warn("degraded resume: checkpoint cannot restore requested mode; resuming on plain single-population path",
+				"id", j.id, "solver", j.solver,
+				"multilevel", o.Multilevel, "islands", o.Islands)
+		}
 	}
 	if j.created.IsZero() {
 		j.created = time.Now()

@@ -6,6 +6,7 @@ import (
 
 	"matchsim"
 	"matchsim/api"
+	"matchsim/internal/island"
 )
 
 // solve dispatches a job to the matchsim solver named in its request. It
@@ -43,10 +44,49 @@ func (m *Manager) solve(ctx context.Context, j *job, onIter func(matchsim.Iterat
 				RefinePasses: o.RefinePasses,
 			}
 		}
+		if o.Islands > 1 {
+			iopts := &matchsim.IslandOptions{
+				Count:        o.Islands,
+				Topology:     o.IslandTopology,
+				MigrateEvery: o.MigrateEvery,
+				MigrantCount: o.MigrantCount,
+				BlendAlpha:   o.BlendAlpha,
+			}
+			if len(o.IslandHosts) > 0 {
+				// Cooperative multi-node run: this daemon solves only the
+				// islands whose host entry is empty, exchanging with the
+				// named peers over HTTP through the shared board.
+				topo, terr := island.ParseTopology(o.IslandTopology)
+				if terr != nil {
+					return nil, nil, terr
+				}
+				tr, terr := island.NewTransport(island.Config{
+					Session:  o.IslandSession,
+					Count:    o.Islands,
+					Topology: topo,
+					Hosts:    o.IslandHosts,
+					Board:    m.board,
+				})
+				if terr != nil {
+					return nil, nil, terr
+				}
+				remote := make([]bool, len(o.IslandHosts))
+				for i, h := range o.IslandHosts {
+					remote[i] = h != ""
+				}
+				iopts.Transport = tr
+				iopts.Remote = remote
+				defer m.board.Drop(o.IslandSession)
+			}
+			opts.Islands = iopts
+		}
 		if j.resumeFrom != nil {
-			// Multilevel runs never produce checkpoints, so a resumed job is
-			// always a single-level run; drop the multilevel arm for safety.
+			// Neither the multilevel pipeline nor an island ensemble
+			// produces resumable checkpoints, so a resumed job always
+			// re-runs on the plain single-population path (warm-started
+			// from the checkpoint); restoreOne flagged it degraded.
 			opts.Multilevel = nil
+			opts.Islands = nil
 			sol, err = matchsim.ResumeMaTCH(j.problem, j.resumeFrom, opts)
 		} else {
 			sol, err = matchsim.SolveMaTCH(j.problem, opts)

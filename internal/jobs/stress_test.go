@@ -102,7 +102,21 @@ func TestResultCacheStressTinyCapacity(t *testing.T) {
 		}(g)
 	}
 
-	time.Sleep(400 * time.Millisecond)
+	// Run until the interesting events have all happened — on a loaded
+	// single-core box the hot submitter/reader loops can starve the two
+	// workers for a while, so a fixed window flakes. 400ms is the floor
+	// (the churn is the point), the deadline a generous ceiling.
+	deadline := time.After(10 * time.Second)
+	floor := time.After(400 * time.Millisecond)
+	<-floor
+	for m.Stats().CacheHits == 0 || reads.Load() == 0 {
+		select {
+		case <-deadline:
+		case <-time.After(5 * time.Millisecond):
+			continue
+		}
+		break
+	}
 	close(stop)
 	wg.Wait()
 

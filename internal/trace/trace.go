@@ -73,6 +73,15 @@ type Event struct {
 	// (sparse-row runs; both zero on the dense path).
 	RebuiltRows uint64 `json:"rebuilt_rows,omitempty"`
 	SkippedRows uint64 `json:"skipped_rows,omitempty"`
+	// Island-model telemetry (island-ensemble runs only): Island labels
+	// which island produced this iteration; MigrantsIn/MigrantsOut count
+	// elite solutions received/sent in the iteration's exchange round and
+	// BlendRounds the P-matrix blend steps applied (zero off exchange
+	// rounds and on single-population runs).
+	Island      int `json:"island,omitempty"`
+	MigrantsIn  int `json:"migrants_in,omitempty"`
+	MigrantsOut int `json:"migrants_out,omitempty"`
+	BlendRounds int `json:"blend_rounds,omitempty"`
 	// Run outcome (end events).
 	Exec        float64       `json:"exec,omitempty"`
 	Iterations  int           `json:"iterations,omitempty"`
@@ -118,6 +127,8 @@ func (e Event) Validate() error {
 		{"steal_units", int64(e.StealUnits)}, {"idle_ns", e.IdleNs},
 		{"iterations", int64(e.Iterations)}, {"evaluations", e.Evaluations},
 		{"mapping_time_ns", int64(e.MappingTime)},
+		{"island", int64(e.Island)}, {"migrants_in", int64(e.MigrantsIn)},
+		{"migrants_out", int64(e.MigrantsOut)}, {"blend_rounds", int64(e.BlendRounds)},
 	}
 	for _, f := range ints {
 		if f.v < 0 {

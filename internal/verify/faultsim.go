@@ -167,8 +167,12 @@ func RunFaultSim(cfg FaultSimConfig) (FaultSimStats, error) {
 	)
 
 	// validateResult checks a delivered result against the independent
-	// evaluator and against the first result seen for its cache key.
-	validateResult := func(id string, rec *jobRec, res api.JobResult) error {
+	// evaluator and — for jobs that ran fresh — against the first result
+	// seen for its cache key. Resumed jobs warm-start from a checkpointed
+	// distribution, so their mapping is valid but not bit-reproducible;
+	// they are exempt from the cache ledger (and the manager likewise
+	// keeps them out of its result cache).
+	validateResult := func(id string, rec *jobRec, res api.JobResult, resumed bool) error {
 		if err := CheckPermutation(res.Mapping); err != nil {
 			return fmt.Errorf("job %s: %w", id, err)
 		}
@@ -181,6 +185,10 @@ func RunFaultSim(cfg FaultSimConfig) (FaultSimStats, error) {
 		}
 		mu.Lock()
 		defer mu.Unlock()
+		if resumed {
+			st.ResultsChecked++
+			return nil
+		}
 		if want, ok := expected[rec.key]; ok {
 			if len(want.Mapping) != len(res.Mapping) {
 				return fmt.Errorf("job %s: stale result for key %s: mapping length changed", id, rec.key)
@@ -510,7 +518,7 @@ func RunFaultSim(cfg FaultSimConfig) (FaultSimStats, error) {
 						if err != nil {
 							return fmt.Errorf("verify: faultsim result %s: %w", id, err)
 						}
-						if err := validateResult(id, rec, res); err != nil {
+						if err := validateResult(id, rec, res, info.Resumed); err != nil {
 							return err
 						}
 					}
@@ -575,7 +583,7 @@ func RunFaultSim(cfg FaultSimConfig) (FaultSimStats, error) {
 					if err != nil {
 						return st, fmt.Errorf("verify: faultsim result %s: %w", id, err)
 					}
-					if err := validateResult(id, rec, res); err != nil {
+					if err := validateResult(id, rec, res, info.Resumed); err != nil {
 						return st, err
 					}
 					st.Done++
@@ -595,7 +603,8 @@ func RunFaultSim(cfg FaultSimConfig) (FaultSimStats, error) {
 				return st, err
 			}
 			if probe != "" {
-				if _, err := waitTerminal(m, probe); err != nil {
+				probeInfo, err := waitTerminal(m, probe)
+				if err != nil {
 					return st, err
 				}
 				res, err := m.Result(probe)
@@ -606,7 +615,7 @@ func RunFaultSim(cfg FaultSimConfig) (FaultSimStats, error) {
 				rec := recs[probe]
 				rec.closed = true
 				mu.Unlock()
-				if err := validateResult(probe, rec, res); err != nil {
+				if err := validateResult(probe, rec, res, probeInfo.Resumed); err != nil {
 					return st, err
 				}
 				st.Done++
@@ -628,7 +637,7 @@ func RunFaultSim(cfg FaultSimConfig) (FaultSimStats, error) {
 				mu.Lock()
 				recs[dup].closed = true
 				mu.Unlock()
-				if err := validateResult(dup, recs[dup], res2); err != nil {
+				if err := validateResult(dup, recs[dup], res2, info.Resumed); err != nil {
 					return st, err
 				}
 				st.Done++
@@ -669,7 +678,7 @@ func RunFaultSim(cfg FaultSimConfig) (FaultSimStats, error) {
 				if rerr != nil {
 					return st, fmt.Errorf("verify: faultsim result %s: %w", id, rerr)
 				}
-				if err := validateResult(id, rec, res); err != nil {
+				if err := validateResult(id, rec, res, info.Resumed); err != nil {
 					return st, err
 				}
 				mu.Lock()

@@ -122,6 +122,17 @@ func NewKeyed(seed, a, b uint64) *RNG {
 	return r
 }
 
+// SeedKeyed derives a sub-seed addressed by (seed, a), using the same
+// splitmix64-finalised folding as ReseedKeyed. The island-model runtime
+// derives each island's run seed as SeedKeyed(seed, island) and then keys
+// that island's sampling streams by (islandSeed, iter, unit), so every
+// variate is a pure function of the (seed, island, iter, unit) address —
+// bit-reproducible regardless of how islands and workers are scheduled.
+func SeedKeyed(seed, a uint64) uint64 {
+	h := mix64(seed + 0x9e3779b97f4a7c15)
+	return mix64(h ^ (a + 0x632be59bd9b4e019))
+}
+
 // Float64 returns a uniform float64 in [0, 1) with 53 random bits.
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

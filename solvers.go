@@ -9,6 +9,7 @@ import (
 	"matchsim/internal/core"
 	"matchsim/internal/ga"
 	"matchsim/internal/heuristics"
+	"matchsim/internal/island"
 )
 
 // Solution is the common result type of every solver.
@@ -102,6 +103,11 @@ type IterationTrace struct {
 	// iteration's update actually rebuilt versus skipped because the row
 	// had not changed (sparse-row runs; both 0 on the dense path).
 	RebuiltRows, SkippedRows uint64
+	// Island labels which island of an island-model run produced this
+	// iteration (0 outside island runs); MigrantsIn/MigrantsOut count the
+	// elite mappings received/published in the exchange that followed the
+	// iteration, and BlendRounds the P-row blending applications.
+	Island, MigrantsIn, MigrantsOut, BlendRounds int
 }
 
 // MultilevelOptions tunes the multilevel MaTCH pipeline: coarsen the TIG
@@ -136,6 +142,43 @@ type LevelStats struct {
 	RefineProbes              int64
 	// Exec is the makespan of this level's mapping after refinement.
 	Exec float64
+}
+
+// IslandTransport moves exchange packets between cooperating islands;
+// see IslandOptions.Transport. The in-memory default suffices inside one
+// process — matchd wires an HTTP-backed implementation for multi-node
+// jobs.
+type IslandTransport = island.Transport
+
+// IslandOptions runs MaTCH as an island-model ensemble: Count
+// independent CE searches over private stochastic matrices (each island
+// draws SampleSize/Count mappings per iteration from RNG streams keyed
+// (seed, island, iter, unit)), exchanging state every MigrateEvery
+// iterations — elite-mapping migration folded in through one extra
+// eq. (13) step, and/or convex P-row blending. Results are
+// bit-reproducible per (Seed, Topology, Count) regardless of worker
+// counts or scheduling. Island runs are not checkpointable and do not
+// combine with Multilevel.
+type IslandOptions struct {
+	// Count is the total number of islands (across all nodes of a
+	// cooperative run); <= 1 disables island mode.
+	Count int
+	// Topology is the exchange graph: "ring" (default) or "all".
+	Topology string
+	// MigrateEvery is the exchange period in CE iterations (default 10).
+	MigrateEvery int
+	// MigrantCount is the elite mappings each island publishes per
+	// exchange; 0 defaults to 4, negative disables migration.
+	MigrantCount int
+	// BlendAlpha in [0, 1) blends each P row towards the mean of the
+	// peers' rows; 0 disables blending.
+	BlendAlpha float64
+	// Transport, when non-nil, replaces the in-process exchange — matchd
+	// uses it to spread one job's islands across daemon nodes.
+	Transport IslandTransport
+	// Remote, when non-nil, has Count entries marking islands solved on
+	// other nodes; requires an explicit Transport.
+	Remote []bool
 }
 
 // MaTCHOptions tunes the MaTCH solver. Zero values take the paper's
@@ -178,6 +221,9 @@ type MaTCHOptions struct {
 	// runs are not checkpointable and report per-level stats in
 	// Solution.Levels.
 	Multilevel *MultilevelOptions
+	// Islands, when non-nil with Count > 1, runs the island-model
+	// ensemble; see IslandOptions. Mutually exclusive with Multilevel.
+	Islands *IslandOptions
 	// SparseEps enables the sparse-row distribution update: after each
 	// eq. (13) smoothing step, row entries below SparseEps times the row
 	// maximum are truncated to exactly zero and the row renormalised, so
@@ -232,6 +278,9 @@ func matchSolution(res *core.Result) *Solution {
 		Solver:      "MaTCH",
 		StopReason:  string(res.StopReason),
 		coreRes:     res,
+	}
+	if res.Islands > 0 {
+		s.Solver = "MaTCH-islands"
 	}
 	if len(res.Levels) > 0 {
 		s.Solver = "MaTCH-multilevel"
@@ -295,6 +344,17 @@ func coreOptions(opts MaTCHOptions) core.Options {
 			RefinePasses: opts.Multilevel.RefinePasses,
 		}
 	}
+	if opts.Islands != nil {
+		o.Islands = &core.IslandOptions{
+			Count:        opts.Islands.Count,
+			Topology:     opts.Islands.Topology,
+			MigrateEvery: opts.Islands.MigrateEvery,
+			MigrantCount: opts.Islands.MigrantCount,
+			BlendAlpha:   opts.Islands.BlendAlpha,
+			Transport:    opts.Islands.Transport,
+			Remote:       opts.Islands.Remote,
+		}
+	}
 	if opts.OnIteration != nil {
 		cb := opts.OnIteration
 		o.OnIteration = func(st ce.IterStats) {
@@ -319,6 +379,10 @@ func coreOptions(opts MaTCHOptions) core.Options {
 				IdleNs:        st.IdleNs,
 				RebuiltRows:   st.RebuiltRows,
 				SkippedRows:   st.SkippedRows,
+				Island:        st.Island,
+				MigrantsIn:    st.MigrantsIn,
+				MigrantsOut:   st.MigrantsOut,
+				BlendRounds:   st.BlendRounds,
 			})
 		}
 	}
