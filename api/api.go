@@ -150,6 +150,11 @@ type JobInfo struct {
 	// started from the checkpoint, so its trajectory differs from an
 	// uninterrupted run.
 	DegradedResume bool `json:"degraded_resume,omitempty"`
+	// TraceID is the distributed-trace identifier covering this job's
+	// whole lifecycle (submission, queueing, solve, island exchanges on
+	// other nodes, checkpoint/resume). Empty when the daemon runs with
+	// tracing disabled. Fetch the span tree from GET /v1/traces/{TraceID}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobResult is the document returned by GET /v1/jobs/{id}/result.
@@ -225,6 +230,70 @@ type Event struct {
 	Evaluations int64         `json:"evaluations,omitempty"`
 	MappingTime time.Duration `json:"mapping_time_ns,omitempty"`
 	StopReason  string        `json:"stop_reason,omitempty"`
+}
+
+// SpanEvent is one timestamped annotation inside a span, offset
+// monotonically from the span start (per-iteration solver events carry
+// gamma, best-so-far and phase timings as string attributes).
+type SpanEvent struct {
+	Name     string            `json:"name"`
+	OffsetNs int64             `json:"offset_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Span is one node of the span tree served by GET /v1/traces/{id}.
+// Children are nested; a span whose parent lives on another daemon (or
+// was evicted from the ring) appears as a root of the document.
+type Span struct {
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	// Node names the daemon that produced the span — cross-node traces
+	// interleave spans from every cooperating matchd.
+	Node          string            `json:"node,omitempty"`
+	Start         time.Time         `json:"start"`
+	DurationNs    int64             `json:"duration_ns"`
+	Status        string            `json:"status,omitempty"`
+	Attrs         map[string]string `json:"attrs,omitempty"`
+	Events        []SpanEvent       `json:"events,omitempty"`
+	DroppedEvents int               `json:"dropped_events,omitempty"`
+	Children      []Span            `json:"children,omitempty"`
+}
+
+// TraceDoc is the document returned by GET /v1/traces/{id}: the trace's
+// retained spans assembled into parent/child trees.
+type TraceDoc struct {
+	TraceID string `json:"trace_id"`
+	// SpanCount is the total number of spans in the document (the roots
+	// plus every nested child).
+	SpanCount int `json:"span_count"`
+	// Spans holds the root spans, children nested, sorted by start time.
+	Spans []Span `json:"spans"`
+}
+
+// TraceSummary is one row of GET /v1/traces (most recent first).
+type TraceSummary struct {
+	TraceID    string    `json:"trace_id"`
+	Root       string    `json:"root"`
+	Node       string    `json:"node,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationNs int64     `json:"duration_ns"`
+	Spans      int       `json:"spans"`
+}
+
+// ReadyCheck is one readiness probe result inside ReadyStatus.
+type ReadyCheck struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// ReadyStatus is the document returned by GET /readyz: "ready" with
+// HTTP 200 when every check passes, "unready" with HTTP 503 otherwise.
+type ReadyStatus struct {
+	Status string       `json:"status"`
+	Checks []ReadyCheck `json:"checks"`
 }
 
 // Error is the JSON error document every non-2xx response carries, plus

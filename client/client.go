@@ -25,8 +25,9 @@ import (
 
 // Client talks to one matchd instance.
 type Client struct {
-	base string
-	http *http.Client
+	base        string
+	http        *http.Client
+	traceparent string
 }
 
 // New builds a client for the daemon at base (e.g. "http://127.0.0.1:8080").
@@ -40,6 +41,34 @@ func New(base string) *Client {
 func (c *Client) WithHTTPClient(hc *http.Client) *Client {
 	c.http = hc
 	return c
+}
+
+// WithTraceparent sets a W3C traceparent header value
+// ("00-<traceid>-<spanid>-01") injected into every request, joining the
+// daemon-side spans to the caller's trace. A per-request value attached
+// with ContextWithTraceparent takes precedence.
+func (c *Client) WithTraceparent(tp string) *Client {
+	c.traceparent = tp
+	return c
+}
+
+// traceparentCtxKey carries a per-request traceparent without coupling
+// the client to any tracing implementation.
+type traceparentCtxKey struct{}
+
+// ContextWithTraceparent returns ctx carrying a traceparent header value
+// that the client injects into requests issued under that context.
+func ContextWithTraceparent(ctx context.Context, tp string) context.Context {
+	return context.WithValue(ctx, traceparentCtxKey{}, tp)
+}
+
+// traceparentFor resolves the header value for one request: the
+// context-scoped value wins over the client-wide one.
+func (c *Client) traceparentFor(ctx context.Context) string {
+	if tp, _ := ctx.Value(traceparentCtxKey{}).(string); tp != "" {
+		return tp
+	}
+	return c.traceparent
 }
 
 // do issues a request and decodes a JSON response into out, converting
@@ -59,6 +88,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tp := c.traceparentFor(ctx); tp != "" {
+		req.Header.Set("traceparent", tp)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -154,6 +186,9 @@ func (c *Client) EventsFrom(ctx context.Context, id string, from int, fn func(ap
 		return err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if tp := c.traceparentFor(ctx); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -335,9 +370,50 @@ func (w *JobWatcher) Close() {
 	<-w.done
 }
 
-// Healthy reports whether the daemon answers /healthz with 200.
+// Healthy reports whether the daemon answers /healthz with 200
+// (liveness: the process serves requests).
 func (c *Client) Healthy(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Ready fetches the daemon's readiness document (/readyz). The returned
+// status carries the individual check results even when the daemon is
+// unready — err is then the *api.Error with Status 503.
+func (c *Client) Ready(ctx context.Context) (api.ReadyStatus, error) {
+	var rs api.ReadyStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return rs, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return rs, err
+	}
+	defer resp.Body.Close()
+	decErr := json.NewDecoder(resp.Body).Decode(&rs)
+	if resp.StatusCode != http.StatusOK {
+		return rs, &api.Error{Status: resp.StatusCode, Message: "daemon not ready"}
+	}
+	return rs, decErr
+}
+
+// Traces lists the daemon's retained traces, most recent first (limit
+// <= 0 takes the server default).
+func (c *Client) Traces(ctx context.Context, limit int) ([]api.TraceSummary, error) {
+	path := "/v1/traces"
+	if limit > 0 {
+		path += "?limit=" + fmt.Sprint(limit)
+	}
+	var out []api.TraceSummary
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Trace fetches one trace's span tree by trace ID.
+func (c *Client) Trace(ctx context.Context, traceID string) (api.TraceDoc, error) {
+	var doc api.TraceDoc
+	err := c.do(ctx, http.MethodGet, "/v1/traces/"+traceID, nil, &doc)
+	return doc, err
 }
 
 // Metrics fetches the raw Prometheus text exposition.

@@ -12,6 +12,7 @@
 //	match -in inst.json -solver match -islands 4 -migrate-every 10 -blend-alpha 0.2
 //	match -top -job j00000001 -daemon http://127.0.0.1:8080
 //	match -top -tail run.jsonl
+//	match -spans <trace-id or job-id> -daemon http://127.0.0.1:8080
 //
 // Solvers: match (default, the paper's CE heuristic), ga (FastMap-GA),
 // distributed (agent-based MaTCH), random, greedy, local, anneal.
@@ -83,6 +84,9 @@ type config struct {
 	daemon   string
 	topJob   string
 	tailFile string
+	// spansID switches the command into the trace-tree view (see
+	// spans.go): fetch one trace from the daemon and print its spans.
+	spansID string
 }
 
 func main() {
@@ -118,6 +122,7 @@ func main() {
 	flag.StringVar(&cfg.daemon, "daemon", "http://127.0.0.1:8080", "matchd base URL for -top -job")
 	flag.StringVar(&cfg.topJob, "job", "", "matchd job ID to watch with -top")
 	flag.StringVar(&cfg.tailFile, "tail", "", "JSONL trace file to follow with -top")
+	flag.StringVar(&cfg.spansID, "spans", "", "print a trace's span tree from the daemon; takes a trace ID or a job ID")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -129,6 +134,9 @@ func main() {
 func run(cfg config) error {
 	if cfg.top {
 		return runTop(cfg)
+	}
+	if cfg.spansID != "" {
+		return runSpans(cfg, os.Stdout)
 	}
 	var rd io.Reader = os.Stdin
 	if cfg.in != "" {

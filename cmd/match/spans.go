@@ -1,0 +1,71 @@
+// Span-tree view: `match -spans ID [-daemon URL]` fetches one trace from
+// a matchd daemon's /v1/traces/{id} endpoint and renders it as an
+// indented tree — span names, owning nodes, durations, statuses and
+// event counts. ID is a 32-hex trace ID, or a job ID (the job's trace is
+// looked up through GET /v1/jobs/{id}).
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+	"time"
+
+	"matchsim/api"
+	"matchsim/client"
+)
+
+var jobIDPattern = regexp.MustCompile(`^j[0-9a-f]{16}$`)
+
+// runSpans resolves cfg.spansID to a trace and prints its span tree.
+func runSpans(cfg config, out io.Writer) error {
+	ctx := context.Background()
+	c := client.New(cfg.daemon)
+
+	traceID := cfg.spansID
+	if jobIDPattern.MatchString(traceID) {
+		info, err := c.Info(ctx, traceID)
+		if err != nil {
+			return fmt.Errorf("looking up job %s: %w", traceID, err)
+		}
+		if info.TraceID == "" {
+			return fmt.Errorf("job %s carries no trace ID (tracing disabled on the daemon?)", traceID)
+		}
+		traceID = info.TraceID
+	}
+
+	doc, err := c.Trace(ctx, traceID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace %s (%d spans)\n", doc.TraceID, doc.SpanCount)
+	for i := range doc.Spans {
+		printSpan(out, &doc.Spans[i], 0)
+	}
+	return nil
+}
+
+// printSpan renders one span line and recurses into its children.
+func printSpan(out io.Writer, sp *api.Span, depth int) {
+	indent := strings.Repeat("  ", depth)
+	dur := time.Duration(sp.DurationNs).Round(time.Microsecond)
+	line := fmt.Sprintf("%s%-*s %10v", indent, 28-len(indent), sp.Name, dur)
+	if sp.Node != "" {
+		line += "  node=" + sp.Node
+	}
+	if sp.Status != "" && sp.Status != "ok" {
+		line += "  status=" + sp.Status
+	}
+	if n := len(sp.Events); n > 0 {
+		line += fmt.Sprintf("  events=%d", n)
+		if sp.DroppedEvents > 0 {
+			line += fmt.Sprintf(" (+%d dropped)", sp.DroppedEvents)
+		}
+	}
+	fmt.Fprintln(out, line)
+	for i := range sp.Children {
+		printSpan(out, &sp.Children[i], depth+1)
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"matchsim"
+	"matchsim/api"
+	"matchsim/client"
+	"matchsim/internal/httpapi"
+	"matchsim/internal/jobs"
+	"matchsim/internal/telemetry"
+)
+
+// TestRunSpansRendersTree runs a traced job against an in-process daemon
+// and checks the -spans view resolves both a job ID and a trace ID to
+// the same indented span tree.
+func TestRunSpansRendersTree(t *testing.T) {
+	m := jobs.New(jobs.Options{
+		Workers: 1,
+		Tracer:  telemetry.NewTracer(telemetry.TracerOptions{Node: "n0"}),
+	})
+	ts := httptest.NewServer(httpapi.New(m))
+	t.Cleanup(func() {
+		ts.Close()
+		m.Shutdown(context.Background())
+	})
+
+	p, err := matchsim.GeneratePaper(3, 10)
+	if err != nil {
+		t.Fatalf("GeneratePaper: %v", err)
+	}
+	var inst bytes.Buffer
+	if err := p.WriteInstance(&inst); err != nil {
+		t.Fatalf("WriteInstance: %v", err)
+	}
+	c := client.New(ts.URL)
+	ctx := context.Background()
+	info, err := c.Submit(ctx, api.SubmitRequest{
+		Instance: inst.Bytes(), Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: 2, Workers: 1},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := c.Wait(ctx, info.ID, 5*time.Millisecond); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	var byJob bytes.Buffer
+	if err := runSpans(config{daemon: ts.URL, spansID: info.ID}, &byJob); err != nil {
+		t.Fatalf("runSpans by job ID: %v", err)
+	}
+	out := byJob.String()
+	for _, want := range []string{"trace " + info.TraceID, "job", "queue", "solve", "node=n0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spans view missing %q:\n%s", want, out)
+		}
+	}
+	// The solve span nests two levels under the job root.
+	if !strings.Contains(out, "\n    solve") {
+		t.Errorf("solve span not indented as a child:\n%s", out)
+	}
+
+	var byTrace bytes.Buffer
+	if err := runSpans(config{daemon: ts.URL, spansID: info.TraceID}, &byTrace); err != nil {
+		t.Fatalf("runSpans by trace ID: %v", err)
+	}
+	if byTrace.String() != out {
+		t.Errorf("trace-ID view differs from job-ID view:\n%s\nvs\n%s", byTrace.String(), out)
+	}
+}

@@ -17,6 +17,8 @@
 //	matchbench -exp multilevel -json  # multilevel vs single-level CE -> BENCH_multilevel.json
 //	matchbench -exp island -json  # island-model time-to-target -> BENCH_island.json
 //	matchbench -exp kernel -compare BENCH_kernel.json  # CI regression guard
+//	matchbench -exp serve -json   # open-loop load replay against a live matchd -> BENCH_serve.json
+//	matchbench -exp trace-overhead  # traced vs untraced solve; exit 1 above -max-overhead
 //
 // Experiments: table1, table2, table3 (with post-hoc Welch tests; -size
 // overrides the instance size), fig3, fig7, fig8, fig9, convergence,
@@ -43,7 +45,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
+	"time"
 
 	"matchsim/internal/core"
 	"matchsim/internal/exp"
@@ -63,8 +67,41 @@ func main() {
 		compare    = flag.String("compare", "", "BENCH_kernel.json baseline to regression-check the kernel micro-benchmarks against (exit 1 on >25% ns/op regression; silently skipped when the file is missing)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		// serve knobs (the open-loop load replay against a live matchd).
+		serveRPS      = flag.Float64("serve-rps", 20, "serve: open-loop arrival rate (requests/second)")
+		serveDuration = flag.Duration("serve-duration", 20*time.Second, "serve: load replay length")
+		serveDeadline = flag.Duration("serve-deadline", time.Second, "serve: per-request completion deadline (misses are reported)")
+		serveSizes    = flag.String("serve-sizes", "8,12,16", "serve: comma-separated instance sizes cycled across requests")
+		maxOverhead   = flag.Float64("max-overhead", 0.02, "trace-overhead: fail above this fractional wall-clock overhead (0 disables the check)")
 	)
 	flag.Parse()
+
+	if *expName == "serve" {
+		sizes, err := parseSizes(*serveSizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matchbench: %v\n", err)
+			os.Exit(1)
+		}
+		cfg := serveConfig{
+			seed: *seed, rps: *serveRPS, duration: *serveDuration,
+			deadline: *serveDeadline, sizes: sizes, quiet: *quiet, jsonOut: *jsonOut,
+		}
+		if *quick {
+			cfg.rps, cfg.duration = 10, 3*time.Second
+		}
+		if err := runServe(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "matchbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *expName == "trace-overhead" {
+		if err := runTraceOverhead(*seed, *quick, *jsonOut, *quiet, *maxOverhead); err != nil {
+			fmt.Fprintf(os.Stderr, "matchbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -347,8 +384,28 @@ func run(expName string, seed uint64, size int, quick, csv, jsonOut bool, baseli
 		ran = true
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want one of table1 table2 table3 fig3 fig7 fig8 fig9 kernel scale multilevel island %s baselines overset simcheck scaling convergence all)",
+		return fmt.Errorf("unknown experiment %q (want one of table1 table2 table3 fig3 fig7 fig8 fig9 kernel scale multilevel island serve trace-overhead %s baselines overset simcheck scaling convergence all)",
 			expName, strings.Join([]string{"ablation-rho", "ablation-zeta", "ablation-samples", "ablation-workers", "ablation-selection", "ablation-warmstart"}, " "))
 	}
 	return nil
+}
+
+// parseSizes parses the -serve-sizes list ("8,12,16").
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("invalid -serve-sizes entry %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("-serve-sizes is empty")
+	}
+	return sizes, nil
 }

@@ -1,0 +1,309 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matchsim"
+	"matchsim/api"
+	"matchsim/client"
+	"matchsim/internal/httpapi"
+	"matchsim/internal/jobs"
+	"matchsim/internal/telemetry"
+)
+
+// serveConfig parameterises the serving-SLO load replay.
+type serveConfig struct {
+	seed     uint64
+	rps      float64
+	duration time.Duration
+	deadline time.Duration
+	sizes    []int
+	quiet    bool
+	jsonOut  bool
+}
+
+// serveFile is the BENCH_serve.json document: the measured serving SLO
+// of a live matchd under open-loop load. Latency percentiles are
+// computed from the daemon's own RED histograms (linear interpolation
+// within the enclosing bucket), so the report reflects exactly what a
+// production scrape would show.
+type serveFile struct {
+	Bench     string  `json:"bench"`
+	GoOS      string  `json:"goos"`
+	GoArch    string  `json:"goarch"`
+	Go        string  `json:"go"`
+	RPS       float64 `json:"target_rps"`
+	DurationS float64 `json:"duration_s"`
+	DeadlineS float64 `json:"deadline_s"`
+	Sizes     []int   `json:"sizes"`
+
+	Submitted      int64 `json:"submitted"`
+	Completed      int64 `json:"completed"`
+	SubmitErrors   int64 `json:"submit_errors"`
+	DeadlineMisses int64 `json:"deadline_misses"`
+
+	// Job latency (submit to terminal state) from matchd_job_seconds.
+	JobP50 float64 `json:"job_p50_s"`
+	JobP95 float64 `json:"job_p95_s"`
+	JobP99 float64 `json:"job_p99_s"`
+	// API request latency from matchd_http_request_seconds (all routes).
+	HTTPP50 float64 `json:"http_p50_s"`
+	HTTPP95 float64 `json:"http_p95_s"`
+	HTTPP99 float64 `json:"http_p99_s"`
+	// ErrorRate is 4xx/5xx responses over all requests, from the RED
+	// counters (client-side deadline misses are reported separately).
+	ErrorRate float64 `json:"error_rate"`
+}
+
+// runServe replays an open-loop arrival process against a live in-process
+// matchd — arrivals fire on the clock, never waiting for earlier requests,
+// so queueing delay shows up as latency exactly as it would for real
+// clients — then derives the serving SLO report from the daemon's RED
+// histograms.
+func runServe(cfg serveConfig) error {
+	progress := func(format string, args ...any) {
+		if !cfg.quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	// The daemon under test: tracing on (the production posture), result
+	// cache off so every submission performs a real solve.
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{Node: "bench"})
+	m := jobs.New(jobs.Options{
+		CacheCapacity: -1,
+		Tracer:        tracer,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	server := &http.Server{Handler: httpapi.New(m)}
+	go func() { _ = server.Serve(ln) }()
+	defer func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = server.Shutdown(shutCtx)
+		_ = m.Shutdown(shutCtx)
+	}()
+	c := client.New("http://" + ln.Addr().String())
+
+	// Pre-render one instance per mix size; per-request seeds vary so the
+	// solves are independent work, not replays of one trajectory.
+	instances := make([][]byte, len(cfg.sizes))
+	for i, n := range cfg.sizes {
+		p, err := matchsim.GeneratePaper(cfg.seed+uint64(i), n)
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := p.WriteInstance(&buf); err != nil {
+			return err
+		}
+		instances[i] = buf.Bytes()
+	}
+
+	progress("serve: %0.f rps for %v, deadline %v, sizes %v",
+		cfg.rps, cfg.duration, cfg.deadline, cfg.sizes)
+
+	var submitted, completed, submitErrs, misses atomic.Int64
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / cfg.rps)
+	ticker := time.NewTicker(interval)
+	stop := time.After(cfg.duration)
+	ctx := context.Background()
+
+arrivals:
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			break arrivals
+		case <-ticker.C:
+			k := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				submitted.Add(1)
+				info, err := c.Submit(ctx, api.SubmitRequest{
+					Instance: instances[k%len(instances)],
+					Solver:   api.SolverMaTCH,
+					Options:  api.SolverOptions{Seed: cfg.seed + uint64(k), Workers: 1},
+				})
+				if err != nil {
+					submitErrs.Add(1)
+					return
+				}
+				waitCtx, cancel := context.WithTimeout(ctx, cfg.deadline)
+				defer cancel()
+				final, err := c.Wait(waitCtx, info.ID, 5*time.Millisecond)
+				if err != nil || final.State != api.StateDone {
+					misses.Add(1)
+					return
+				}
+				completed.Add(1)
+			}()
+		}
+	}
+	ticker.Stop()
+	wg.Wait()
+
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	jobBuckets := parseBuckets(text, "matchd_job_seconds_bucket", `state="done"`)
+	httpBuckets := parseBuckets(text, "matchd_http_request_seconds_bucket", "")
+	reqs := sumSeries(text, "matchd_http_requests_total")
+	errs := sumSeries(text, "matchd_http_request_errors_total")
+
+	doc := serveFile{
+		Bench: "serve", GoOS: runtime.GOOS, GoArch: runtime.GOARCH, Go: runtime.Version(),
+		RPS: cfg.rps, DurationS: cfg.duration.Seconds(), DeadlineS: cfg.deadline.Seconds(),
+		Sizes:     cfg.sizes,
+		Submitted: submitted.Load(), Completed: completed.Load(),
+		SubmitErrors: submitErrs.Load(), DeadlineMisses: misses.Load(),
+		JobP50:  bucketQuantile(jobBuckets, 0.50),
+		JobP95:  bucketQuantile(jobBuckets, 0.95),
+		JobP99:  bucketQuantile(jobBuckets, 0.99),
+		HTTPP50: bucketQuantile(httpBuckets, 0.50),
+		HTTPP95: bucketQuantile(httpBuckets, 0.95),
+		HTTPP99: bucketQuantile(httpBuckets, 0.99),
+	}
+	if reqs > 0 {
+		doc.ErrorRate = errs / reqs
+	}
+	if doc.Completed == 0 {
+		return fmt.Errorf("serve: no request completed within its deadline (%d submitted, %d submit errors)",
+			doc.Submitted, doc.SubmitErrors)
+	}
+
+	fmt.Printf("serve SLO (open loop, %.0f rps x %v, deadline %v)\n", cfg.rps, cfg.duration, cfg.deadline)
+	fmt.Printf("  requests:   %d submitted, %d completed, %d submit errors, %d deadline misses\n",
+		doc.Submitted, doc.Completed, doc.SubmitErrors, doc.DeadlineMisses)
+	fmt.Printf("  job latency:  p50 %.4fs  p95 %.4fs  p99 %.4fs\n", doc.JobP50, doc.JobP95, doc.JobP99)
+	fmt.Printf("  http latency: p50 %.6fs  p95 %.6fs  p99 %.6fs\n", doc.HTTPP50, doc.HTTPP95, doc.HTTPP99)
+	fmt.Printf("  error rate:   %.4f\n", doc.ErrorRate)
+
+	if cfg.jsonOut {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644)
+	}
+	return nil
+}
+
+// bucket is one cumulative histogram bucket from a metrics scrape.
+type bucket struct {
+	le  float64
+	cum float64
+}
+
+// parseBuckets extracts the cumulative buckets of every series of the
+// named histogram whose label set contains filter, merged across series
+// (the aggregate distribution a recording rule would compute).
+func parseBuckets(text, name, filter string) []bucket {
+	byLE := make(map[float64]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		if filter != "" && !strings.Contains(line, filter) {
+			continue
+		}
+		leStart := strings.Index(line, `le="`)
+		if leStart < 0 {
+			continue
+		}
+		rest := line[leStart+4:]
+		leEnd := strings.Index(rest, `"`)
+		if leEnd < 0 {
+			continue
+		}
+		le, err := parseLE(rest[:leEnd])
+		if err != nil {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			continue
+		}
+		byLE[le] += v
+	}
+	out := make([]bucket, 0, len(byLE))
+	for le, cum := range byLE {
+		out = append(out, bucket{le: le, cum: cum})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].le < out[j].le })
+	return out
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// sumSeries totals the sample values of every series of a counter.
+func sumSeries(text, name string) float64 {
+	var total float64
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name+"{") && !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if v, err := strconv.ParseFloat(fields[len(fields)-1], 64); err == nil {
+			total += v
+		}
+	}
+	return total
+}
+
+// bucketQuantile estimates quantile q from cumulative buckets by linear
+// interpolation within the enclosing bucket — the same estimate
+// Prometheus's histogram_quantile computes. The +Inf bucket has no upper
+// edge, so observations landing there report the last finite edge.
+func bucketQuantile(buckets []bucket, q float64) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].cum
+	if total == 0 {
+		return 0
+	}
+	target := q * total
+	var prevLE, prevCum float64
+	for _, b := range buckets {
+		if b.cum >= target {
+			if math.IsInf(b.le, 1) {
+				return prevLE
+			}
+			if b.cum == prevCum {
+				return b.le
+			}
+			return prevLE + (b.le-prevLE)*(target-prevCum)/(b.cum-prevCum)
+		}
+		prevLE, prevCum = b.le, b.cum
+	}
+	return prevLE
+}

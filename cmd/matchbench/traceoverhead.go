@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"reflect"
+	"time"
+
+	"matchsim"
+	"matchsim/api"
+	"matchsim/internal/jobs"
+	"matchsim/internal/telemetry"
+)
+
+// runTraceOverhead measures what always-on span tracing costs a solve:
+// the same instance and seed run through the jobs manager with and
+// without a tracer, repeated and compared on the minimum solver wall
+// time (the minimum isolates the code-path cost from scheduler noise).
+// The traced and untraced arms must produce bit-identical mappings —
+// tracing observes the solver, it must never perturb it — and the
+// overhead must stay under maxOverhead (the CI guard exits 1 otherwise).
+func runTraceOverhead(seed uint64, quick, jsonOut, quiet bool, maxOverhead float64) error {
+	n, repeats := 64, 5
+	if quick {
+		n, repeats = 32, 3
+	}
+	progress := func(format string, args ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	p, err := matchsim.GeneratePaper(seed, n)
+	if err != nil {
+		return err
+	}
+	var inst bytes.Buffer
+	if err := p.WriteInstance(&inst); err != nil {
+		return err
+	}
+	req := api.SubmitRequest{
+		Instance: inst.Bytes(), Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: seed, Workers: 1},
+	}
+
+	solveArm := func(arm string, traced bool) (api.JobResult, error) {
+		var tracer *telemetry.Tracer
+		if traced {
+			tracer = telemetry.NewTracer(telemetry.TracerOptions{Node: "bench"})
+		}
+		m := jobs.New(jobs.Options{
+			Workers: 1, CacheCapacity: -1, Tracer: tracer,
+			Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		res, err := solveOnce(m, req)
+		_ = m.Shutdown(context.Background())
+		if err != nil {
+			return api.JobResult{}, fmt.Errorf("%s arm: %w", arm, err)
+		}
+		return res, nil
+	}
+
+	// The arms interleave (off, on, off, on, ...) so load and frequency
+	// drift hit both equally; min-of-repeats then isolates the code-path
+	// cost from scheduler noise.
+	var offWall, onWall time.Duration
+	var offRes, onRes api.JobResult
+	for r := 0; r < repeats; r++ {
+		off, err := solveArm("untraced", false)
+		if err != nil {
+			return err
+		}
+		on, err := solveArm("traced", true)
+		if err != nil {
+			return err
+		}
+		if r == 0 {
+			offRes, onRes = off, on
+		}
+		if !reflect.DeepEqual(off.Mapping, offRes.Mapping) || !reflect.DeepEqual(on.Mapping, onRes.Mapping) {
+			return fmt.Errorf("repeat %d diverged from repeat 0 (solver must be deterministic)", r)
+		}
+		if offWall == 0 || off.MappingTime < offWall {
+			offWall = off.MappingTime
+		}
+		if onWall == 0 || on.MappingTime < onWall {
+			onWall = on.MappingTime
+		}
+		progress("trace-overhead: repeat %d/%d: untraced %v, traced %v", r+1, repeats, off.MappingTime, on.MappingTime)
+	}
+	if !reflect.DeepEqual(offRes.Mapping, onRes.Mapping) || offRes.Exec != onRes.Exec {
+		return fmt.Errorf("tracing perturbed the solver: untraced exec %v != traced exec %v", offRes.Exec, onRes.Exec)
+	}
+
+	overhead := float64(onWall)/float64(offWall) - 1
+	fmt.Printf("trace overhead (n=%d, min of %d solves)\n", n, repeats)
+	fmt.Printf("  untraced: %v\n", offWall)
+	fmt.Printf("  traced:   %v\n", onWall)
+	fmt.Printf("  overhead: %+.2f%% (results bit-identical)\n", overhead*100)
+
+	if jsonOut {
+		recs := []benchRecord{
+			{Name: "solve-untraced", Size: n, NsPerOp: offWall.Nanoseconds(), ET: offRes.Exec},
+			{Name: "solve-traced", Size: n, NsPerOp: onWall.Nanoseconds(), ET: onRes.Exec},
+		}
+		if err := writeBenchJSON("trace_overhead", recs); err != nil {
+			return err
+		}
+	}
+	if maxOverhead > 0 && overhead > maxOverhead {
+		return fmt.Errorf("tracing overhead %.2f%% exceeds the %.2f%% budget", overhead*100, maxOverhead*100)
+	}
+	return nil
+}
+
+// solveOnce submits req and polls the manager until the job lands,
+// returning its result.
+func solveOnce(m *jobs.Manager, req api.SubmitRequest) (api.JobResult, error) {
+	info, err := m.Submit(req)
+	if err != nil {
+		return api.JobResult{}, err
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		cur, err := m.Info(info.ID)
+		if err != nil {
+			return api.JobResult{}, err
+		}
+		if api.TerminalState(cur.State) {
+			if cur.State != api.StateDone {
+				return api.JobResult{}, fmt.Errorf("job ended %q: %s", cur.State, cur.Error)
+			}
+			return m.Result(info.ID)
+		}
+		if time.Now().After(deadline) {
+			return api.JobResult{}, fmt.Errorf("job %s did not finish", info.ID)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

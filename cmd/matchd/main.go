@@ -9,7 +9,13 @@
 //
 //	matchd [-listen 127.0.0.1:8080] [-queue 64] [-workers N]
 //	       [-cache 128] [-checkpoint-dir DIR] [-trace FILE]
+//	       [-trace-spans FILE] [-trace-buffer 4096] [-node NAME]
 //	       [-pprof 127.0.0.1:6060]
+//
+// Distributed tracing is always on: every daemon keeps a bounded
+// in-memory ring of finished spans served at /v1/traces, -trace-spans
+// additionally appends each finished span as a JSONL record, and -node
+// names this daemon in multi-node traces (default: the hostname).
 //
 // See the README's "Running matchd" section for the API walkthrough.
 package main
@@ -31,6 +37,7 @@ import (
 
 	"matchsim/internal/httpapi"
 	"matchsim/internal/jobs"
+	"matchsim/internal/telemetry"
 	"matchsim/internal/trace"
 )
 
@@ -50,6 +57,9 @@ func run(args []string, stdout io.Writer) error {
 		cache         = fs.Int("cache", 128, "result cache capacity in entries (negative disables)")
 		checkpointDir = fs.String("checkpoint-dir", "", "directory for shutdown checkpoints (empty disables persistence)")
 		traceFile     = fs.String("trace", "", "append every job's trace events to this JSONL file")
+		spanFile      = fs.String("trace-spans", "", "append every finished span to this JSONL file")
+		traceBuffer   = fs.Int("trace-buffer", 4096, "finished spans retained in memory for /v1/traces")
+		nodeName      = fs.String("node", "", "node name stamped on spans (default: hostname)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "max time to wait for running jobs on shutdown")
 		pprofAddr     = fs.String("pprof", "", "serve net/http/pprof on this side address (empty disables; keep it loopback-only)")
 		logJSON       = fs.Bool("log-json", false, "emit structured logs as JSON lines instead of logfmt text")
@@ -86,12 +96,36 @@ func run(args []string, stdout io.Writer) error {
 		}()
 	}
 
+	node := *nodeName
+	if node == "" {
+		node, _ = os.Hostname()
+	}
+	var spanLog *telemetry.SpanLog
+	if *spanFile != "" {
+		f, err := os.OpenFile(*spanFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		spanLog = telemetry.NewSpanLog(f)
+		defer func() {
+			if err := spanLog.Close(); err != nil {
+				logger.Error("span log", "file", *spanFile, "error", err)
+			}
+		}()
+	}
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{
+		Node:     node,
+		Capacity: *traceBuffer,
+		Log:      spanLog,
+	})
+
 	manager := jobs.New(jobs.Options{
 		QueueCapacity: *queue,
 		Workers:       *workers,
 		CacheCapacity: *cache,
 		CheckpointDir: *checkpointDir,
 		TraceWriter:   tw,
+		Tracer:        tracer,
 		Logger:        logger,
 	})
 	if restored, err := manager.Restore(); err != nil {

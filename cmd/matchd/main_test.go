@@ -149,6 +149,48 @@ func TestEndToEndSmoke(t *testing.T) {
 		}
 	}
 
+	// Distributed tracing: the submission rooted a trace, and the
+	// retained span tree must cover the job's whole lifecycle —
+	// submit (request span) -> job -> queue + solve, with the terminal
+	// result recorded as an event on the job span.
+	if info.TraceID == "" {
+		t.Fatal("submission carried no trace ID")
+	}
+	doc, err := c.Trace(ctx, info.TraceID)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	reqSpan := findSpanNamed(doc.Spans, "POST /v1/jobs")
+	if reqSpan == nil {
+		t.Fatalf("trace %s has no request span: %+v", info.TraceID, doc)
+	}
+	jobSpan := findSpanNamed(reqSpan.Children, "job")
+	if jobSpan == nil {
+		t.Fatalf("job span not parented under the request span: %+v", doc)
+	}
+	for _, name := range []string{"queue", "solve"} {
+		if findSpanNamed(jobSpan.Children, name) == nil {
+			t.Errorf("job span missing %q child", name)
+		}
+	}
+	var sawResult bool
+	for _, ev := range jobSpan.Events {
+		sawResult = sawResult || ev.Name == "result"
+	}
+	if !sawResult {
+		t.Error("job span carries no result event")
+	}
+	// Span accounting: with every job terminal, nothing may leak.
+	metrics, err = c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if open, found := scrapeValue(metrics, "matchd_trace_spans_open"); !found {
+		t.Error("metrics missing matchd_trace_spans_open")
+	} else if open != 0 {
+		t.Errorf("matchd_trace_spans_open = %v, want 0 once jobs are terminal", open)
+	}
+
 	// Graceful termination.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatalf("SIGTERM: %v", err)
@@ -156,6 +198,30 @@ func TestEndToEndSmoke(t *testing.T) {
 	if err := cmd.Wait(); err != nil {
 		t.Errorf("matchd exited uncleanly after SIGTERM: %v", err)
 	}
+}
+
+// findSpanNamed walks a span tree depth-first for the first span with
+// the given name.
+func findSpanNamed(spans []api.Span, name string) *api.Span {
+	for i := range spans {
+		if spans[i].Name == name {
+			return &spans[i]
+		}
+		if hit := findSpanNamed(spans[i].Children, name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// flattenSpans collects a span tree into a flat list.
+func flattenSpans(spans []api.Span) []api.Span {
+	var out []api.Span
+	for _, sp := range spans {
+		out = append(out, sp)
+		out = append(out, flattenSpans(sp.Children)...)
+	}
+	return out
 }
 
 // TestTwoDaemonIslandSolve is the cooperative island smoke: two matchd
@@ -171,8 +237,8 @@ func TestTwoDaemonIslandSolve(t *testing.T) {
 		t.Skip("set MATCH_E2E_ISLANDS=1 to run the two-daemon island smoke")
 	}
 	bin := buildDaemon(t)
-	_, baseA := startDaemon(t, bin)
-	_, baseB := startDaemon(t, bin)
+	_, baseA := startDaemon(t, bin, "-node", "nodeA")
+	_, baseB := startDaemon(t, bin, "-node", "nodeB")
 	ctx := context.Background()
 	cA, cB := client.New(baseA), client.New(baseB)
 
@@ -245,6 +311,65 @@ func TestTwoDaemonIslandSolve(t *testing.T) {
 		if !reflect.DeepEqual(res.Mapping, direct.Mapping) {
 			t.Errorf("node %d mapping %v != in-memory ensemble mapping %v", i, res.Mapping, direct.Mapping)
 		}
+	}
+
+	// Distributed tracing: node A's job rooted a trace, its exchange
+	// spans hang under the solve span, and — because each exchange post
+	// carries its traceparent — node B holds server spans under the SAME
+	// trace ID, parented by A's exchange spans. One trace covers both
+	// daemons.
+	if infoA.TraceID == "" {
+		t.Fatal("node A submission carried no trace ID")
+	}
+	docA, err := cA.Trace(ctx, infoA.TraceID)
+	if err != nil {
+		t.Fatalf("Trace on node A: %v", err)
+	}
+	jobA := findSpanNamed(docA.Spans, "job")
+	if jobA == nil {
+		t.Fatalf("node A trace has no job span: %+v", docA)
+	}
+	solveA := findSpanNamed(jobA.Children, "solve")
+	if solveA == nil {
+		t.Fatalf("node A job span has no solve child: %+v", docA)
+	}
+	senders := make(map[string]bool) // A-side span IDs that posted to B
+	var exchanges int
+	for _, sp := range flattenSpans(solveA.Children) {
+		if sp.Name == "island.exchange" || sp.Name == "island.finish" {
+			senders[sp.SpanID] = true
+			if sp.Name == "island.exchange" {
+				exchanges++
+			}
+		}
+	}
+	if exchanges == 0 {
+		t.Fatalf("node A solve span has no island.exchange children: %+v", docA)
+	}
+
+	docB, err := cB.Trace(ctx, infoA.TraceID)
+	if err != nil {
+		t.Fatalf("node B holds no spans for node A's trace %s: %v", infoA.TraceID, err)
+	}
+	var joined int
+	for _, sp := range flattenSpans(docB.Spans) {
+		if sp.TraceID != infoA.TraceID {
+			t.Errorf("node B span %s (%s) carries trace %s, want %s", sp.SpanID, sp.Name, sp.TraceID, infoA.TraceID)
+		}
+		if sp.Node != "nodeB" {
+			t.Errorf("node B span %s (%s) stamped node %q, want nodeB", sp.SpanID, sp.Name, sp.Node)
+		}
+		if sp.Name != "POST /v1/islands/{session}/packets" {
+			t.Errorf("unexpected span %q on node B under trace %s", sp.Name, infoA.TraceID)
+			continue
+		}
+		if !senders[sp.ParentID] {
+			t.Errorf("node B packet span %s parented by %q, not one of node A's exchange spans", sp.SpanID, sp.ParentID)
+		}
+		joined++
+	}
+	if joined == 0 {
+		t.Errorf("no node B spans joined node A's trace: %+v", docB)
 	}
 }
 

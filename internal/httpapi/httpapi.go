@@ -8,7 +8,10 @@
 //	GET    /v1/jobs/{id}/events live progress (SSE)     → text/event-stream
 //	POST   /v1/islands/{session}/packets  island-exchange packet from a peer node → 204
 //	GET    /v1/islands/{session}          island session status     → 200
+//	GET    /v1/traces           recent trace summaries  → 200 [TraceSummary]
+//	GET    /v1/traces/{id}      one trace's span tree   → 200 TraceDoc
 //	GET    /healthz             liveness                → 200 {"status":"ok"}
+//	GET    /readyz              readiness checks        → 200/503 ReadyStatus
 //	GET    /metrics             Prometheus text format  → 200
 //
 // Every non-2xx response body is an api.Error document. The SSE stream
@@ -22,14 +25,28 @@
 // solving part of an island-model job POSTs exchange packets to the
 // nodes running the peer islands, which file them on the local board for
 // their islands to consume.
+//
+// Tracing: when the manager carries a tracer, the middleware opens a
+// server span per request — continuing the trace named by an incoming
+// W3C `traceparent` header, or rooting a new one on routes that always
+// trace (job submission) — and puts it in the request context, where the
+// jobs layer parents the job's root span under it. Island packet posts
+// carry the sending daemon's exchange-span traceparent, which is how one
+// trace ID ends up covering every cooperating node. /metrics honours an
+// `Accept: application/openmetrics-text` header (or `?exemplars=1`) by
+// rendering the OpenMetrics flavour with trace-ID exemplars on histogram
+// buckets; the default output stays plain text-format 0.0.4.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"matchsim/api"
@@ -40,22 +57,52 @@ import (
 
 // Server adapts a jobs.Manager to net/http. Every route is wrapped in RED
 // middleware feeding the manager's telemetry registry: request count by
-// (route, method, code), error count, and a latency histogram per route.
+// (route, method, code), error count, and a latency histogram per route
+// with trace-ID exemplars. Streaming routes (SSE) record time-to-first-
+// byte in the request-latency histogram — stream lifetime would poison
+// its p99 — and their full lifetime in a separate stream histogram.
 type Server struct {
 	manager *jobs.Manager
 	mux     *http.ServeMux
+	tracer  *telemetry.Tracer
 
-	requests *telemetry.CounterVec
-	errors   *telemetry.CounterVec
-	latency  *telemetry.HistogramVec
+	requests      *telemetry.CounterVec
+	errors        *telemetry.CounterVec
+	latency       *telemetry.HistogramVec
+	streamSeconds *telemetry.HistogramVec
 }
 
-// New builds the HTTP surface over m, instrumenting m.Registry().
+// traceMode decides when the middleware opens a server span for a route.
+type traceMode int
+
+const (
+	// traceOff never traces the route (probes, scrapes, trace reads —
+	// tracing the trace endpoint would feed back into its own ring).
+	traceOff traceMode = iota
+	// traceOnHeader traces only requests that arrive with a traceparent
+	// header, joining the caller's trace. Poll-style routes use this so
+	// a Wait loop does not flood the ring with single-span traces.
+	traceOnHeader
+	// traceAlways traces every request, rooting a fresh trace when no
+	// traceparent arrives (job submission: the trace everything else
+	// hangs off).
+	traceAlways
+)
+
+// routeOpts configures one route's middleware behaviour.
+type routeOpts struct {
+	trace     traceMode
+	streaming bool
+}
+
+// New builds the HTTP surface over m, instrumenting m.Registry() and
+// tracing with m.Tracer() (nil tracer = tracing off everywhere).
 func New(m *jobs.Manager) *Server {
 	reg := m.Registry()
 	s := &Server{
 		manager: m,
 		mux:     http.NewServeMux(),
+		tracer:  m.Tracer(),
 		requests: reg.CounterVec("matchd_http_requests_total",
 			"HTTP requests served, by route pattern, method and status code.",
 			"route", "method", "code"),
@@ -63,25 +110,31 @@ func New(m *jobs.Manager) *Server {
 			"HTTP requests answered with a 4xx or 5xx status, by route pattern.",
 			"route"),
 		latency: reg.HistogramVec("matchd_http_request_seconds",
-			"HTTP request latency, by route pattern.",
+			"HTTP request latency, by route pattern. Streaming routes record time-to-first-byte here; see matchd_http_stream_seconds for their lifetimes.",
 			telemetry.ExpBuckets(0.001, 4, 8), "route"),
+		streamSeconds: reg.HistogramVec("matchd_http_stream_seconds",
+			"Full lifetime of streaming (SSE) requests, by route pattern.",
+			telemetry.ExpBuckets(0.01, 4, 10), "route"),
 	}
-	s.handle("POST /v1/jobs", s.submit)
-	s.handle("GET /v1/jobs/{id}", s.status)
-	s.handle("GET /v1/jobs/{id}/result", s.result)
-	s.handle("DELETE /v1/jobs/{id}", s.cancel)
-	s.handle("GET /v1/jobs/{id}/events", s.events)
-	s.handle("POST /v1/islands/{session}/packets", s.islandPost)
-	s.handle("GET /v1/islands/{session}", s.islandStatus)
-	s.handle("GET /healthz", s.healthz)
-	s.handle("GET /metrics", s.metrics)
+	s.handle("POST /v1/jobs", s.submit, routeOpts{trace: traceAlways})
+	s.handle("GET /v1/jobs/{id}", s.status, routeOpts{trace: traceOnHeader})
+	s.handle("GET /v1/jobs/{id}/result", s.result, routeOpts{trace: traceOnHeader})
+	s.handle("DELETE /v1/jobs/{id}", s.cancel, routeOpts{trace: traceOnHeader})
+	s.handle("GET /v1/jobs/{id}/events", s.events, routeOpts{trace: traceOnHeader, streaming: true})
+	s.handle("POST /v1/islands/{session}/packets", s.islandPost, routeOpts{trace: traceOnHeader})
+	s.handle("GET /v1/islands/{session}", s.islandStatus, routeOpts{trace: traceOnHeader})
+	s.handle("GET /v1/traces", s.traces, routeOpts{trace: traceOff})
+	s.handle("GET /v1/traces/{id}", s.traceByID, routeOpts{trace: traceOff})
+	s.handle("GET /healthz", s.healthz, routeOpts{trace: traceOff})
+	s.handle("GET /readyz", s.readyz, routeOpts{trace: traceOff})
+	s.handle("GET /metrics", s.metrics, routeOpts{trace: traceOff})
 	return s
 }
 
-// handle registers h under the mux pattern, wrapped in the RED middleware.
-// The route label is the pattern itself — a bounded set, immune to the
-// path-cardinality explosion raw URLs would cause.
-func (s *Server) handle(pattern string, h http.HandlerFunc) {
+// handle registers h under the mux pattern, wrapped in the RED/tracing
+// middleware. The route label is the pattern itself — a bounded set,
+// immune to the path-cardinality explosion raw URLs would cause.
+func (s *Server) handle(pattern string, h http.HandlerFunc, opts routeOpts) {
 	log := s.manager.Logger()
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -91,7 +144,21 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 			// Preserve streaming: the SSE handler requires http.Flusher.
 			rw = &flushingRecorder{statusRecorder: rec, flusher: f}
 		}
+
+		var span *telemetry.Span
+		if s.tracer != nil && opts.trace != traceOff {
+			tp := r.Header.Get("traceparent")
+			if opts.trace == traceAlways || tp != "" {
+				var ctx context.Context
+				ctx, span = s.tracer.StartSpanRemote(r.Context(), pattern, tp)
+				span.SetAttr("method", r.Method)
+				span.SetAttr("remote", r.RemoteAddr)
+				r = r.WithContext(ctx)
+			}
+		}
+
 		h(rw, r)
+
 		elapsed := time.Since(start)
 		s.requests.With(pattern, r.Method, strconv.Itoa(rec.code)).Inc()
 		if rec.code >= 400 {
@@ -99,19 +166,49 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 			log.Warn("request failed", "route", pattern, "code", rec.code,
 				"duration", elapsed, "remote", r.RemoteAddr)
 		}
-		s.latency.With(pattern).Observe(elapsed.Seconds())
+		latency := elapsed
+		if opts.streaming {
+			// Time-to-first-byte for the latency series; the stream's
+			// lifetime lands in its own histogram.
+			if !rec.firstByte.IsZero() {
+				latency = rec.firstByte.Sub(start)
+			}
+			s.streamSeconds.With(pattern).ObserveExemplar(elapsed.Seconds(), span.TraceID())
+		}
+		s.latency.With(pattern).ObserveExemplar(latency.Seconds(), span.TraceID())
+		if span != nil {
+			span.SetAttrInt("code", int64(rec.code))
+			if rec.code >= 400 {
+				span.SetStatus("error")
+			} else {
+				span.SetStatus("ok")
+			}
+			span.End()
+		}
 	})
 }
 
-// statusRecorder captures the response status for the RED middleware.
+// statusRecorder captures the response status and first-byte time for
+// the RED middleware.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code      int
+	firstByte time.Time
 }
 
 func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.firstByte.IsZero() {
+		sr.firstByte = time.Now()
+	}
 	sr.code = code
 	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.firstByte.IsZero() {
+		sr.firstByte = time.Now()
+	}
+	return sr.ResponseWriter.Write(b)
 }
 
 // flushingRecorder is a statusRecorder over a streaming-capable writer; it
@@ -145,7 +242,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
-	info, err := s.manager.Submit(req)
+	info, err := s.manager.SubmitCtx(r.Context(), req)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrShuttingDown):
 		w.Header().Set("Retry-After", "1")
@@ -276,6 +373,10 @@ func (s *Server) islandStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// healthz is the liveness probe: the process is up and serving. It stays
+// 200 even when the daemon cannot accept work — that is readiness
+// (/readyz) — and flips to 503 only during shutdown, when the listener
+// is about to go away.
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	if s.manager.Closed() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting down"})
@@ -284,10 +385,134 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// readyz is the readiness probe: 200 with the individual check results
+// while the daemon can take work (queue accepting, checkpoint dir
+// writable, island board reachable), 503 with the failing checks
+// otherwise — load balancers should stop routing, not restart.
+func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
+	ready, checks := s.manager.Readiness()
+	doc := api.ReadyStatus{Status: "ready", Checks: checks}
+	status := http.StatusOK
+	if !ready {
+		doc.Status = "unready"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, doc)
+}
+
+// traces lists the tracer's retained traces, most recent first.
+// ?limit=N bounds the listing (default 100).
+func (s *Server) traces(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeJSON(w, http.StatusOK, []api.TraceSummary{})
+		return
+	}
+	limit := 100
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "invalid limit %q", q)
+			return
+		}
+		limit = n
+	}
+	sums := s.tracer.Traces(limit)
+	out := make([]api.TraceSummary, len(sums))
+	for i, g := range sums {
+		out[i] = api.TraceSummary(g)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// traceByID serves one trace's retained spans as a parent/child tree.
+func (s *Server) traceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	spans := s.tracer.Trace(id)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "unknown trace %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, buildTraceDoc(id, spans))
+}
+
+// buildTraceDoc assembles flat span records into nested trees. A span
+// whose parent is missing from the set (it lives on another daemon, was
+// evicted, or is still open) becomes a root. Siblings sort by start
+// time.
+func buildTraceDoc(traceID string, spans []telemetry.SpanData) api.TraceDoc {
+	index := make(map[string]int, len(spans))
+	for i, sd := range spans {
+		index[sd.SpanID] = i
+	}
+	children := make(map[string][]int)
+	var roots []int
+	for i, sd := range spans {
+		if _, ok := index[sd.ParentID]; ok && sd.ParentID != sd.SpanID {
+			children[sd.ParentID] = append(children[sd.ParentID], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	visited := make(map[int]bool, len(spans))
+	var convert func(i int) api.Span
+	convert = func(i int) api.Span {
+		visited[i] = true
+		sd := spans[i]
+		out := api.Span{
+			TraceID:       sd.TraceID,
+			SpanID:        sd.SpanID,
+			ParentID:      sd.ParentID,
+			Name:          sd.Name,
+			Node:          sd.Node,
+			Start:         sd.Start,
+			DurationNs:    sd.DurationNs,
+			Status:        sd.Status,
+			Attrs:         sd.Attrs,
+			DroppedEvents: sd.DroppedEvents,
+		}
+		if len(sd.Events) > 0 {
+			out.Events = make([]api.SpanEvent, len(sd.Events))
+			for k, ev := range sd.Events {
+				out.Events[k] = api.SpanEvent(ev)
+			}
+		}
+		kids := children[sd.SpanID]
+		sort.Slice(kids, func(a, b int) bool { return spans[kids[a]].Start.Before(spans[kids[b]].Start) })
+		for _, c := range kids {
+			if !visited[c] { // guards against malformed parent cycles
+				out.Children = append(out.Children, convert(c))
+			}
+		}
+		return out
+	}
+	doc := api.TraceDoc{TraceID: traceID, SpanCount: len(spans)}
+	sort.Slice(roots, func(a, b int) bool { return spans[roots[a]].Start.Before(spans[roots[b]].Start) })
+	for _, i := range roots {
+		if !visited[i] {
+			doc.Spans = append(doc.Spans, convert(i))
+		}
+	}
+	return doc
+}
+
 // metrics renders the manager's telemetry registry — service gauges and
 // counters, solver internals, and the HTTP RED series — in the Prometheus
-// text exposition format (zero-dependency; see internal/telemetry).
-func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+// text exposition format (zero-dependency; see internal/telemetry). A
+// scraper that negotiates `Accept: application/openmetrics-text` (or
+// passes ?exemplars=1) gets the OpenMetrics flavour, whose histogram
+// buckets carry trace-ID exemplars linking metrics to /v1/traces.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") ||
+		r.URL.Query().Get("exemplars") == "1" {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = s.manager.Registry().WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.WriteHeader(http.StatusOK)
 	_ = s.manager.Registry().WritePrometheus(w)

@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
@@ -15,6 +17,7 @@ import (
 	"matchsim/api"
 	"matchsim/client"
 	"matchsim/internal/jobs"
+	"matchsim/internal/telemetry"
 )
 
 func newTestServer(t *testing.T, opts jobs.Options) (*client.Client, *jobs.Manager) {
@@ -412,5 +415,284 @@ func TestWatchJobClose(t *testing.T) {
 	}
 	if _, err := c.Cancel(ctx, info.ID); err != nil {
 		t.Fatalf("Cancel: %v", err)
+	}
+}
+
+// newTracedServer is newTestServer with a span tracer installed, also
+// returning the server's base URL for raw scrapes.
+func newTracedServer(t *testing.T, opts jobs.Options) (*client.Client, *jobs.Manager, string) {
+	t.Helper()
+	if opts.Tracer == nil {
+		opts.Tracer = telemetry.NewTracer(telemetry.TracerOptions{Node: "test-node"})
+	}
+	m := jobs.New(opts)
+	ts := httptest.NewServer(New(m))
+	t.Cleanup(func() {
+		ts.Close()
+		m.Shutdown(context.Background())
+	})
+	return client.New(ts.URL), m, ts.URL
+}
+
+// findSpan walks a span tree depth-first for the first span named name.
+func findSpan(spans []api.Span, name string) *api.Span {
+	for i := range spans {
+		if spans[i].Name == name {
+			return &spans[i]
+		}
+		if hit := findSpan(spans[i].Children, name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// TestTraceEndToEnd drives a traced submission through the whole stack:
+// the caller's traceparent must become the job's trace ID, and the
+// retained trace must contain the request span with the job span (and
+// its queue/solve children) parented beneath it.
+func TestTraceEndToEnd(t *testing.T) {
+	c, m, _ := newTracedServer(t, jobs.Options{Workers: 1})
+	ctx := context.Background()
+
+	const callerTrace = "11223344556677889900aabbccddeeff"
+	tpCtx := client.ContextWithTraceparent(ctx, "00-"+callerTrace+"-1234567890abcdef-01")
+	info, err := c.Submit(tpCtx, api.SubmitRequest{
+		Instance: instanceJSON(t, 41, 10), Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: 7, Workers: 1},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if info.TraceID != callerTrace {
+		t.Fatalf("JobInfo.TraceID = %q, want caller's %q", info.TraceID, callerTrace)
+	}
+	if _, err := c.Wait(ctx, info.ID, 5*time.Millisecond); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	doc, err := c.Trace(ctx, callerTrace)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if doc.TraceID != callerTrace || doc.SpanCount < 4 {
+		t.Fatalf("TraceDoc = id %q, %d spans; want %q with request+job+queue+solve", doc.TraceID, doc.SpanCount, callerTrace)
+	}
+	req := findSpan(doc.Spans, "POST /v1/jobs")
+	if req == nil {
+		t.Fatalf("trace has no request span: %+v", doc)
+	}
+	job := findSpan(req.Children, "job")
+	if job == nil {
+		t.Fatalf("job span not parented under request span: %+v", doc)
+	}
+	if job.Node != "test-node" {
+		t.Errorf("job span node = %q, want test-node", job.Node)
+	}
+	for _, child := range []string{"queue", "solve"} {
+		sp := findSpan(job.Children, child)
+		if sp == nil {
+			t.Errorf("job span missing %q child", child)
+			continue
+		}
+		if sp.ParentID != job.SpanID || sp.TraceID != callerTrace {
+			t.Errorf("%q span parent/trace = %q/%q, want %q/%q", child, sp.ParentID, sp.TraceID, job.SpanID, callerTrace)
+		}
+	}
+	var sawResult bool
+	for _, ev := range job.Events {
+		if ev.Name == "result" {
+			sawResult = true
+		}
+	}
+	if !sawResult {
+		t.Errorf("job span events %v missing \"result\"", job.Events)
+	}
+	if solve := findSpan(job.Children, "solve"); solve != nil && len(solve.Events) == 0 {
+		t.Error("solve span has no iteration events")
+	}
+
+	sums, err := c.Traces(ctx, 10)
+	if err != nil {
+		t.Fatalf("Traces: %v", err)
+	}
+	var listed bool
+	for _, s := range sums {
+		if s.TraceID == callerTrace {
+			listed = true
+		}
+	}
+	if !listed {
+		t.Errorf("GET /v1/traces does not list %q: %+v", callerTrace, sums)
+	}
+
+	if open := m.Tracer().OpenSpans(); open != 0 {
+		t.Errorf("%d spans still open after job finished", open)
+	}
+}
+
+// TestTraceRootedWithoutHeader checks POST /v1/jobs roots a fresh trace
+// when no traceparent arrives, and that an unknown trace ID is a 404.
+func TestTraceRootedWithoutHeader(t *testing.T) {
+	c, _, _ := newTracedServer(t, jobs.Options{Workers: 1})
+	ctx := context.Background()
+
+	info, err := c.Submit(ctx, api.SubmitRequest{
+		Instance: instanceJSON(t, 43, 10), Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: 3, Workers: 1},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if len(info.TraceID) != 32 {
+		t.Fatalf("JobInfo.TraceID = %q, want fresh 32-hex id", info.TraceID)
+	}
+	if _, err := c.Wait(ctx, info.ID, 5*time.Millisecond); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if _, err := c.Trace(ctx, info.TraceID); err != nil {
+		t.Fatalf("Trace on fresh id: %v", err)
+	}
+	var apiErr *api.Error
+	if _, err := c.Trace(ctx, strings.Repeat("f", 32)); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Errorf("unknown trace error = %v, want 404", err)
+	}
+}
+
+// TestReadyz checks the readiness probe: ready with per-check details on
+// a fresh daemon, 503 once the queue saturates.
+func TestReadyz(t *testing.T) {
+	c, _ := newTestServer(t, jobs.Options{Workers: 1, QueueCapacity: 1})
+	ctx := context.Background()
+
+	st, err := c.Ready(ctx)
+	if err != nil {
+		t.Fatalf("Ready: %v", err)
+	}
+	if st.Status != "ready" {
+		t.Fatalf("fresh daemon status = %q, want ready", st.Status)
+	}
+	var names []string
+	for _, chk := range st.Checks {
+		names = append(names, chk.Name)
+		if !chk.OK {
+			t.Errorf("check %s not ok: %s", chk.Name, chk.Detail)
+		}
+	}
+	for _, want := range []string{"queue", "island_board"} {
+		var found bool
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Errorf("readiness checks %v missing %q", names, want)
+		}
+	}
+
+	// Saturate: one running job plus a queued one fills capacity 1.
+	long := api.SubmitRequest{
+		Instance: instanceJSON(t, 44, 28), Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: 1, Workers: 1, MaxIterations: 100000, StallC: 100000, GammaStallWindow: 100000},
+	}
+	info, err := c.Submit(ctx, long)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitRunning(t, c, info.ID)
+	filler := long
+	filler.Options.Seed = 2
+	if _, err := c.Submit(ctx, filler); err != nil {
+		t.Fatalf("filler submit: %v", err)
+	}
+	st, err = c.Ready(ctx)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != 503 {
+		t.Fatalf("saturated Ready error = %v, want 503", err)
+	}
+	if st.Status != "unready" {
+		t.Errorf("saturated status = %q, want unready", st.Status)
+	}
+	if _, err := c.Cancel(ctx, info.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+}
+
+// TestStreamLatencySeries checks the SSE fix: streaming requests land
+// their lifetime in matchd_http_stream_seconds while the shared request
+// histogram gets only time-to-first-byte, keeping stream lifetimes out
+// of the API latency percentiles.
+func TestStreamLatencySeries(t *testing.T) {
+	c, _ := newTestServer(t, jobs.Options{Workers: 1})
+	ctx := context.Background()
+
+	info, err := c.Submit(ctx, api.SubmitRequest{
+		Instance: instanceJSON(t, 45, 10), Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: 5, Workers: 1},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := c.Events(ctx, info.ID, func(api.Event) {}); err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	const route = `{route="GET /v1/jobs/{id}/events"}`
+	if n := metricValue(t, text, "matchd_http_stream_seconds_count"+route); n != 1 {
+		t.Errorf("stream lifetime observations = %v, want 1", n)
+	}
+	if n := metricValue(t, text, "matchd_http_request_seconds_count"+route); n != 1 {
+		t.Errorf("TTFB observations = %v, want 1", n)
+	}
+	// TTFB must not exceed the stream's lifetime.
+	ttfb := metricValue(t, text, "matchd_http_request_seconds_sum"+route)
+	life := metricValue(t, text, "matchd_http_stream_seconds_sum"+route)
+	if ttfb > life {
+		t.Errorf("TTFB %v > stream lifetime %v", ttfb, life)
+	}
+}
+
+// TestMetricsOpenMetricsNegotiation checks /metrics stays plain 0.0.4 by
+// default and renders exemplar-bearing OpenMetrics when asked.
+func TestMetricsOpenMetricsNegotiation(t *testing.T) {
+	c, _, base := newTracedServer(t, jobs.Options{Workers: 1})
+	ctx := context.Background()
+
+	info, err := c.Submit(ctx, api.SubmitRequest{
+		Instance: instanceJSON(t, 46, 10), Solver: api.SolverMaTCH,
+		Options: api.SolverOptions{Seed: 6, Workers: 1},
+	})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := c.Wait(ctx, info.ID, 5*time.Millisecond); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	plain, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if strings.Contains(plain, "trace_id") || strings.Contains(plain, "# EOF") {
+		t.Error("default exposition leaked OpenMetrics syntax")
+	}
+
+	resp, err := http.Get(base + "/metrics?exemplars=1")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	om := string(body)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("Content-Type = %q, want application/openmetrics-text", ct)
+	}
+	if !strings.HasSuffix(strings.TrimRight(om, "\n"), "# EOF") {
+		t.Error("OpenMetrics exposition missing # EOF terminator")
+	}
+	if !strings.Contains(om, `# {trace_id="`+info.TraceID+`"}`) {
+		t.Errorf("OpenMetrics exposition has no exemplar for trace %s", info.TraceID)
 	}
 }

@@ -191,6 +191,13 @@ type SessionStatus struct {
 	Islands []IslandStatus `json:"islands"`
 }
 
+// Sessions reports the number of live sessions (readiness detail).
+func (b *Board) Sessions() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.sessions)
+}
+
 // Status reports a session snapshot; ok is false for unknown sessions.
 func (b *Board) Status(name string) (SessionStatus, bool) {
 	b.mu.Lock()

@@ -8,7 +8,10 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
+
+	"matchsim/internal/telemetry"
 )
 
 // Config describes one transport instance — the exchange fabric of a
@@ -84,41 +87,71 @@ func NewMemTransport(count int, topo Topology) (Transport, error) {
 }
 
 func (t *transport) Exchange(ctx context.Context, p Packet) ([]Packet, error) {
+	// The solve span travels down through the solver's context; each
+	// exchange round becomes a child span, and its traceparent rides the
+	// remote posts so cooperating daemons join the same trace.
+	span := t.startSpan(ctx, "island.exchange", p)
 	peers := Peers(t.cfg.Topology, p.Island, t.cfg.Count)
-	if err := t.post(ctx, p, t.hostsOf(peers)); err != nil {
+	if err := t.post(ctx, p, t.hostsOf(peers), span); err != nil {
+		span.SetStatus("error")
+		span.End()
 		return nil, err
 	}
 	out := make([]Packet, 0, len(peers))
 	for _, q := range peers {
 		pk, err := t.cfg.Board.Wait(ctx, t.cfg.Session, t.cfg.Count, q, p.Round)
 		if err != nil {
+			span.SetStatus("error")
+			span.End()
 			return nil, err
 		}
 		out = append(out, pk)
 	}
+	span.SetAttrInt("peers", int64(len(peers)))
+	span.End()
 	return out, nil
 }
 
 func (t *transport) Finish(ctx context.Context, p Packet) ([]Packet, error) {
 	p.Done = true
+	span := t.startSpan(ctx, "island.finish", p)
 	// Terminal packets go to every remote node, not just topology peers:
 	// the global best reduction needs all I of them everywhere.
 	all := make([]int, t.cfg.Count)
 	for i := range all {
 		all[i] = i
 	}
-	if err := t.post(ctx, p, t.hostsOf(all)); err != nil {
+	if err := t.post(ctx, p, t.hostsOf(all), span); err != nil {
+		span.SetStatus("error")
+		span.End()
 		return nil, err
 	}
 	finals := make([]Packet, t.cfg.Count)
 	for g := 0; g < t.cfg.Count; g++ {
 		pk, err := t.cfg.Board.WaitDone(ctx, t.cfg.Session, t.cfg.Count, g)
 		if err != nil {
+			span.SetStatus("error")
+			span.End()
 			return nil, err
 		}
 		finals[g] = pk
 	}
+	span.End()
 	return finals, nil
+}
+
+// startSpan opens a child span of whatever span ctx carries (nil, at
+// zero cost, when the run is untraced).
+func (t *transport) startSpan(ctx context.Context, name string, p Packet) *telemetry.Span {
+	parent := telemetry.SpanFromContext(ctx)
+	if parent == nil {
+		return nil
+	}
+	span := parent.Child(name)
+	span.SetAttr("session", t.cfg.Session)
+	span.SetAttrInt("island", int64(p.Island))
+	span.SetAttrInt("round", int64(p.Round))
+	return span
 }
 
 // hostsOf returns the distinct non-empty hosts among the given islands,
@@ -140,8 +173,10 @@ func (t *transport) hostsOf(islands []int) []string {
 	return hosts
 }
 
-// post delivers p to the local board and to each remote host.
-func (t *transport) post(ctx context.Context, p Packet, hosts []string) error {
+// post delivers p to the local board and to each remote host, stamping
+// the exchange span's traceparent on remote posts so the receiving
+// daemon's request span joins this trace.
+func (t *transport) post(ctx context.Context, p Packet, hosts []string, span *telemetry.Span) error {
 	if err := t.cfg.Board.Post(t.cfg.Session, t.cfg.Count, p); err != nil {
 		return err
 	}
@@ -153,9 +188,10 @@ func (t *transport) post(ctx context.Context, p Packet, hosts []string) error {
 		return err
 	}
 	for _, h := range hosts {
-		if err := t.postRemote(ctx, h, body); err != nil {
+		if err := t.postRemote(ctx, h, body, span.Traceparent()); err != nil {
 			return err
 		}
+		span.Event("posted", "host", h, "round", strconv.Itoa(p.Round))
 	}
 	return nil
 }
@@ -163,7 +199,7 @@ func (t *transport) post(ctx context.Context, p Packet, hosts []string) error {
 // postRemote POSTs one packet to one node, retrying transient failures a
 // few times: a cooperating daemon may still be accepting its half of the
 // job when our first round fires.
-func (t *transport) postRemote(ctx context.Context, host string, body []byte) error {
+func (t *transport) postRemote(ctx context.Context, host string, body []byte, traceparent string) error {
 	u := host + "/v1/islands/" + url.PathEscape(t.cfg.Session) + "/packets"
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
@@ -179,6 +215,9 @@ func (t *transport) postRemote(ctx context.Context, host string, body []byte) er
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
 		resp, err := t.cfg.Client.Do(req)
 		if err != nil {
 			lastErr = err

@@ -22,7 +22,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"os"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -69,6 +72,12 @@ type Options struct {
 	// fresh registry is created by default; the HTTP layer serves
 	// whichever registry the manager ends up with at /metrics.
 	Metrics *telemetry.Registry
+	// Tracer, when non-nil, enables distributed tracing: every job gets
+	// a root span (parented under the submitting HTTP request's span
+	// when the context carries one) with queue and solve child spans,
+	// per-iteration solver events, and trace-ID exemplars on the phase
+	// and latency histograms. nil disables tracing at zero cost.
+	Tracer *telemetry.Tracer
 	// Logger, when non-nil, receives structured lifecycle logs (job
 	// submitted/started/finished, shutdown). Silent by default.
 	Logger *slog.Logger
@@ -119,6 +128,14 @@ type job struct {
 	cancel        context.CancelFunc // non-nil while running
 	userCancelled bool               // DELETE (vs shutdown) requested the cancel
 	persistPath   string             // checkpoint file backing a restored job
+
+	// Tracing state: the job's root span, its trace ID (stable once set,
+	// readable without ending the span), and the queue/solve child
+	// spans. All nil/empty when the manager runs without a tracer.
+	traceID   string
+	span      *telemetry.Span
+	queueSpan *telemetry.Span
+	solveSpan *telemetry.Span
 
 	events []api.Event
 	subs   map[int]chan api.Event
@@ -189,6 +206,12 @@ type managerMetrics struct {
 	migrantsIn    *telemetry.Counter
 	migrantsOut   *telemetry.Counter
 	blendRounds   *telemetry.Counter
+
+	// jobSeconds tracks submit-to-finish latency by terminal state; its
+	// exemplars link each bucket to the trace of the job that landed
+	// there, so the serving SLO report can jump from a p99 bucket
+	// straight to a span tree.
+	jobSeconds *telemetry.HistogramVec
 }
 
 func newManagerMetrics(reg *telemetry.Registry) *managerMetrics {
@@ -221,12 +244,18 @@ func newManagerMetrics(reg *telemetry.Registry) *managerMetrics {
 		migrantsIn:    reg.Counter("matchd_solver_migrants_in_total", "Elite solutions received from peer islands."),
 		migrantsOut:   reg.Counter("matchd_solver_migrants_out_total", "Elite solutions sent to peer islands."),
 		blendRounds:   reg.Counter("matchd_solver_blend_rounds_total", "Island P-matrix blend steps applied."),
+
+		// 1ms .. ~17min: job latency spans cache hits to long solves.
+		jobSeconds: reg.HistogramVec("matchd_job_seconds",
+			"Submit-to-finish job latency by terminal state.",
+			telemetry.ExpBuckets(1e-3, 4, 10), "state"),
 	}
 }
 
 // observeIteration feeds one iteration's solver telemetry into the
-// registry. Called from solver callback goroutines without mu.
-func (m *Manager) observeIteration(tr matchsim.IterationTrace) {
+// registry, attaching traceID as the exemplar on the phase histograms
+// when tracing is on. Called from solver callback goroutines without mu.
+func (m *Manager) observeIteration(tr matchsim.IterationTrace, traceID string) {
 	mm := m.metrics
 	mm.iterations.Inc()
 	mm.draws.AddUint(uint64(tr.Draws))
@@ -243,9 +272,9 @@ func (m *Manager) observeIteration(tr matchsim.IterationTrace) {
 	mm.migrantsOut.AddUint(uint64(tr.MigrantsOut))
 	mm.blendRounds.AddUint(uint64(tr.BlendRounds))
 	if tr.SampleNs > 0 {
-		mm.samplePhase.Observe(float64(tr.SampleNs) / 1e9)
-		mm.selectPhase.Observe(float64(tr.SelectNs) / 1e9)
-		mm.updatePhase.Observe(float64(tr.UpdateNs) / 1e9)
+		mm.samplePhase.ObserveExemplar(float64(tr.SampleNs)/1e9, traceID)
+		mm.selectPhase.ObserveExemplar(float64(tr.SelectNs)/1e9, traceID)
+		mm.updatePhase.ObserveExemplar(float64(tr.UpdateNs)/1e9, traceID)
 	}
 }
 
@@ -276,6 +305,19 @@ func New(opts Options) *Manager {
 		func() float64 { return float64(m.cache.len()) })
 	reg.GaugeFunc("matchd_cache_capacity", "Capacity of the result cache.",
 		func() float64 { return float64(opts.CacheCapacity) })
+	start := time.Now()
+	reg.GaugeFunc("matchd_uptime_seconds", "Seconds since the manager started.",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.GaugeVec("matchd_build_info", "Build metadata; the value is always 1.",
+		"go_version", "revision").With(runtime.Version(), buildRevision()).Set(1)
+	if tr := opts.Tracer; tr != nil {
+		reg.GaugeFunc("matchd_trace_spans_started_total", "Spans started by the tracer.",
+			func() float64 { return float64(tr.Started()) })
+		reg.GaugeFunc("matchd_trace_spans_finished_total", "Spans finished by the tracer.",
+			func() float64 { return float64(tr.Finished()) })
+		reg.GaugeFunc("matchd_trace_spans_open", "Spans started but not yet finished (a steady nonzero residue with no work in flight indicates a span leak).",
+			func() float64 { return float64(tr.OpenSpans()) })
+	}
 	for w := 0; w < opts.Workers; w++ {
 		m.wg.Add(1)
 		go func() {
@@ -286,6 +328,22 @@ func New(opts Options) *Manager {
 		}()
 	}
 	return m
+}
+
+// buildRevision extracts the VCS revision baked into the binary, or
+// "unknown" for builds outside a repository (go test, plain go run).
+func buildRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				if len(s.Value) > 12 {
+					return s.Value[:12]
+				}
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
 }
 
 // Key computes the content address of a submission: a SHA-256 over the
@@ -324,6 +382,17 @@ func newJobID() string {
 // having performed zero new evaluations) or enqueues it. ErrQueueFull and
 // ErrShuttingDown report backpressure; other errors are invalid requests.
 func (m *Manager) Submit(req api.SubmitRequest) (api.JobInfo, error) {
+	return m.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx is Submit with a caller context. When tracing is on, the
+// job's root span joins the trace carried by ctx (the HTTP layer puts
+// the request's server span there), so one trace ID follows the job
+// from the submitting request through queueing, solving and — for
+// cooperative island jobs — exchange rounds on every peer daemon. The
+// context is used only for trace propagation; cancelling it does not
+// cancel the job (use Cancel).
+func (m *Manager) SubmitCtx(ctx context.Context, req api.SubmitRequest) (api.JobInfo, error) {
 	if err := validSolver(req.Solver); err != nil {
 		return api.JobInfo{}, err
 	}
@@ -373,6 +442,11 @@ func (m *Manager) Submit(req api.SubmitRequest) (api.JobInfo, error) {
 			endEvent(&res),
 		}
 		m.register(j)
+		m.startJobSpan(ctx, j)
+		j.span.Event("cache-hit", "key", j.key)
+		j.span.SetStatus("ok")
+		j.span.End()
+		m.metrics.jobSeconds.With(j.state).ObserveExemplar(0, j.traceID)
 		m.log.Info("job served from cache", "id", j.id, "solver", j.solver, "key", j.key)
 		return m.infoLocked(j), nil
 	}
@@ -386,9 +460,27 @@ func (m *Manager) Submit(req api.SubmitRequest) (api.JobInfo, error) {
 	}
 	j.state = api.StateQueued
 	m.register(j)
+	m.startJobSpan(ctx, j)
+	j.queueSpan = j.span.Child("queue")
 	m.log.Info("job queued", "id", j.id, "solver", j.solver,
 		"tasks", problem.NumTasks(), "seed", req.Options.Seed, "queue_depth", len(m.queue))
 	return m.infoLocked(j), nil
+}
+
+// startJobSpan opens the job's root span (a child of the span carried
+// by ctx, if any) and records its trace ID on the job. No-op without a
+// tracer. Caller holds mu; span operations take only span-local locks.
+func (m *Manager) startJobSpan(ctx context.Context, j *job) {
+	if m.opts.Tracer == nil {
+		return
+	}
+	_, span := m.opts.Tracer.StartSpan(ctx, "job")
+	span.SetAttr("job_id", j.id)
+	span.SetAttr("solver", j.solver)
+	span.SetAttrInt("tasks", int64(j.problem.NumTasks()))
+	span.SetAttr("seed", strconv.FormatUint(j.req.Options.Seed, 10))
+	j.span = span
+	j.traceID = span.TraceID()
 }
 
 func validSolver(s string) error {
@@ -419,6 +511,10 @@ func (m *Manager) setState(j *job, state string) {
 // Registry exposes the telemetry registry the manager instruments; the
 // HTTP layer renders it at /metrics.
 func (m *Manager) Registry() *telemetry.Registry { return m.opts.Metrics }
+
+// Tracer exposes the manager's tracer (nil when tracing is off); the
+// HTTP layer traces requests with it and serves its ring at /v1/traces.
+func (m *Manager) Tracer() *telemetry.Tracer { return m.opts.Tracer }
 
 // Board exposes the island-exchange rendezvous store so the HTTP layer
 // can deliver packets POSTed by cooperating matchd nodes.
@@ -452,6 +548,7 @@ func (m *Manager) infoLocked(j *job) api.JobInfo {
 		CacheHit:       j.cacheHit,
 		Resumed:        j.resumed,
 		DegradedResume: j.degraded,
+		TraceID:        j.traceID,
 	}
 }
 
@@ -567,8 +664,9 @@ func (m *Manager) emitLocked(j *job, e api.Event) {
 	}
 }
 
-// finalizeLocked moves a job into a terminal state, emits the end event
-// and closes every subscriber. Caller holds mu.
+// finalizeLocked moves a job into a terminal state, emits the end event,
+// closes every subscriber, ends the job's spans and records its latency.
+// Caller holds mu.
 func (m *Manager) finalizeLocked(j *job, state, stopReason string) {
 	m.setState(j, state)
 	j.finished = time.Now()
@@ -586,6 +684,47 @@ func (m *Manager) finalizeLocked(j *job, state, stopReason string) {
 		delete(j.subs, idx)
 		close(ch)
 	}
+	m.endSpansLocked(j, state, stopReason)
+	m.metrics.jobSeconds.With(state).ObserveExemplar(j.finished.Sub(j.created).Seconds(), j.traceID)
+}
+
+// endSpansLocked closes whichever of the job's spans are still open
+// (End is idempotent and nil-safe) with a status derived from the
+// terminal state, and stamps the result event on the root span. Caller
+// holds mu.
+func (m *Manager) endSpansLocked(j *job, state, stopReason string) {
+	if j.span == nil {
+		return
+	}
+	status := "ok"
+	switch state {
+	case api.StateFailed:
+		status = "error"
+	case api.StateCancelled:
+		status = "cancelled"
+	}
+	j.solveSpan.SetStatus(status)
+	j.solveSpan.End()
+	j.queueSpan.End() // still open only when the job never started
+	if j.result != nil {
+		j.span.Event("result",
+			"exec", telemetryFloat(j.result.Exec),
+			"iterations", strconv.Itoa(j.result.Iterations),
+			"stop_reason", j.result.StopReason)
+	} else {
+		j.span.SetAttr("stop_reason", stopReason)
+	}
+	if j.errMsg != "" {
+		j.span.SetAttr("error", j.errMsg)
+	}
+	j.span.SetAttr("state", state)
+	j.span.SetStatus(status)
+	j.span.End()
+}
+
+// telemetryFloat renders a float attribute compactly.
+func telemetryFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 func endEvent(r *api.JobResult) api.Event {
@@ -651,6 +790,11 @@ func (m *Manager) runJob(j *job) {
 	j.cancel = cancel
 	m.setState(j, api.StateRunning)
 	j.started = time.Now()
+	j.queueSpan.SetAttr("depth_at_dequeue", strconv.Itoa(len(m.queue)))
+	j.queueSpan.End()
+	solveSpan := j.span.Child("solve")
+	j.solveSpan = solveSpan
+	ctx = telemetry.ContextWithSpan(ctx, solveSpan)
 	m.emitLocked(j, api.Event{
 		Kind:   string(trace.KindStart),
 		Solver: j.solver,
@@ -662,8 +806,22 @@ func (m *Manager) runJob(j *job) {
 		"tasks", j.problem.NumTasks(), "seed", j.req.Options.Seed,
 		"queued_for", j.started.Sub(j.created))
 
+	traceID := j.traceID
 	onIter := func(tr matchsim.IterationTrace) {
-		m.observeIteration(tr)
+		m.observeIteration(tr, traceID)
+		// Guarded so the tracing-off path never pays the attribute
+		// formatting, only a nil test.
+		if solveSpan != nil {
+			solveSpan.Event("iter",
+				"i", strconv.Itoa(tr.Iteration),
+				"gamma", telemetryFloat(tr.Gamma),
+				"best_so_far", telemetryFloat(tr.BestSoFar),
+				"draws", strconv.Itoa(tr.Draws),
+				"pruned", strconv.Itoa(tr.Pruned),
+				"sample_ns", strconv.FormatInt(tr.SampleNs, 10),
+				"select_ns", strconv.FormatInt(tr.SelectNs, 10),
+				"update_ns", strconv.FormatInt(tr.UpdateNs, 10))
+		}
 		m.mu.Lock()
 		m.emitLocked(j, api.Event{
 			Kind:          string(trace.KindIteration),
@@ -830,8 +988,82 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		return fmt.Errorf("jobs: shutdown timed out: %w", ctx.Err())
 	}
 
-	if m.opts.CheckpointDir == "" {
-		return nil
+	var perr error
+	if m.opts.CheckpointDir != "" {
+		perr = m.persistInterrupted()
 	}
-	return m.persistInterrupted()
+
+	// Close the spans of jobs that never reached a terminal state (still
+	// queued at shutdown) so the tracer's started/finished accounting
+	// balances — the span-leak invariant internal/verify checks.
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		if !api.TerminalState(j.state) && j.span != nil {
+			j.queueSpan.End()
+			j.solveSpan.SetStatus("interrupted")
+			j.solveSpan.End()
+			j.span.SetStatus("interrupted")
+			j.span.End()
+		}
+	}
+	m.mu.Unlock()
+	return perr
+}
+
+// Readiness evaluates the daemon's readiness checks: the submission
+// queue is accepting (open and below capacity), the checkpoint
+// directory (when configured) is writable, and the island exchange
+// board is reachable. It backs GET /readyz; liveness stays on /healthz.
+func (m *Manager) Readiness() (bool, []api.ReadyCheck) {
+	m.mu.Lock()
+	closed := m.closed
+	depth := len(m.queue)
+	m.mu.Unlock()
+
+	checks := make([]api.ReadyCheck, 0, 3)
+	qc := api.ReadyCheck{Name: "queue", OK: !closed && depth < m.opts.QueueCapacity,
+		Detail: fmt.Sprintf("%d/%d", depth, m.opts.QueueCapacity)}
+	switch {
+	case closed:
+		qc.Detail = "shutting down"
+	case depth >= m.opts.QueueCapacity:
+		qc.Detail = "full: " + qc.Detail
+	}
+	checks = append(checks, qc)
+
+	if dir := m.opts.CheckpointDir; dir != "" {
+		cc := api.ReadyCheck{Name: "checkpoint_dir", OK: true, Detail: dir}
+		if err := probeWritable(dir); err != nil {
+			cc.OK = false
+			cc.Detail = err.Error()
+		}
+		checks = append(checks, cc)
+	}
+
+	bc := api.ReadyCheck{Name: "island_board", OK: m.board != nil}
+	if m.board != nil {
+		bc.Detail = fmt.Sprintf("%d active sessions", m.board.Sessions())
+	}
+	checks = append(checks, bc)
+
+	ready := true
+	for _, c := range checks {
+		ready = ready && c.OK
+	}
+	return ready, checks
+}
+
+// probeWritable verifies a directory exists (creating it on demand, as
+// Shutdown would) and accepts a write.
+func probeWritable(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".readyz-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
 }

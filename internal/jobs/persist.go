@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -24,6 +25,10 @@ type persistedJob struct {
 	// never started (still queued at shutdown) or whose solver does not
 	// checkpoint.
 	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	// TraceParent carries the job's root span as a W3C traceparent value
+	// so the resumed run continues the original trace across the daemon
+	// restart.
+	TraceParent string `json:"traceparent,omitempty"`
 }
 
 func persistFileName(id string) string { return id + ".json" }
@@ -58,7 +63,8 @@ func (m *Manager) persistInterrupted() error {
 	}
 	var firstErr error
 	for _, j := range pending {
-		p := persistedJob{ID: j.id, Request: j.req, Created: j.created}
+		p := persistedJob{ID: j.id, Request: j.req, Created: j.created, TraceParent: j.span.Traceparent()}
+		j.span.Event("checkpoint", "has_state", fmt.Sprint(j.checkpoint != nil))
 		if j.checkpoint != nil {
 			enc, err := j.checkpoint.Encode()
 			if err != nil {
@@ -205,6 +211,22 @@ func (m *Manager) restoreOne(p *persistedJob, path string) error {
 	}
 	j.state = api.StateQueued
 	m.register(j)
+	if tr := m.opts.Tracer; tr != nil {
+		// Continue the pre-restart trace: the resumed job's span is a
+		// remote child of the span persisted at checkpoint time (or a
+		// fresh root when the job predates tracing).
+		_, span := tr.StartSpanRemote(context.Background(), "job", p.TraceParent)
+		span.SetAttr("job_id", j.id)
+		span.SetAttr("solver", j.solver)
+		span.SetAttr("resumed", "true")
+		if j.degraded {
+			span.SetAttr("degraded_resume", "true")
+		}
+		span.Event("resume", "checkpointed", fmt.Sprint(j.resumeFrom != nil))
+		j.span = span
+		j.traceID = span.TraceID()
+		j.queueSpan = span.Child("queue")
+	}
 	m.mu.Unlock()
 
 	// Blocking send: the worker pool is live, so the queue drains even

@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	ctx, span := tr.StartSpan(context.Background(), "x")
+	if span != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("nil tracer polluted the context")
+	}
+	// Every span method must be callable on nil.
+	span.SetAttr("k", "v")
+	span.SetAttrInt("n", 1)
+	span.SetStatus("ok")
+	span.Event("e", "a", "b")
+	span.End()
+	if span.TraceID() != "" || span.SpanID() != "" || span.Traceparent() != "" {
+		t.Fatal("nil span returned non-empty identity")
+	}
+	if span.Child("c") != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if tr.OpenSpans() != 0 || tr.Trace("abc") != nil || tr.Traces(10) != nil {
+		t.Fatal("nil tracer reported state")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	traceID, spanID := NewTraceID(), NewSpanID()
+	if len(traceID) != 32 || len(spanID) != 16 {
+		t.Fatalf("id widths: trace %d, span %d", len(traceID), len(spanID))
+	}
+	h := FormatTraceparent(traceID, spanID)
+	gotTrace, gotSpan, ok := ParseTraceparent(h)
+	if !ok || gotTrace != traceID || gotSpan != spanID {
+		t.Fatalf("round trip failed: %q -> (%q, %q, %v)", h, gotTrace, gotSpan, ok)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01", // wrong widths
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",       // all-zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",       // all-zero span
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // reserved version
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",       // uppercase hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", // v00 with suffix
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",          // missing flags
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", h)
+		}
+	}
+	// A future version may carry a dash-separated suffix.
+	if _, _, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-future"); !ok {
+		t.Error("future-version traceparent with suffix rejected")
+	}
+}
+
+func TestSpanParenting(t *testing.T) {
+	tr := NewTracer(TracerOptions{Node: "n1", Capacity: 16})
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	_, child := tr.StartSpan(ctx, "child")
+	grand := child.Child("grand")
+
+	if root.TraceID() == "" {
+		t.Fatal("root has no trace ID")
+	}
+	if child.TraceID() != root.TraceID() || grand.TraceID() != root.TraceID() {
+		t.Fatal("children did not join the root trace")
+	}
+	grand.End()
+	child.End()
+	root.SetStatus("ok")
+	root.End()
+
+	spans := tr.Trace(root.TraceID())
+	if len(spans) != 3 {
+		t.Fatalf("Trace returned %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, sd := range spans {
+		byName[sd.Name] = sd
+	}
+	if byName["child"].ParentID != byName["root"].SpanID {
+		t.Error("child not parented under root")
+	}
+	if byName["grand"].ParentID != byName["child"].SpanID {
+		t.Error("grandchild not parented under child")
+	}
+	if byName["root"].Status != "ok" || byName["root"].Node != "n1" {
+		t.Errorf("root record wrong: %+v", byName["root"])
+	}
+	if tr.OpenSpans() != 0 {
+		t.Errorf("open spans = %d after ending all", tr.OpenSpans())
+	}
+}
+
+func TestStartSpanRemoteContinuesTrace(t *testing.T) {
+	sender := NewTracer(TracerOptions{Node: "a", Capacity: 8})
+	receiver := NewTracer(TracerOptions{Node: "b", Capacity: 8})
+	_, out := sender.StartSpan(context.Background(), "client")
+	_, in := receiver.StartSpanRemote(context.Background(), "server", out.Traceparent())
+	if in.TraceID() != out.TraceID() {
+		t.Fatalf("remote span trace %q, want %q", in.TraceID(), out.TraceID())
+	}
+	in.End()
+	sd := receiver.Trace(out.TraceID())
+	if len(sd) != 1 || sd[0].ParentID != out.SpanID() {
+		t.Fatalf("remote span not parented under sender: %+v", sd)
+	}
+	out.End()
+
+	// Malformed traceparent falls back to a fresh root.
+	_, fresh := receiver.StartSpanRemote(context.Background(), "server", "garbage")
+	if fresh.TraceID() == out.TraceID() || fresh.TraceID() == "" {
+		t.Fatal("malformed traceparent did not start a fresh trace")
+	}
+	fresh.End()
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(TracerOptions{Capacity: 4})
+	var last *Span
+	for i := 0; i < 10; i++ {
+		_, s := tr.StartSpan(context.Background(), "s")
+		s.End()
+		last = s
+	}
+	sum := tr.Traces(0)
+	total := 0
+	for _, g := range sum {
+		total += g.Spans
+	}
+	if total != 4 {
+		t.Fatalf("ring retained %d spans, want 4", total)
+	}
+	if got := tr.Trace(last.TraceID()); len(got) != 1 {
+		t.Fatalf("most recent span evicted: %d", len(got))
+	}
+}
+
+func TestEventCapAndDropped(t *testing.T) {
+	tr := NewTracer(TracerOptions{Capacity: 4, MaxEventsPerSpan: 3})
+	_, s := tr.StartSpan(context.Background(), "s")
+	for i := 0; i < 5; i++ {
+		s.Event("iter", "i", "x")
+	}
+	s.End()
+	sd := tr.Trace(s.TraceID())[0]
+	if len(sd.Events) != 3 || sd.DroppedEvents != 2 {
+		t.Fatalf("events=%d dropped=%d, want 3/2", len(sd.Events), sd.DroppedEvents)
+	}
+	if sd.Events[0].Attrs["i"] != "x" {
+		t.Fatalf("event attrs lost: %+v", sd.Events[0])
+	}
+	// Mutations after End are no-ops, and End is idempotent.
+	s.Event("late")
+	s.SetAttr("late", "true")
+	s.End()
+	if tr.Finished() != 1 {
+		t.Fatalf("double End counted twice: finished=%d", tr.Finished())
+	}
+}
+
+func TestTracesSummaries(t *testing.T) {
+	tr := NewTracer(TracerOptions{Node: "n", Capacity: 64})
+	for i := 0; i < 3; i++ {
+		ctx, root := tr.StartSpan(context.Background(), "job")
+		_, c := tr.StartSpan(ctx, "solve")
+		c.End()
+		root.End()
+	}
+	sum := tr.Traces(2)
+	if len(sum) != 2 {
+		t.Fatalf("limit ignored: %d summaries", len(sum))
+	}
+	for _, g := range sum {
+		if g.Root != "job" || g.Spans != 2 || g.DurationNs < 0 {
+			t.Fatalf("bad summary: %+v", g)
+		}
+	}
+}
+
+func TestSpanLogJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewSpanLog(&buf)
+	tr := NewTracer(TracerOptions{Node: "n", Capacity: 8, Log: log})
+	_, s := tr.StartSpan(context.Background(), "op")
+	s.SetAttrInt("k", 7)
+	s.Event("e")
+	s.End()
+	if err := log.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("span log empty")
+	}
+	var sd SpanData
+	if err := json.Unmarshal(sc.Bytes(), &sd); err != nil {
+		t.Fatalf("span log line not JSON: %v", err)
+	}
+	if sd.Name != "op" || sd.Attrs["k"] != "7" || len(sd.Events) != 1 || sd.TraceID != s.TraceID() {
+		t.Fatalf("span log record wrong: %+v", sd)
+	}
+}
+
+// TestSpanConcurrency exercises the tracer from many goroutines; under
+// -race it is the tracing layer's data-race regression test.
+func TestSpanConcurrency(t *testing.T) {
+	tr := NewTracer(TracerOptions{Capacity: 128})
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, s := tr.StartSpan(ctx, "work")
+				s.Event("tick", "i", "v")
+				root.Event("shared")
+				s.End()
+				tr.Trace(root.TraceID())
+				tr.Traces(4)
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if tr.OpenSpans() != 0 {
+		t.Fatalf("span leak: %d open", tr.OpenSpans())
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "L.", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "aaaabbbbccccddddaaaabbbbccccdddd")
+	h.Observe(0.07) // plain Observe must not disturb the exemplar
+	h.ObserveExemplar(5, "")
+
+	var plain, om strings.Builder
+	if err := r.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "trace_id") || strings.Contains(plain.String(), "# EOF") {
+		t.Errorf("default exposition leaked OpenMetrics syntax:\n%s", plain.String())
+	}
+	if want := `lat_seconds_bucket{le="0.1"} 2 # {trace_id="aaaabbbbccccddddaaaabbbbccccdddd"} 0.05`; !strings.Contains(om.String(), want) {
+		t.Errorf("OpenMetrics missing exemplar %q:\n%s", want, om.String())
+	}
+	// The empty-traceID observation landed in +Inf with no exemplar.
+	if strings.Contains(om.String(), `le="+Inf"} 3 #`) {
+		t.Errorf("empty trace ID produced an exemplar:\n%s", om.String())
+	}
+	if !strings.HasSuffix(om.String(), "# EOF\n") {
+		t.Errorf("OpenMetrics output missing EOF marker")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // metricType discriminates exposition TYPE lines.
@@ -177,6 +178,16 @@ type Histogram struct {
 	buckets []atomic.Uint64 // per-bucket (non-cumulative); len(upper)+1, last is +Inf
 	count   atomic.Uint64
 	sumBits atomic.Uint64
+	// exemplars holds the most recent trace-linked observation per
+	// bucket, rendered only in the OpenMetrics-flavoured exposition.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar links one observation to the trace that produced it.
+type exemplar struct {
+	value   float64
+	traceID string
+	ts      time.Time
 }
 
 func newHistogram(upper []float64) *Histogram {
@@ -185,7 +196,11 @@ func newHistogram(upper []float64) *Histogram {
 			panic("telemetry: histogram buckets not strictly increasing")
 		}
 	}
-	return &Histogram{upper: upper, buckets: make([]atomic.Uint64, len(upper)+1)}
+	return &Histogram{
+		upper:     upper,
+		buckets:   make([]atomic.Uint64, len(upper)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(upper)+1),
+	}
 }
 
 // Observe records one value.
@@ -196,6 +211,20 @@ func (h *Histogram) Observe(v float64) {
 	atomicAddFloat(&h.sumBits, v)
 }
 
+// ObserveExemplar records one value and, when traceID is non-empty,
+// attaches it as the bucket's exemplar so dashboards can jump from a
+// latency bucket to the trace that landed in it. Costs one extra atomic
+// pointer store over Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.upper, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, v)
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{value: v, traceID: traceID, ts: time.Now()})
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -203,18 +232,37 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
 func (h *Histogram) write(w io.Writer, fam *family, labelPart string) {
+	h.writeWith(w, fam, labelPart, false)
+}
+
+func (h *Histogram) writeWith(w io.Writer, fam *family, labelPart string, exemplars bool) {
 	// Re-derive the label part with the le label appended: strip the
 	// braces and splice.
 	inner := strings.TrimSuffix(strings.TrimPrefix(labelPart, "{"), "}")
 	cum := uint64(0)
 	for i, ub := range h.upper {
 		cum += h.buckets[i].Load()
-		fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, mergeLabels(inner, "le", formatFloat(ub)), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", fam.name, mergeLabels(inner, "le", formatFloat(ub)), cum, h.exemplarSuffix(i, exemplars))
 	}
-	cum += h.buckets[len(h.upper)].Load()
-	fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, mergeLabels(inner, "le", "+Inf"), cum)
+	last := len(h.upper)
+	cum += h.buckets[last].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", fam.name, mergeLabels(inner, "le", "+Inf"), cum, h.exemplarSuffix(last, exemplars))
 	fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, labelPart, formatFloat(h.Sum()))
 	fmt.Fprintf(w, "%s_count%s %d\n", fam.name, labelPart, h.count.Load())
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar annotation for bucket
+// i, or "" when exemplars are off or the bucket has none.
+func (h *Histogram) exemplarSuffix(i int, enabled bool) string {
+	if !enabled {
+		return ""
+	}
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return ""
+	}
+	ts := float64(e.ts.UnixNano()) / 1e9
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s %s", escapeLabel(e.traceID), formatFloat(e.value), strconv.FormatFloat(ts, 'f', 3, 64))
 }
 
 func mergeLabels(inner, name, value string) string {
@@ -327,13 +375,36 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 	var sb strings.Builder
 	for _, f := range fams {
-		f.writeTo(&sb)
+		f.writeTo(&sb, false)
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
 }
 
-func (f *family) writeTo(w io.Writer) {
+// WriteOpenMetrics renders the registry like WritePrometheus but with
+// OpenMetrics exemplar annotations on histogram bucket lines
+// (`# {trace_id="..."} value timestamp`) and a terminating `# EOF`
+// marker. The default /metrics output stays plain text-format 0.0.4;
+// scrapers that understand exemplars negotiate this flavour explicitly.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var sb strings.Builder
+	for _, f := range fams {
+		f.writeTo(&sb, true)
+	}
+	sb.WriteString("# EOF\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func (f *family) writeTo(w io.Writer, exemplars bool) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ)
 	f.mu.Lock()
 	keys := make([]string, 0, len(f.children))
@@ -347,6 +418,10 @@ func (f *family) writeTo(w io.Writer) {
 	}
 	f.mu.Unlock()
 	for i, c := range children {
+		if h, ok := c.(*Histogram); ok {
+			h.writeWith(w, f, f.labelPart(keys[i]), exemplars)
+			continue
+		}
 		c.write(w, f, f.labelPart(keys[i]))
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"matchsim"
 	"matchsim/api"
 	"matchsim/internal/jobs"
+	"matchsim/internal/telemetry"
 	"matchsim/internal/xrand"
 )
 
@@ -63,6 +64,7 @@ type FaultSimStats struct {
 	Cancelled      int // jobs that ended cancelled (user or final drain)
 	StreamsChecked int // subscriber event streams validated
 	ResultsChecked int // results validated against the oracle and cache
+	TracesChecked  int // span trees validated after each epoch's shutdown
 }
 
 func (c FaultSimConfig) withDefaults() FaultSimConfig {
@@ -345,6 +347,10 @@ func RunFaultSim(cfg FaultSimConfig) (FaultSimStats, error) {
 			Workers:       2, // one for long blockers, one to drain shorts
 			CacheCapacity: cfg.CacheCapacity,
 			CheckpointDir: cfg.CheckpointDir,
+			// Tracing on: every epoch must balance its span ledger, and
+			// every retained trace must be structurally sound, under the
+			// same fault schedule that exercises everything else.
+			Tracer: telemetry.NewTracer(telemetry.TracerOptions{Node: "faultsim"}),
 		}
 	}
 
@@ -652,6 +658,21 @@ func RunFaultSim(cfg FaultSimConfig) (FaultSimStats, error) {
 		}
 		if err := drainSubs(subs); err != nil {
 			return st, err
+		}
+
+		// The drained manager must have ended every span it started —
+		// including the interrupted ones Shutdown closes as part of the
+		// checkpoint sweep — and every retained trace must hold its
+		// structural invariants.
+		tr := m.Tracer()
+		if err := CheckSpanAccounting(tr); err != nil {
+			return st, fmt.Errorf("%w (epoch %d)", err, epoch)
+		}
+		for _, sum := range tr.Traces(0) {
+			if err := CheckSpanTree(sum.TraceID, tr.Trace(sum.TraceID)); err != nil {
+				return st, fmt.Errorf("%w (epoch %d)", err, epoch)
+			}
+			st.TracesChecked++
 		}
 
 		// Post-shutdown ledger audit: every accepted job must be delivered,

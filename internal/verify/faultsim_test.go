@@ -41,6 +41,9 @@ func TestFaultSimWithRestarts(t *testing.T) {
 	if st.StreamsChecked == 0 {
 		t.Error("no subscriber streams validated")
 	}
+	if st.TracesChecked == 0 {
+		t.Error("no span trees validated")
+	}
 }
 
 // TestFaultSimSingleEpoch runs the schedule with no restarts — the

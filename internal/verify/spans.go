@@ -1,0 +1,51 @@
+package verify
+
+import (
+	"fmt"
+
+	"matchsim/internal/telemetry"
+)
+
+// CheckSpanAccounting asserts the tracer's started/finished ledger
+// balances — a quiescent daemon (all jobs terminal, all requests
+// answered) must have ended every span it started. A positive residue
+// is a span leak: some code path opened a span and lost it, which under
+// load grows the heap and silently truncates traces.
+func CheckSpanAccounting(tr *telemetry.Tracer) error {
+	if tr == nil {
+		return nil
+	}
+	if open := tr.OpenSpans(); open != 0 {
+		return fmt.Errorf("verify: %d spans still open (started %d, finished %d)",
+			open, tr.Started(), tr.Finished())
+	}
+	return nil
+}
+
+// CheckSpanTree asserts the structural invariants of one trace's
+// retained spans: span IDs are unique, every span carries the trace's
+// ID, and every resolvable parent reference points at a retained span
+// (unresolvable parents are legal — the parent may live on another node
+// or have been evicted — but a span must never parent itself).
+func CheckSpanTree(traceID string, spans []telemetry.SpanData) error {
+	if len(spans) == 0 {
+		return fmt.Errorf("verify: trace %s has no spans", traceID)
+	}
+	seen := make(map[string]bool, len(spans))
+	for _, sd := range spans {
+		if sd.TraceID != traceID {
+			return fmt.Errorf("verify: span %s (%s) carries trace %s, want %s", sd.SpanID, sd.Name, sd.TraceID, traceID)
+		}
+		if sd.SpanID == "" {
+			return fmt.Errorf("verify: span %q has no span ID", sd.Name)
+		}
+		if seen[sd.SpanID] {
+			return fmt.Errorf("verify: duplicate span ID %s in trace %s", sd.SpanID, traceID)
+		}
+		seen[sd.SpanID] = true
+		if sd.ParentID == sd.SpanID {
+			return fmt.Errorf("verify: span %s (%s) is its own parent", sd.SpanID, sd.Name)
+		}
+	}
+	return nil
+}
