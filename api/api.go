@@ -98,6 +98,12 @@ type SolverOptions struct {
 }
 
 // SubmitRequest is the body of POST /v1/jobs.
+//
+// CheckpointEvery and Checkpoint live outside Options deliberately: the
+// job's content-address Key hashes (instance, solver, options) only, so
+// supervision details — how often the run exports rescue checkpoints, or
+// that a submission resumes an interrupted run — never change which cache
+// entry a job maps to.
 type SubmitRequest struct {
 	// Instance is the problem instance JSON (the matchgen format: a
 	// {"tig": ..., "platform": ...} document).
@@ -106,6 +112,53 @@ type SubmitRequest struct {
 	Solver string `json:"solver"`
 	// Options tunes the solver; zero values take defaults.
 	Options SolverOptions `json:"options"`
+	// CheckpointEvery > 0 asks a match job to export a resumable
+	// checkpoint every that-many CE iterations, retrievable while the job
+	// runs from GET /v1/jobs/{id}/checkpoint. The cluster coordinator sets
+	// it so a dead worker's jobs can be handed off mid-solve. Only plain
+	// (non-multilevel, non-island) match runs export.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Checkpoint, when non-empty, submits the job as a resumption of an
+	// interrupted run: the encoded checkpoint (a core.Checkpoint JSON
+	// document) seeds the solve, the job reports Resumed, and — because a
+	// resumed trajectory is not bit-identical to a fresh solve — the
+	// result is excluded from the deterministic result cache.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+}
+
+// BatchSubmitRequest is the body of POST /v1/jobs:batch — a bulk
+// submission that amortises per-request overhead.
+type BatchSubmitRequest struct {
+	Jobs []SubmitRequest `json:"jobs"`
+}
+
+// BatchSubmitItem is one per-job outcome inside BatchSubmitResponse.
+// Exactly one of Info and Error is meaningful: accepted jobs carry their
+// status document, rejected ones the error message and the HTTP status
+// the same submission would have received on POST /v1/jobs.
+type BatchSubmitItem struct {
+	Info   *JobInfo `json:"info,omitempty"`
+	Error  string   `json:"error,omitempty"`
+	Status int      `json:"status"`
+}
+
+// BatchSubmitResponse is the body returned by POST /v1/jobs:batch, with
+// Items[i] the outcome of Jobs[i]. The response is 200 even when some
+// items fail — partial failure is per-item, not per-request.
+type BatchSubmitResponse struct {
+	Items []BatchSubmitItem `json:"items"`
+}
+
+// CheckpointDoc is the document returned by GET /v1/jobs/{id}/checkpoint:
+// the job's latest exported checkpoint (see SubmitRequest.CheckpointEvery)
+// or, for a cancelled job, its final interrupted-state checkpoint.
+type CheckpointDoc struct {
+	JobID string `json:"job_id"`
+	// Iterations is the checkpoint's completed-iteration count.
+	Iterations int `json:"iterations"`
+	// Checkpoint is the encoded core.Checkpoint, resubmittable verbatim as
+	// SubmitRequest.Checkpoint.
+	Checkpoint json.RawMessage `json:"checkpoint"`
 }
 
 // Job states.
@@ -155,6 +208,9 @@ type JobInfo struct {
 	// other nodes, checkpoint/resume). Empty when the daemon runs with
 	// tracing disabled. Fetch the span tree from GET /v1/traces/{TraceID}.
 	TraceID string `json:"trace_id,omitempty"`
+	// Worker is the base URL of the worker node a coordinator routed this
+	// job to. Empty on standalone daemons.
+	Worker string `json:"worker,omitempty"`
 }
 
 // JobResult is the document returned by GET /v1/jobs/{id}/result.
@@ -280,6 +336,37 @@ type TraceSummary struct {
 	Start      time.Time `json:"start"`
 	DurationNs int64     `json:"duration_ns"`
 	Spans      int       `json:"spans"`
+}
+
+// ClusterWorker is one worker node's row in ClusterStatus.
+type ClusterWorker struct {
+	// URL is the worker's base URL, as configured on the coordinator.
+	URL string `json:"url"`
+	// Up reports whether the coordinator currently routes to the worker.
+	Up bool `json:"up"`
+	// Flights counts the in-flight solves routed to this worker.
+	Flights int `json:"flights"`
+}
+
+// ClusterStatus is the topology document returned by GET /v1/cluster on
+// a coordinator.
+type ClusterStatus struct {
+	Workers []ClusterWorker `json:"workers"`
+	// Flights counts distinct in-flight solves (after singleflight
+	// collapsing) across all workers.
+	Flights int `json:"flights"`
+	// Jobs counts coordinator jobs by lifecycle state.
+	Jobs map[string]int `json:"jobs"`
+	// Handoffs counts checkpoint handoffs performed since start.
+	Handoffs uint64 `json:"handoffs"`
+}
+
+// ClusterDrainRequest is the body of POST /v1/cluster/drain on a
+// coordinator: hand the named worker's in-flight solves off to the
+// surviving nodes and stop routing to it until it passes health probes
+// again.
+type ClusterDrainRequest struct {
+	Worker string `json:"worker"`
 }
 
 // ReadyCheck is one readiness probe result inside ReadyStatus.

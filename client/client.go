@@ -119,6 +119,25 @@ func (c *Client) Submit(ctx context.Context, req api.SubmitRequest) (api.JobInfo
 	return info, err
 }
 
+// SubmitBatch posts a batch of jobs in one request (POST /v1/jobs:batch).
+// The response carries one item per job, in order; partial failure is
+// per-item (check each item's Status/Error), so err is non-nil only when
+// the batch itself was rejected or the transport failed.
+func (c *Client) SubmitBatch(ctx context.Context, req api.BatchSubmitRequest) (api.BatchSubmitResponse, error) {
+	var resp api.BatchSubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/jobs:batch", req, &resp)
+	return resp, err
+}
+
+// Checkpoint fetches a job's latest resumable checkpoint — the handoff
+// document a supervisor resubmits as SubmitRequest.Checkpoint to resume
+// the job elsewhere. Jobs without one yield an *api.Error with Status 404.
+func (c *Client) Checkpoint(ctx context.Context, id string) (api.CheckpointDoc, error) {
+	var doc api.CheckpointDoc
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/checkpoint", nil, &doc)
+	return doc, err
+}
+
 // Info fetches a job's status.
 func (c *Client) Info(ctx context.Context, id string) (api.JobInfo, error) {
 	var info api.JobInfo
@@ -395,6 +414,23 @@ func (c *Client) Ready(ctx context.Context) (api.ReadyStatus, error) {
 		return rs, &api.Error{Status: resp.StatusCode, Message: "daemon not ready"}
 	}
 	return rs, decErr
+}
+
+// ClusterStatus fetches a coordinator's topology/routing document
+// (GET /v1/cluster). Standalone daemons answer 404.
+func (c *Client) ClusterStatus(ctx context.Context) (api.ClusterStatus, error) {
+	var st api.ClusterStatus
+	err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &st)
+	return st, err
+}
+
+// DrainWorker asks a coordinator to hand the named worker's in-flight
+// solves off to the surviving nodes (POST /v1/cluster/drain) and
+// returns the post-drain topology document.
+func (c *Client) DrainWorker(ctx context.Context, worker string) (api.ClusterStatus, error) {
+	var st api.ClusterStatus
+	err := c.do(ctx, http.MethodPost, "/v1/cluster/drain", api.ClusterDrainRequest{Worker: worker}, &st)
+	return st, err
 }
 
 // Traces lists the daemon's retained traces, most recent first (limit

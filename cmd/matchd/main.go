@@ -12,6 +12,21 @@
 //	       [-trace-spans FILE] [-trace-buffer 4096] [-node NAME]
 //	       [-pprof 127.0.0.1:6060]
 //
+// Cluster mode: -coordinator turns the daemon into a routing
+// coordinator over a fixed set of worker matchd nodes, with -workers
+// reinterpreted as their comma-separated base URLs:
+//
+//	matchd -coordinator -workers=http://h1:8080,http://h2:8080
+//	       [-cluster-state DIR] [-cache 256] [-poll-interval 200ms]
+//	       [-checkpoint-every 5]
+//
+// The coordinator serves the same job API (plus GET /v1/cluster and
+// POST /v1/cluster/drain), consistent-hash routes each submission's
+// content address to a worker, collapses identical concurrent
+// submissions, and hands a dead or draining worker's solves off to the
+// survivors from their freshest checkpoints. -cluster-state journals
+// in-flight solves so a restarted coordinator re-attaches to them.
+//
 // Distributed tracing is always on: every daemon keeps a bounded
 // in-memory ring of finished spans served at /v1/traces, -trace-spans
 // additionally appends each finished span as a JSONL record, and -node
@@ -35,11 +50,27 @@ import (
 	"syscall"
 	"time"
 
+	"strconv"
+	"strings"
+
+	"matchsim/internal/cluster"
 	"matchsim/internal/httpapi"
 	"matchsim/internal/jobs"
 	"matchsim/internal/telemetry"
 	"matchsim/internal/trace"
 )
+
+// splitWorkerURLs parses the coordinator-mode -workers value: a
+// comma-separated list of worker base URLs, blanks dropped.
+func splitWorkerURLs(s string) []string {
+	var urls []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			urls = append(urls, p)
+		}
+	}
+	return urls
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -53,9 +84,13 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		listen        = fs.String("listen", "127.0.0.1:8080", "address to listen on (host:port; port 0 picks a free one)")
 		queue         = fs.Int("queue", 64, "submission queue capacity")
-		workers       = fs.Int("workers", 0, "concurrent solver jobs (0 = GOMAXPROCS)")
+		workers       = fs.String("workers", "", "concurrent solver jobs (integer; 0 or empty = GOMAXPROCS) — with -coordinator, the comma-separated worker base URLs instead")
 		cache         = fs.Int("cache", 128, "result cache capacity in entries (negative disables)")
 		checkpointDir = fs.String("checkpoint-dir", "", "directory for shutdown checkpoints (empty disables persistence)")
+		coordinator   = fs.Bool("coordinator", false, "run as a cluster coordinator routing jobs to the -workers nodes instead of solving locally")
+		clusterState  = fs.String("cluster-state", "", "coordinator journal directory for in-flight solves (empty disables restart re-attachment)")
+		pollInterval  = fs.Duration("poll-interval", 200*time.Millisecond, "coordinator worker job-status poll cadence")
+		ckptEvery     = fs.Int("checkpoint-every", 5, "coordinator-injected checkpoint export cadence (CE iterations) for handoff")
 		traceFile     = fs.String("trace", "", "append every job's trace events to this JSONL file")
 		spanFile      = fs.String("trace-spans", "", "append every finished span to this JSONL file")
 		traceBuffer   = fs.Int("trace-buffer", 4096, "finished spans retained in memory for /v1/traces")
@@ -119,9 +154,70 @@ func run(args []string, stdout io.Writer) error {
 		Log:      spanLog,
 	})
 
+	if *coordinator {
+		urls := splitWorkerURLs(*workers)
+		if len(urls) == 0 {
+			return fmt.Errorf("-coordinator requires -workers=<url>[,<url>...]")
+		}
+		co, err := cluster.New(cluster.Options{
+			Workers:         urls,
+			CacheCapacity:   *cache,
+			StateDir:        *clusterState,
+			CheckpointEvery: *ckptEvery,
+			PollInterval:    *pollInterval,
+			Tracer:          tracer,
+			Logger:          logger,
+		})
+		if err != nil {
+			return err
+		}
+		if restored, err := co.Restore(); err != nil {
+			logger.Warn("cluster restore failed", "error", err)
+		} else if restored > 0 {
+			logger.Info("re-attached journalled flights", "count", restored, "dir", *clusterState)
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "matchd listening on http://%s\n", ln.Addr())
+		server := &http.Server{Handler: cluster.NewServer(co)}
+		errCh := make(chan error, 1)
+		go func() { errCh <- server.Serve(ln) }()
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		select {
+		case <-ctx.Done():
+			logger.Info("signal received; draining", "timeout", *drainTimeout)
+		case err := <-errCh:
+			return err
+		}
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := server.Shutdown(drainCtx); err != nil {
+			logger.Warn("http shutdown", "error", err)
+		}
+		if err := co.Shutdown(drainCtx); err != nil {
+			return err
+		}
+		if serveErr := <-errCh; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+			return serveErr
+		}
+		logger.Info("drained cleanly")
+		return nil
+	}
+
+	solverWorkers := 0
+	if *workers != "" {
+		n, err := strconv.Atoi(*workers)
+		if err != nil || n < 0 {
+			return fmt.Errorf("invalid -workers %q (worker mode takes a job count)", *workers)
+		}
+		solverWorkers = n
+	}
 	manager := jobs.New(jobs.Options{
 		QueueCapacity: *queue,
-		Workers:       *workers,
+		Workers:       solverWorkers,
 		CacheCapacity: *cache,
 		CheckpointDir: *checkpointDir,
 		TraceWriter:   tw,

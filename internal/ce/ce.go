@@ -365,13 +365,29 @@ var ErrNoProgress = errors.New("ce: sampler failed to produce any valid solution
 // Run executes the CE loop on p under cfg and returns the best solution
 // found across all iterations (not merely the final distribution's mode).
 func Run[S any](p Problem[S], cfg Config) (Result[S], error) {
-	return run(p, cfg, 0, nil)
+	return run(p, cfg, 0, nil, nil)
+}
+
+// ImproveFunc observes a new incumbent (see RunWithImprove). best is the
+// framework's reused best-so-far buffer: the hook must copy anything it
+// keeps and must not mutate it. It runs on the coordinator goroutine
+// between sampling barriers — same contract as Config.OnIteration — and
+// must not use the problem's RNG streams (pure observation keeps the run
+// bit-identical to an unhooked one).
+type ImproveFunc[S any] func(iter int, best S, score float64)
+
+// RunWithImprove is Run plus an incumbent-observation hook, fired every
+// time the best-so-far solution improves. Config is not generic over S,
+// so the hook rides the call like RunIslands' ExchangeFunc does.
+func RunWithImprove[S any](p Problem[S], cfg Config, onImprove ImproveFunc[S]) (Result[S], error) {
+	return run(p, cfg, 0, nil, onImprove)
 }
 
 // run is the CE loop shared by Run and RunIslands; exchange, when
 // non-nil, fires after the Update step of every exchangeEvery-th
-// iteration.
-func run[S any](p Problem[S], cfg Config, exchangeEvery int, exchange ExchangeFunc[S]) (Result[S], error) {
+// iteration; onImprove, when non-nil, fires whenever the best-so-far
+// solution improves.
+func run[S any](p Problem[S], cfg Config, exchangeEvery int, exchange ExchangeFunc[S], onImprove ImproveFunc[S]) (Result[S], error) {
 	cfg = cfg.withDefaults()
 	var zero Result[S]
 	if err := cfg.validate(); err != nil {
@@ -567,6 +583,9 @@ func run[S any](p Problem[S], cfg Config, exchangeEvery int, exchange ExchangeFu
 		if better(scores[order[0]], res.BestScore) {
 			res.BestScore = scores[order[0]]
 			p.Copy(res.Best, solutions[order[0]])
+			if onImprove != nil {
+				onImprove(iter, res.Best, res.BestScore)
+			}
 		}
 		stats.BestSoFar = res.BestScore
 
@@ -618,6 +637,9 @@ func run[S any](p Problem[S], cfg Config, exchangeEvery int, exchange ExchangeFu
 				if better(ex.InScores[i], res.BestScore) {
 					res.BestScore = ex.InScores[i]
 					p.Copy(res.Best, m)
+					if onImprove != nil {
+						onImprove(iter, res.Best, res.BestScore)
+					}
 				}
 			}
 			stats.BestSoFar = res.BestScore

@@ -1,0 +1,402 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"matchsim"
+	"matchsim/api"
+	"matchsim/client"
+	"matchsim/internal/httpapi"
+	"matchsim/internal/jobs"
+)
+
+func instanceJSON(t *testing.T, seed uint64, n int) []byte {
+	t.Helper()
+	p, err := matchsim.GeneratePaper(seed, n)
+	if err != nil {
+		t.Fatalf("GeneratePaper: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteInstance(&buf); err != nil {
+		t.Fatalf("WriteInstance: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// testWorker is one worker daemon: a jobs.Manager behind the real HTTP
+// surface, so the coordinator exercises the wire protocol end to end.
+type testWorker struct {
+	m  *jobs.Manager
+	ts *httptest.Server
+}
+
+func startWorkers(t *testing.T, n int) []*testWorker {
+	t.Helper()
+	ws := make([]*testWorker, n)
+	for i := range ws {
+		m := jobs.New(jobs.Options{Workers: 2})
+		ts := httptest.NewServer(httpapi.New(m))
+		ws[i] = &testWorker{m: m, ts: ts}
+		t.Cleanup(func() {
+			ts.Close()
+			m.Shutdown(context.Background())
+		})
+	}
+	return ws
+}
+
+func workerBases(ws []*testWorker) []string {
+	urls := make([]string, len(ws))
+	for i, w := range ws {
+		urls[i] = w.ts.URL
+	}
+	return urls
+}
+
+func newTestCoordinator(t *testing.T, ws []*testWorker, opts Options) *Coordinator {
+	t.Helper()
+	opts.Workers = workerBases(ws)
+	if opts.PollInterval == 0 {
+		opts.PollInterval = 5 * time.Millisecond
+	}
+	if opts.HealthEvery == 0 {
+		opts.HealthEvery = 20 * time.Millisecond
+	}
+	if opts.CallTimeout == 0 {
+		opts.CallTimeout = 5 * time.Second
+	}
+	co, err := New(opts)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(func() { co.Shutdown(context.Background()) })
+	return co
+}
+
+// waitDone polls the coordinator until the job is terminal.
+func waitDone(t *testing.T, co *Coordinator, id string) api.JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		info, err := co.Info(id)
+		if err != nil {
+			t.Fatalf("Info(%s): %v", id, err)
+		}
+		if api.TerminalState(info.State) {
+			return info
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return api.JobInfo{}
+}
+
+// metricValue scrapes one un-labelled series from a Prometheus text
+// exposition.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+			if err != nil {
+				t.Fatalf("parse %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+func coordinatorMetrics(t *testing.T, co *Coordinator) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := co.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.String()
+}
+
+// TestCoordinatorDeterminism: a coordinator-routed solve is bit-identical
+// to the same submission on a standalone daemon, for both the plain CE
+// path and the island ensemble — the routing tier observes, never
+// perturbs. Also pins routing to the ring and the Worker status field.
+func TestCoordinatorDeterminism(t *testing.T) {
+	ws := startWorkers(t, 2)
+	co := newTestCoordinator(t, ws, Options{CheckpointEvery: 1})
+	standalone := jobs.New(jobs.Options{Workers: 2})
+	t.Cleanup(func() { standalone.Shutdown(context.Background()) })
+
+	inst := instanceJSON(t, 7, 12)
+	arms := []struct {
+		name string
+		opts api.SolverOptions
+	}{
+		{"plain", api.SolverOptions{Seed: 42, Workers: 2}},
+		{"islands", api.SolverOptions{Seed: 42, Workers: 2, Islands: 3, MigrateEvery: 4}},
+	}
+	for _, arm := range arms {
+		t.Run(arm.name, func(t *testing.T) {
+			req := api.SubmitRequest{Instance: inst, Solver: api.SolverMaTCH, Options: arm.opts}
+			info, err := co.Submit(req)
+			if err != nil {
+				t.Fatalf("coordinator Submit: %v", err)
+			}
+			final := waitDone(t, co, info.ID)
+			if final.State != api.StateDone {
+				t.Fatalf("coordinator job ended %q (error %q)", final.State, final.Error)
+			}
+			if final.Resumed {
+				t.Fatal("undisturbed coordinator job reported Resumed")
+			}
+			want := NewRing(workerBases(ws), 0).Lookup(info.Key)
+			if final.Worker != want {
+				t.Fatalf("job ran on %q, ring owns key at %q", final.Worker, want)
+			}
+			res, err := co.Result(info.ID)
+			if err != nil {
+				t.Fatalf("coordinator Result: %v", err)
+			}
+
+			sinfo, err := standalone.Submit(req)
+			if err != nil {
+				t.Fatalf("standalone Submit: %v", err)
+			}
+			var sres api.JobResult
+			for {
+				i, err := standalone.Info(sinfo.ID)
+				if err != nil {
+					t.Fatalf("standalone Info: %v", err)
+				}
+				if api.TerminalState(i.State) {
+					if i.State != api.StateDone {
+						t.Fatalf("standalone job ended %q (error %q)", i.State, i.Error)
+					}
+					sres, err = standalone.Result(sinfo.ID)
+					if err != nil {
+						t.Fatalf("standalone Result: %v", err)
+					}
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			if !reflect.DeepEqual(res.Mapping, sres.Mapping) || res.Exec != sres.Exec {
+				t.Fatalf("coordinator result diverged: exec %v vs %v, mapping %v vs %v",
+					res.Exec, sres.Exec, res.Mapping, sres.Mapping)
+			}
+		})
+	}
+}
+
+// TestCoordinatorSingleflight: N identical concurrent submissions
+// collapse onto one worker solve — asserted on the workers' own solver
+// counters, not just coordinator bookkeeping — and every submitter gets
+// the same bits.
+func TestCoordinatorSingleflight(t *testing.T) {
+	ws := startWorkers(t, 2)
+	co := newTestCoordinator(t, ws, Options{CheckpointEvery: 1})
+
+	// Slow the solve down so every duplicate lands while it is in flight.
+	req := api.SubmitRequest{
+		Instance: instanceJSON(t, 11, 24),
+		Solver:   api.SolverMaTCH,
+		Options: api.SolverOptions{
+			Seed: 3, Workers: 2, SampleSize: 300,
+			MaxIterations: 120, GammaStallWindow: 1000, StallC: 1000,
+		},
+	}
+	const N = 8
+	ids := make([]string, N)
+	for i := 0; i < N; i++ {
+		info, err := co.Submit(req)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		ids[i] = info.ID
+	}
+	var first api.JobResult
+	for i, id := range ids {
+		final := waitDone(t, co, id)
+		if final.State != api.StateDone {
+			t.Fatalf("job %d ended %q (error %q)", i, final.State, final.Error)
+		}
+		res, err := co.Result(id)
+		if err != nil {
+			t.Fatalf("Result %d: %v", i, err)
+		}
+		if i == 0 {
+			first = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Mapping, first.Mapping) || res.Exec != first.Exec {
+			t.Fatalf("submitter %d saw a different result", i)
+		}
+	}
+
+	var solves uint64
+	for _, w := range ws {
+		solves += w.m.Stats().SolvesTotal
+	}
+	if solves != 1 {
+		t.Fatalf("workers performed %d solves for %d identical submissions, want exactly 1", solves, N)
+	}
+	var iterWorkers int
+	for _, w := range ws {
+		var buf bytes.Buffer
+		if err := w.m.Registry().WritePrometheus(&buf); err != nil {
+			t.Fatalf("worker WritePrometheus: %v", err)
+		}
+		if metricValue(t, buf.String(), "matchd_solver_iterations_total") > 0 {
+			iterWorkers++
+		}
+	}
+	if iterWorkers != 1 {
+		t.Fatalf("matchd_solver_iterations_total advanced on %d workers, want 1", iterWorkers)
+	}
+	text := coordinatorMetrics(t, co)
+	if got := metricValue(t, text, "matchd_cluster_singleflight_hits_total"); got != N-1 {
+		t.Fatalf("singleflight hits metric = %v, want %d", got, N-1)
+	}
+}
+
+// TestCoordinatorCache: a repeat submission after completion is answered
+// from the coordinator cache without touching a worker again.
+func TestCoordinatorCache(t *testing.T) {
+	ws := startWorkers(t, 2)
+	co := newTestCoordinator(t, ws, Options{CheckpointEvery: 1})
+
+	req := api.SubmitRequest{
+		Instance: instanceJSON(t, 5, 10),
+		Solver:   api.SolverMaTCH,
+		Options:  api.SolverOptions{Seed: 9, Workers: 2},
+	}
+	info, err := co.Submit(req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final := waitDone(t, co, info.ID)
+	if final.State != api.StateDone {
+		t.Fatalf("job ended %q", final.State)
+	}
+	res1, _ := co.Result(info.ID)
+
+	info2, err := co.Submit(req)
+	if err != nil {
+		t.Fatalf("repeat Submit: %v", err)
+	}
+	if info2.State != api.StateDone || !info2.CacheHit {
+		t.Fatalf("repeat submission state=%q cacheHit=%v, want an immediate cache hit", info2.State, info2.CacheHit)
+	}
+	res2, err := co.Result(info2.ID)
+	if err != nil {
+		t.Fatalf("cached Result: %v", err)
+	}
+	if !res2.CacheHit {
+		t.Fatal("cached result not marked CacheHit")
+	}
+	if !reflect.DeepEqual(res1.Mapping, res2.Mapping) || res1.Exec != res2.Exec {
+		t.Fatal("cached result diverged from the solved one")
+	}
+	var solves uint64
+	for _, w := range ws {
+		solves += w.m.Stats().SolvesTotal
+	}
+	if solves != 1 {
+		t.Fatalf("cache hit still reached a worker (%d solves)", solves)
+	}
+	text := coordinatorMetrics(t, co)
+	if got := metricValue(t, text, "matchd_cluster_cache_hits_total"); got != 1 {
+		t.Fatalf("coordinator cache hits metric = %v, want 1", got)
+	}
+}
+
+// TestClusterServerBatch: the coordinator's batch route round-trips
+// per-item statuses — accepted jobs alongside per-item 400s — through
+// the public client.
+func TestClusterServerBatch(t *testing.T) {
+	ws := startWorkers(t, 2)
+	co := newTestCoordinator(t, ws, Options{CheckpointEvery: 1})
+	ts := httptest.NewServer(NewServer(co))
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	good := api.SubmitRequest{
+		Instance: instanceJSON(t, 2, 10),
+		Solver:   api.SolverMaTCH,
+		Options:  api.SolverOptions{Seed: 1, Workers: 2},
+	}
+	badSolver := good
+	badSolver.Solver = "no-such-solver"
+	badInstance := good
+	badInstance.Instance = json.RawMessage(`{"not":"an instance"}`)
+
+	resp, err := c.SubmitBatch(ctx, api.BatchSubmitRequest{
+		Jobs: []api.SubmitRequest{good, badSolver, badInstance},
+	})
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	if len(resp.Items) != 3 {
+		t.Fatalf("batch returned %d items, want 3", len(resp.Items))
+	}
+	if resp.Items[0].Status != http.StatusAccepted || resp.Items[0].Info == nil {
+		t.Fatalf("good item: status %d info %v", resp.Items[0].Status, resp.Items[0].Info)
+	}
+	for i := 1; i <= 2; i++ {
+		it := resp.Items[i]
+		if it.Status != http.StatusBadRequest || it.Error == "" || it.Info != nil {
+			t.Fatalf("bad item %d: status %d error %q info %v", i, it.Status, it.Error, it.Info)
+		}
+	}
+	final, err := c.Wait(ctx, resp.Items[0].Info.ID, 2*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.State != api.StateDone {
+		t.Fatalf("batch job ended %q (error %q)", final.State, final.Error)
+	}
+	st, err := c.ClusterStatus(ctx)
+	if err != nil {
+		t.Fatalf("ClusterStatus: %v", err)
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("cluster status lists %d workers, want 2", len(st.Workers))
+	}
+	for _, w := range st.Workers {
+		if !w.Up {
+			t.Fatalf("worker %s reported down", w.URL)
+		}
+	}
+}
+
+// TestCoordinatorRejectsBadSubmissions: validation failures are local
+// synchronous errors, never a spun-up flight.
+func TestCoordinatorRejectsBadSubmissions(t *testing.T) {
+	ws := startWorkers(t, 1)
+	co := newTestCoordinator(t, ws, Options{})
+
+	cases := []api.SubmitRequest{
+		{Solver: api.SolverMaTCH},                                       // no instance
+		{Instance: instanceJSON(t, 1, 8), Solver: "bogus"},              // unknown solver
+		{Instance: json.RawMessage(`{}`), Solver: api.SolverMaTCH},      // invalid instance
+		{Instance: instanceJSON(t, 1, 8), Solver: api.SolverGA,          // checkpoint on a non-CE solver
+			Checkpoint: json.RawMessage(`{"x":1}`)},
+	}
+	for i, req := range cases {
+		if _, err := co.Submit(req); err == nil {
+			t.Fatalf("case %d: bad submission accepted", i)
+		}
+	}
+	if st := co.Status(); st.Flights != 0 {
+		t.Fatalf("%d flights left behind by rejected submissions", st.Flights)
+	}
+}

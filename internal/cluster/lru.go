@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"container/list"
+
+	"matchsim/api"
+)
+
+// resultCache is the coordinator-level LRU over completed flight results,
+// keyed by the submission content address — the shared tier in front of
+// the workers' own caches, so a repeat submission is answered without a
+// hop. Not internally synchronised; the Coordinator calls it under its
+// lock. Rescued (checkpoint-handoff) results never enter it: a resumed
+// trajectory is not bit-reproducible against a fresh solve, and serving
+// one from the cache would be a stale hit.
+type resultCache struct {
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key    string
+	result api.JobResult
+}
+
+func newResultCache(cap int) *resultCache {
+	return &resultCache{
+		cap:     cap,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) get(key string) (api.JobResult, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return api.JobResult{}, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	res := e.result
+	res.Mapping = append([]int(nil), e.result.Mapping...)
+	return res, true
+}
+
+func (c *resultCache) put(key string, res api.JobResult) {
+	if c.cap <= 0 {
+		return
+	}
+	res.Mapping = append([]int(nil), res.Mapping...)
+	res.CacheHit = false
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).result = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, result: res})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int { return c.order.Len() }

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+func workerURLs(n int) []string {
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://worker-%d:8080", i)
+	}
+	return urls
+}
+
+// TestRingStableAcrossOrderings: routing is a function of the member
+// set alone — shuffling the membership list (a restart reading config
+// in a different order) changes nothing.
+func TestRingStableAcrossOrderings(t *testing.T) {
+	workers := workerURLs(7)
+	a := NewRing(workers, 0)
+
+	shuffled := append([]string(nil), workers...)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b := NewRing(shuffled, 0)
+		if !reflect.DeepEqual(a.Workers(), b.Workers()) {
+			t.Fatalf("trial %d: member sets differ", trial)
+		}
+		for _, k := range ringKeys(500) {
+			if a.Lookup(k) != b.Lookup(k) {
+				t.Fatalf("trial %d: key %q routed to %q then %q", trial, k, a.Lookup(k), b.Lookup(k))
+			}
+		}
+	}
+	// Duplicates collapse rather than double a worker's ring share.
+	dup := NewRing(append(append([]string(nil), workers...), workers...), 0)
+	if got := len(dup.Workers()); got != len(workers) {
+		t.Fatalf("duplicated membership kept %d workers, want %d", got, len(workers))
+	}
+}
+
+// TestRingRemapBound: removing one of n workers remaps exactly the keys
+// it owned (everyone else's placement is untouched), and that share is
+// ~K/n; adding a worker moves keys only onto the newcomer, again ~K/n
+// of them. This is the consistent-hashing contract that keeps worker
+// caches warm across membership changes.
+func TestRingRemapBound(t *testing.T) {
+	const n, K = 5, 4000
+	workers := workerURLs(n)
+	keys := ringKeys(K)
+	base := NewRing(workers, 0)
+
+	before := make(map[string]string, K)
+	perWorker := make(map[string]int)
+	for _, k := range keys {
+		w := base.Lookup(k)
+		before[k] = w
+		perWorker[w]++
+	}
+	// 128 virtual nodes keeps the split within a few percent of even;
+	// allow a generous 2x band so the test pins the property, not the
+	// hash function's luck.
+	for w, c := range perWorker {
+		if c < K/(2*n) || c > 2*K/n {
+			t.Fatalf("worker %s owns %d of %d keys; want roughly %d", w, c, K, K/n)
+		}
+	}
+
+	removed := workers[2]
+	smaller := NewRing(append(append([]string(nil), workers[:2]...), workers[3:]...), 0)
+	moved := 0
+	for _, k := range keys {
+		after := smaller.Lookup(k)
+		if before[k] != removed {
+			if after != before[k] {
+				t.Fatalf("key %q moved %q → %q though %q was removed", k, before[k], after, removed)
+			}
+			continue
+		}
+		moved++
+		if after == removed {
+			t.Fatalf("key %q still routed to removed worker", k)
+		}
+	}
+	if moved != perWorker[removed] {
+		t.Fatalf("removal moved %d keys, want exactly the %d the worker owned", moved, perWorker[removed])
+	}
+
+	added := "http://worker-new:8080"
+	bigger := NewRing(append(append([]string(nil), workers...), added), 0)
+	movedToNew, movedElsewhere := 0, 0
+	for _, k := range keys {
+		after := bigger.Lookup(k)
+		switch {
+		case after == before[k]:
+		case after == added:
+			movedToNew++
+		default:
+			movedElsewhere++
+		}
+	}
+	if movedElsewhere != 0 {
+		t.Fatalf("%d keys moved between old workers when %q joined; adds must only move keys onto the newcomer", movedElsewhere, added)
+	}
+	if movedToNew < K/(2*(n+1)) || movedToNew > 2*K/(n+1) {
+		t.Fatalf("newcomer took %d of %d keys; want roughly %d", movedToNew, K, K/(n+1))
+	}
+}
+
+// TestLookupExcluding: excluding a worker routes exactly like a ring
+// built without it (the spill-over lands on each key's ring successor),
+// and excluding everyone reports no candidate.
+func TestLookupExcluding(t *testing.T) {
+	workers := workerURLs(4)
+	full := NewRing(workers, 0)
+	excluded := map[string]bool{workers[1]: true}
+	without := NewRing(append(append([]string(nil), workers[:1]...), workers[2:]...), 0)
+
+	for _, k := range ringKeys(1000) {
+		got, ok := full.LookupExcluding(k, excluded)
+		if !ok {
+			t.Fatalf("key %q found no worker with one exclusion", k)
+		}
+		if want := without.Lookup(k); got != want {
+			t.Fatalf("key %q: exclusion routed to %q, removal to %q", k, got, want)
+		}
+	}
+
+	all := make(map[string]bool, len(workers))
+	for _, w := range workers {
+		all[w] = true
+	}
+	if _, ok := full.LookupExcluding("any", all); ok {
+		t.Fatal("LookupExcluding reported a worker with every member excluded")
+	}
+	if w := full.Lookup("any"); w == "" {
+		t.Fatal("Lookup on a live ring returned no worker")
+	}
+	if _, ok := NewRing(nil, 0).LookupExcluding("any", nil); ok {
+		t.Fatal("empty ring reported a worker")
+	}
+}

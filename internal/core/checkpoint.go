@@ -109,6 +109,19 @@ func Resume(eval *cost.Evaluator, c *Checkpoint, opts Options) (*Result, error) 
 	}
 	opts = opts.withDefaults(n)
 	opts.WarmStart = nil // the checkpoint matrix IS the initialisation
+	if opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil {
+		// Checkpoints exported mid-resume must carry the best incumbent
+		// across the whole chain, not just the new iterations — the same
+		// merge Resume applies to its final Result below.
+		inner := opts.OnCheckpoint
+		opts.OnCheckpoint = func(ck *Checkpoint) {
+			if c.BestExec < ck.BestExec {
+				ck.BestExec = c.BestExec
+				ck.Best = c.Best.Clone()
+			}
+			inner(ck)
+		}
+	}
 	res, err := solveFromProblem(eval, opts, func(pr *problem) error { return pr.restore(c) })
 	if err != nil {
 		return nil, err

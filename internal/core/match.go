@@ -107,6 +107,19 @@ type Options struct {
 	Context context.Context
 	// OnIteration, when non-nil, receives telemetry each iteration.
 	OnIteration func(ce.IterStats)
+	// CheckpointEvery > 0, together with OnCheckpoint, exports a resumable
+	// Checkpoint every that-many iterations while the run is in flight —
+	// the state a supervisor needs to rescue a job whose process dies
+	// without a clean shutdown. Export is pure observation on the CE
+	// coordinator goroutine (cloned matrix and incumbent, no RNG use), so
+	// the search trajectory is bit-identical with it on or off. Only the
+	// plain single-population path exports: multilevel and island runs are
+	// not resumable and ignore these fields.
+	CheckpointEvery int
+	// OnCheckpoint receives each exported checkpoint. The callback owns
+	// the value (all state is cloned) and runs on the solver goroutine
+	// between iterations, so it should return quickly.
+	OnCheckpoint func(*Checkpoint)
 	// SparseEps > 0 switches the distribution update to the fused
 	// sparse-row kernel (stochmat.EliteUpdateRow): eq. (11) + eq. (13) in
 	// one pass with entries below SparseEps times the row maximum
@@ -568,13 +581,47 @@ func solveFromProblem(eval *cost.Evaluator, opts Options, init func(*problem) er
 		OnIteration:     opts.OnIteration,
 	}
 
+	// Periodic checkpoint export: track the incumbent via the improve hook
+	// (the CE framework's best buffer is reused, so copy), then emit a
+	// cloned Checkpoint every CheckpointEvery iterations from the
+	// OnIteration wrapper — after Update, so the matrix and eq. 12 state
+	// are the post-iteration ones a resume would want.
+	var onImprove ce.ImproveFunc[[]int]
+	if opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil {
+		var ckBest cost.Mapping
+		var ckExec float64
+		onImprove = func(iter int, best []int, score float64) {
+			if ckBest == nil {
+				ckBest = make(cost.Mapping, len(best))
+			}
+			copy(ckBest, best)
+			ckExec = score
+		}
+		inner := cfg.OnIteration
+		cfg.OnIteration = func(st ce.IterStats) {
+			if st.Iter%opts.CheckpointEvery == 0 && ckBest != nil {
+				opts.OnCheckpoint(&Checkpoint{
+					Iterations: pr.iter,
+					Matrix:     pr.p.Clone(),
+					PrevArgmax: append([]int(nil), pr.prevArgmax...),
+					StableRuns: pr.stableRuns,
+					Best:       ckBest.Clone(),
+					BestExec:   ckExec,
+				})
+			}
+			if inner != nil {
+				inner(st)
+			}
+		}
+	}
+
 	// Initial table construction (and any warm-start/restore refresh) is
 	// not iteration work: drain the build counters so iteration 1 reports
 	// only its own rebuilds.
 	pr.alias.TakeBuildStats()
 
 	start := time.Now()
-	ceRes, err := ce.Run[[]int](pr, cfg)
+	ceRes, err := ce.RunWithImprove[[]int](pr, cfg, onImprove)
 	if err != nil {
 		return nil, err
 	}

@@ -2,8 +2,10 @@
 // surface of the matchd daemon:
 //
 //	POST   /v1/jobs             submit a job            → 202 JobInfo (200 on cache hit)
+//	POST   /v1/jobs:batch       submit many jobs        → 200 BatchSubmitResponse (per-item statuses)
 //	GET    /v1/jobs/{id}        job status              → 200 JobInfo
 //	GET    /v1/jobs/{id}/result finished job's mapping  → 200 JobResult
+//	GET    /v1/jobs/{id}/checkpoint latest resumable checkpoint → 200 CheckpointDoc
 //	DELETE /v1/jobs/{id}        cancel a job            → 200 JobInfo
 //	GET    /v1/jobs/{id}/events live progress (SSE)     → text/event-stream
 //	POST   /v1/islands/{session}/packets  island-exchange packet from a peer node → 204
@@ -117,8 +119,10 @@ func New(m *jobs.Manager) *Server {
 			telemetry.ExpBuckets(0.01, 4, 10), "route"),
 	}
 	s.handle("POST /v1/jobs", s.submit, routeOpts{trace: traceAlways})
+	s.handle("POST /v1/jobs:batch", s.submitBatch, routeOpts{trace: traceAlways})
 	s.handle("GET /v1/jobs/{id}", s.status, routeOpts{trace: traceOnHeader})
 	s.handle("GET /v1/jobs/{id}/result", s.result, routeOpts{trace: traceOnHeader})
+	s.handle("GET /v1/jobs/{id}/checkpoint", s.checkpoint, routeOpts{trace: traceOnHeader})
 	s.handle("DELETE /v1/jobs/{id}", s.cancel, routeOpts{trace: traceOnHeader})
 	s.handle("GET /v1/jobs/{id}/events", s.events, routeOpts{trace: traceOnHeader, streaming: true})
 	s.handle("POST /v1/islands/{session}/packets", s.islandPost, routeOpts{trace: traceOnHeader})
@@ -259,6 +263,44 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, info)
 }
 
+// submitBatch amortises per-request overhead for bulk submitters: every
+// job in the batch is submitted in order, and the response carries one
+// item per job with the HTTP status the same submission would have
+// received on POST /v1/jobs. Partial failure is per-item — the response
+// itself is 200 whenever the batch body parses, so a bulk submitter
+// never has to guess which jobs were accepted.
+func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchSubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid batch body: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch carries no jobs")
+		return
+	}
+	resp := api.BatchSubmitResponse{Items: make([]api.BatchSubmitItem, len(req.Jobs))}
+	for i := range req.Jobs {
+		info, err := s.manager.SubmitCtx(r.Context(), req.Jobs[i])
+		item := &resp.Items[i]
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrShuttingDown):
+			item.Error, item.Status = err.Error(), http.StatusServiceUnavailable
+		case err != nil:
+			item.Error, item.Status = err.Error(), http.StatusBadRequest
+		default:
+			item.Status = http.StatusAccepted
+			if info.State == api.StateDone { // answered from the result cache
+				item.Status = http.StatusOK
+			}
+			cp := info
+			item.Info = &cp
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 	info, err := s.manager.Info(r.PathValue("id"))
 	if err != nil {
@@ -282,6 +324,23 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// checkpoint serves a job's latest resumable checkpoint — the handoff
+// document a coordinator resubmits (SubmitRequest.Checkpoint) to resume
+// the job on another worker. 404 both for unknown jobs and for jobs that
+// have not exported one.
+func (s *Server) checkpoint(w http.ResponseWriter, r *http.Request) {
+	doc, err := s.manager.Checkpoint(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob), errors.Is(err, jobs.ErrNoCheckpoint):
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
@@ -437,6 +496,12 @@ func (s *Server) traceByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, buildTraceDoc(id, spans))
+}
+
+// BuildTraceDoc assembles a tracer's flat span records into the public
+// trace document; shared with the cluster coordinator's trace routes.
+func BuildTraceDoc(traceID string, spans []telemetry.SpanData) api.TraceDoc {
+	return buildTraceDoc(traceID, spans)
 }
 
 // buildTraceDoc assembles flat span records into nested trees. A span

@@ -47,6 +47,10 @@ var (
 	ErrUnknownJob = errors.New("jobs: unknown job id")
 	// ErrNotDone reports a result request for an unfinished job.
 	ErrNotDone = errors.New("jobs: job has no result yet")
+	// ErrNoCheckpoint reports a checkpoint request for a job that has not
+	// exported one (no CheckpointEvery, no iterations yet, or a solver
+	// that does not checkpoint).
+	ErrNoCheckpoint = errors.New("jobs: job has no checkpoint")
 )
 
 // Options tunes a Manager. Zero values take the documented defaults.
@@ -124,6 +128,7 @@ type job struct {
 	result     *api.JobResult
 	resumeFrom *matchsim.Checkpoint // restored state for a resumed job
 	checkpoint *matchsim.Checkpoint // captured when a run is interrupted
+	exported   *matchsim.Checkpoint // latest mid-run export (CheckpointEvery)
 
 	cancel        context.CancelFunc // non-nil while running
 	userCancelled bool               // DELETE (vs shutdown) requested the cancel
@@ -393,7 +398,7 @@ func (m *Manager) Submit(req api.SubmitRequest) (api.JobInfo, error) {
 // context is used only for trace propagation; cancelling it does not
 // cancel the job (use Cancel).
 func (m *Manager) SubmitCtx(ctx context.Context, req api.SubmitRequest) (api.JobInfo, error) {
-	if err := validSolver(req.Solver); err != nil {
+	if err := ValidSolver(req.Solver); err != nil {
 		return api.JobInfo{}, err
 	}
 	if len(req.Instance) == 0 {
@@ -415,6 +420,27 @@ func (m *Manager) SubmitCtx(ctx context.Context, req api.SubmitRequest) (api.Job
 		problem: problem,
 		created: time.Now(),
 	}
+	if len(req.Checkpoint) > 0 {
+		// A handoff submission: resume the encoded checkpoint instead of
+		// solving fresh. Mirrors restoreOne's rules — only match jobs
+		// checkpoint, modes the checkpoint cannot restore degrade to the
+		// plain path, and the job both skips the result cache on the way
+		// in (the caller wants the run continued, not a cached answer)
+		// and stays out of it on the way out (a resumed trajectory is not
+		// bit-reproducible against a fresh solve).
+		if req.Solver != api.SolverMaTCH {
+			return api.JobInfo{}, fmt.Errorf("jobs: solver %q does not accept checkpoints", req.Solver)
+		}
+		c, err := matchsim.DecodeCheckpoint(req.Checkpoint)
+		if err != nil {
+			return api.JobInfo{}, fmt.Errorf("jobs: invalid checkpoint: %w", err)
+		}
+		j.resumeFrom = c
+		j.resumed = true
+		if o := req.Options; o.Multilevel || o.Islands > 1 {
+			j.degraded = true
+		}
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -427,7 +453,7 @@ func (m *Manager) SubmitCtx(ctx context.Context, req api.SubmitRequest) (api.Job
 	m.submitted++
 	m.metrics.submitted.Inc()
 
-	if cached, ok := m.cache.get(key); ok {
+	if cached, ok := m.cache.get(key); ok && !j.resumed {
 		m.cacheHits++
 		m.metrics.cacheHits.Inc()
 		j.state = api.StateDone
@@ -479,11 +505,20 @@ func (m *Manager) startJobSpan(ctx context.Context, j *job) {
 	span.SetAttr("solver", j.solver)
 	span.SetAttrInt("tasks", int64(j.problem.NumTasks()))
 	span.SetAttr("seed", strconv.FormatUint(j.req.Options.Seed, 10))
+	if j.resumed {
+		span.SetAttr("resumed", "true")
+		if j.degraded {
+			span.SetAttr("degraded_resume", "true")
+		}
+	}
 	j.span = span
 	j.traceID = span.TraceID()
 }
 
-func validSolver(s string) error {
+// ValidSolver reports whether a submission names a known solver; shared
+// with the cluster coordinator so a bad name is a local 400 on either
+// front door.
+func ValidSolver(s string) error {
 	switch s {
 	case api.SolverMaTCH, api.SolverManyToOne, api.SolverGA, api.SolverDistributed,
 		api.SolverRandom, api.SolverGreedy, api.SolverLocal, api.SolverAnneal:
@@ -566,6 +601,38 @@ func (m *Manager) Result(id string) (api.JobResult, error) {
 		return api.JobResult{}, fmt.Errorf("%w (state %s)", ErrNotDone, j.state)
 	}
 	return *j.result, nil
+}
+
+// Checkpoint returns a job's latest resumable checkpoint, encoded: the
+// most recent mid-run export when the job asked for CheckpointEvery, or
+// the final interrupted-state checkpoint of a cancelled run. A
+// coordinator resubmits the document verbatim (SubmitRequest.Checkpoint)
+// to hand the job off to another node. ErrNoCheckpoint when the job has
+// produced none.
+func (m *Manager) Checkpoint(id string) (api.CheckpointDoc, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	var c *matchsim.Checkpoint
+	if j != nil {
+		c = j.exported
+		if j.checkpoint != nil {
+			// The final interrupted-state checkpoint supersedes any
+			// mid-run export: it is at least as advanced.
+			c = j.checkpoint
+		}
+	}
+	m.mu.Unlock()
+	if j == nil {
+		return api.CheckpointDoc{}, ErrUnknownJob
+	}
+	if c == nil {
+		return api.CheckpointDoc{}, ErrNoCheckpoint
+	}
+	enc, err := c.Encode()
+	if err != nil {
+		return api.CheckpointDoc{}, err
+	}
+	return api.CheckpointDoc{JobID: id, Iterations: c.Iterations, Checkpoint: enc}, nil
 }
 
 // Cancel stops a job: a queued job is finalised immediately, a running

@@ -158,7 +158,7 @@ func (m *Manager) restoreOne(p *persistedJob, path string) error {
 	if p.ID == "" {
 		return fmt.Errorf("persisted job without id")
 	}
-	if err := validSolver(p.Request.Solver); err != nil {
+	if err := ValidSolver(p.Request.Solver); err != nil {
 		return err
 	}
 	problem, err := matchsim.ReadProblem(strings.NewReader(string(p.Request.Instance)))

@@ -37,6 +37,18 @@ func (m *Manager) solve(ctx context.Context, j *job, onIter func(matchsim.Iterat
 			Context:          ctx,
 			OnIteration:      onIter,
 		}
+		if every := j.req.CheckpointEvery; every > 0 {
+			// Periodic rescue export: keep only the newest checkpoint on
+			// the job, where Manager.Checkpoint serves it to a supervising
+			// coordinator. The callback runs on the solver goroutine
+			// between iterations, so the lock hold is a pointer swap.
+			opts.CheckpointEvery = every
+			opts.OnCheckpoint = func(c *matchsim.Checkpoint) {
+				m.mu.Lock()
+				j.exported = c
+				m.mu.Unlock()
+			}
+		}
 		if o.Multilevel {
 			opts.Multilevel = &matchsim.MultilevelOptions{
 				MinCoarse:    o.MinCoarse,

@@ -244,6 +244,16 @@ type MaTCHOptions struct {
 	Context context.Context
 	// OnIteration, when non-nil, receives telemetry each iteration.
 	OnIteration func(IterationTrace)
+	// CheckpointEvery > 0, together with OnCheckpoint, exports a resumable
+	// Checkpoint every that-many iterations while the solve is running, so
+	// a supervisor can rescue the job if the process dies without a clean
+	// shutdown. Export never perturbs the search (results stay
+	// bit-identical). Only plain single-population runs export; multilevel
+	// and island runs ignore these fields.
+	CheckpointEvery int
+	// OnCheckpoint receives each exported checkpoint (caller owns it). It
+	// runs on the solver goroutine between iterations.
+	OnCheckpoint func(*Checkpoint)
 }
 
 // SolveMaTCH runs the paper's primary contribution on the problem.
@@ -336,6 +346,8 @@ func coreOptions(opts MaTCHOptions) core.Options {
 		SparseEps:        opts.SparseEps,
 		SparseCut:        opts.SparseCut,
 		Context:          opts.Context,
+		CheckpointEvery:  opts.CheckpointEvery,
+		OnCheckpoint:     opts.OnCheckpoint,
 	}
 	if opts.Multilevel != nil {
 		o.Multilevel = &core.MultilevelOptions{
